@@ -1,0 +1,306 @@
+// Package bvc is a Go implementation of Byzantine vector consensus (BVC)
+// from Vaidya & Garg, "Byzantine Vector Consensus in Complete Graphs"
+// (PODC 2013): n processes, each holding a d-dimensional vector, agree on a
+// vector guaranteed to lie inside the convex hull of the correct processes'
+// inputs, despite up to f Byzantine processes.
+//
+// The package provides:
+//
+//   - Exact BVC for synchronous systems (n ≥ max(3f+1, (d+1)f+1)),
+//   - Approximate BVC for asynchronous systems (n ≥ (d+2)f+1), with the
+//     paper's Appendix-F witness optimization,
+//   - the restricted-round variants of §4 (n ≥ (d+2)f+1 synchronous,
+//     n ≥ (d+4)f+1 asynchronous),
+//   - the coordinate-wise scalar-consensus baseline the paper's
+//     introduction warns about,
+//   - deterministic simulation (seeded adversarial schedules, Byzantine
+//     behaviour library, execution verification), and
+//   - live execution of the asynchronous algorithms over in-process
+//     goroutine meshes or TCP,
+//   - the underlying computational geometry: safe areas Γ(Y), convex-hull
+//     membership, Radon and Tverberg partitions.
+//
+// Quick start: see examples/quickstart, or:
+//
+//	cfg := bvc.Config{N: 5, F: 1, D: 2}
+//	res, err := bvc.SimulateExact(cfg, inputs, nil, bvc.SimOptions{Seed: 1})
+//	// res.Processes[i].Decision is in the convex hull of correct inputs.
+package bvc
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geometry"
+	"repro/internal/safearea"
+)
+
+// Vector is a point in R^d. Plain []float64 keeps the API friction-free;
+// all functions validate dimensions and finiteness at the boundary.
+type Vector = []float64
+
+// Config is the common configuration of every algorithm.
+type Config struct {
+	// N is the number of processes; F the maximum number of Byzantine
+	// processes; D the vector dimension.
+	N, F, D int
+	// Epsilon is the ε of ε-agreement (approximate variants). Correct
+	// processes' decisions differ by at most ε in every coordinate.
+	Epsilon float64
+	// Lo and Hi are the a-priori per-coordinate input bounds ([ν, U] in
+	// the paper), required by the approximate variants. Length D, or
+	// length 1 meaning a uniform bound for every coordinate.
+	Lo, Hi []float64
+	// WitnessOptimization selects the Appendix-F construction of Zi
+	// (|Zi| ≤ n, contraction weight γ = 1/n²) for the asynchronous
+	// algorithm.
+	WitnessOptimization bool
+	// MaxRounds overrides the analytic termination round bound of the
+	// approximate asynchronous algorithm when positive.
+	MaxRounds int
+	// Method selects how the deterministic point of a safe area Γ(Y) is
+	// computed; MethodAuto (the zero value's replacement) picks closed
+	// forms and fast paths automatically.
+	Method PointMethod
+}
+
+// PointMethod selects the Γ-point computation strategy.
+type PointMethod int
+
+// Γ-point strategies (see DESIGN.md §5 for the ablation).
+const (
+	// MethodAuto picks the cheapest applicable strategy: a closed form
+	// for d = 1, the Radon point for f = 1, else the lex-min LP.
+	MethodAuto PointMethod = iota + 1
+	// MethodLexMinLP always solves the paper's §2.2 linear program,
+	// returning the lexicographically minimal point of Γ(Y).
+	MethodLexMinLP
+	// MethodRadon uses the O(d³) Radon-point fast path (requires f = 1).
+	MethodRadon
+	// MethodTverbergSearch exhaustively searches for a Tverberg partition
+	// (small inputs only; mainly for validation).
+	MethodTverbergSearch
+)
+
+// Variant identifies one of the paper's algorithms.
+type Variant int
+
+// Algorithm variants.
+const (
+	// ExactSync is Exact BVC in a synchronous system (§2.2).
+	ExactSync Variant = iota + 1
+	// ApproxAsync is approximate BVC in an asynchronous system (§3.2).
+	ApproxAsync
+	// RestrictedSync is the restricted-round synchronous algorithm (§4).
+	RestrictedSync
+	// RestrictedAsync is the restricted-round asynchronous algorithm (§4).
+	RestrictedAsync
+)
+
+// MinProcesses returns the paper's tight process-count bound for a variant:
+// max(3f+1, (d+1)f+1), (d+2)f+1, (d+2)f+1 and (d+4)f+1 respectively.
+func MinProcesses(v Variant, d, f int) int {
+	return core.MinProcesses(coreVariant(v), d, f)
+}
+
+// Gamma returns the analytic per-round contraction weight γ of an
+// approximate variant; the correct processes' per-coordinate range shrinks
+// by at least the factor 1−γ every asynchronous round.
+func Gamma(v Variant, n, f int, witnessOpt bool) float64 {
+	return core.Gamma(coreVariant(v), n, f, witnessOpt)
+}
+
+// RoundBound returns the paper's termination round count
+// 1 + ⌈log_{1/(1−γ)} (range/ε)⌉.
+func RoundBound(gamma, valueRange, epsilon float64) int {
+	return core.RoundBound(gamma, valueRange, epsilon)
+}
+
+func coreVariant(v Variant) core.Variant {
+	switch v {
+	case ExactSync:
+		return core.VariantExactSync
+	case ApproxAsync:
+		return core.VariantApproxAsync
+	case RestrictedSync:
+		return core.VariantRestrictedSync
+	case RestrictedAsync:
+		return core.VariantRestrictedAsync
+	default:
+		return 0
+	}
+}
+
+// params converts a Config to the internal parameter form.
+func (c Config) params() (core.Params, error) {
+	method, err := c.method()
+	if err != nil {
+		return core.Params{}, err
+	}
+	p := core.Params{
+		N: c.N, F: c.F, D: c.D,
+		Epsilon: c.Epsilon,
+		Method:  method,
+	}
+	box, err := c.box()
+	if err != nil {
+		return core.Params{}, err
+	}
+	p.Bounds = box
+	return p, nil
+}
+
+func (c Config) method() (safearea.Method, error) {
+	switch c.Method {
+	case 0, MethodAuto:
+		return safearea.MethodAuto, nil
+	case MethodLexMinLP:
+		return safearea.MethodLexMinLP, nil
+	case MethodRadon:
+		return safearea.MethodRadon, nil
+	case MethodTverbergSearch:
+		return safearea.MethodTverbergSearch, nil
+	default:
+		return 0, fmt.Errorf("bvc: unknown point method %d", c.Method)
+	}
+}
+
+// box materializes the [Lo, Hi] input box; a nil Lo/Hi pair yields the
+// degenerate box only exact variants accept.
+func (c Config) box() (geometry.Box, error) {
+	expand := func(b []float64) (geometry.Vector, error) {
+		switch len(b) {
+		case c.D:
+			return geometry.Vector(b).Clone(), nil
+		case 1:
+			out := geometry.NewVector(c.D)
+			for i := range out {
+				out[i] = b[0]
+			}
+			return out, nil
+		default:
+			return nil, fmt.Errorf("bvc: bound length %d, want %d or 1", len(b), c.D)
+		}
+	}
+	if c.Lo == nil && c.Hi == nil {
+		return geometry.Box{Lo: geometry.NewVector(c.D), Hi: geometry.NewVector(c.D)}, nil
+	}
+	lo, err := expand(c.Lo)
+	if err != nil {
+		return geometry.Box{}, err
+	}
+	hi, err := expand(c.Hi)
+	if err != nil {
+		return geometry.Box{}, err
+	}
+	return geometry.Box{Lo: lo, Hi: hi}, nil
+}
+
+// asyncConfig converts a Config for the asynchronous algorithm.
+func (c Config) asyncConfig() (core.AsyncConfig, error) {
+	p, err := c.params()
+	if err != nil {
+		return core.AsyncConfig{}, err
+	}
+	return core.AsyncConfig{
+		Params:     p,
+		WitnessOpt: c.WitnessOptimization,
+		MaxRounds:  c.MaxRounds,
+	}, nil
+}
+
+// toGeometry converts a public vector, validating nothing (validation
+// happens in the algorithm constructors).
+func toGeometry(v Vector) geometry.Vector {
+	return geometry.Vector(v).Clone()
+}
+
+// fromGeometry converts an internal vector to the public form.
+func fromGeometry(v geometry.Vector) Vector {
+	if v == nil {
+		return nil
+	}
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+func toGeometrySlice(vs []Vector) []geometry.Vector {
+	out := make([]geometry.Vector, len(vs))
+	for i, v := range vs {
+		out[i] = toGeometry(v)
+	}
+	return out
+}
+
+// ProcessResult is one process's view of a finished run.
+type ProcessResult struct {
+	ID        int
+	Byzantine bool
+	// Input is the process's input (correct processes only).
+	Input Vector
+	// Decision is the decided vector; nil for Byzantine processes.
+	Decision Vector
+	// Rounds is the number of algorithm rounds the process executed.
+	Rounds int
+	// History, when recorded, holds the state after every round starting
+	// with the input (approximate variants only).
+	History []Vector
+}
+
+// Result is a finished consensus run.
+type Result struct {
+	Variant   Variant
+	Config    Config
+	Processes []ProcessResult
+	// Messages is the total number of point-to-point messages carried.
+	Messages int64
+	// VirtualTime is the simulated clock at completion (simulation only).
+	VirtualTime time.Duration
+}
+
+// execution converts the result for verification.
+func (r *Result) execution() *core.Execution {
+	ex := &core.Execution{D: r.Config.D, F: r.Config.F}
+	for _, p := range r.Processes {
+		o := core.Outcome{ID: p.ID, Correct: !p.Byzantine}
+		if !p.Byzantine {
+			o.Input = geometry.Vector(p.Input)
+			if p.Decision != nil {
+				o.Decision = geometry.Vector(p.Decision)
+			}
+		}
+		ex.Outcomes = append(ex.Outcomes, o)
+	}
+	return ex
+}
+
+// VerifyExact checks Agreement, Validity and Termination (Exact BVC
+// definitions, paper §1) and returns the first violation.
+func (r *Result) VerifyExact() error {
+	return r.execution().VerifyExact(0)
+}
+
+// VerifyApprox checks ε-Agreement, Validity and Termination (approximate
+// BVC definitions, paper §1).
+func (r *Result) VerifyApprox() error {
+	return r.execution().VerifyApprox(r.Config.Epsilon, 0)
+}
+
+// VerifyValidity checks only the validity condition: every correct decision
+// lies in the convex hull of the correct inputs.
+func (r *Result) VerifyValidity() error {
+	return r.execution().VerifyValidity(0)
+}
+
+// Decisions returns the correct processes' decisions in process order.
+func (r *Result) Decisions() []Vector {
+	var out []Vector
+	for _, p := range r.Processes {
+		if !p.Byzantine && p.Decision != nil {
+			out = append(out, p.Decision)
+		}
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+// Command bvcbench regenerates the paper-reproduction experiment tables
+// E1–E9 and figure F1 (see DESIGN.md §3 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	bvcbench                     # run everything
+//	bvcbench -experiment e5      # one experiment
+//	bvcbench -seed 7             # change the master seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bvcbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bvcbench", flag.ContinueOnError)
+	experiment := fs.String("experiment", "all", "experiment to run: all, e1…e9, f1, f2")
+	seed := fs.Int64("seed", 1, "master random seed")
+	trials := fs.Int("trials", 20, "trial count for statistical experiments (E3)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	type runner func() (*harness.Table, error)
+	runners := map[string]runner{
+		"e1": func() (*harness.Table, error) { return harness.E1SyncNecessity(*seed) },
+		"e2": func() (*harness.Table, error) { return harness.E2ExactSufficiency(*seed) },
+		"e3": func() (*harness.Table, error) { return harness.E3TverbergLemma(*seed, *trials) },
+		"e4": harness.E4AsyncNecessity,
+		"e5": func() (*harness.Table, error) { return harness.E5AsyncConvergence(*seed) },
+		"e6": func() (*harness.Table, error) { return harness.E6RestrictedSync(*seed) },
+		"e7": func() (*harness.Table, error) { return harness.E7RestrictedAsync(*seed) },
+		"e8": func() (*harness.Table, error) { return harness.E8CoordinateWise(*seed) },
+		"e9": func() (*harness.Table, error) { return harness.E9WitnessAblation(*seed) },
+		"f1": harness.F1Heptagon,
+		"f2": func() (*harness.Table, error) { return harness.F2ConvergenceSeries(*seed) },
+	}
+
+	name := strings.ToLower(*experiment)
+	if name == "all" {
+		tables, err := harness.All(*seed)
+		if err != nil {
+			return err
+		}
+		allPass := true
+		for _, tbl := range tables {
+			if err := tbl.Render(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+			if !tbl.Pass {
+				allPass = false
+			}
+		}
+		if !allPass {
+			return fmt.Errorf("one or more experiments failed")
+		}
+		return nil
+	}
+
+	r, ok := runners[name]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (want all, e1…e9, f1, f2)", *experiment)
+	}
+	tbl, err := r()
+	if err != nil {
+		return err
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+	if !tbl.Pass {
+		return fmt.Errorf("experiment %s failed", strings.ToUpper(name))
+	}
+	return nil
+}

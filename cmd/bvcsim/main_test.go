@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunAlgorithms(t *testing.T) {
+	cases := [][]string{
+		{"-algorithm", "exact", "-seed", "2"},
+		{"-algorithm", "exact", "-adversary", "equivocate"},
+		{"-algorithm", "coordwise", "-d", "1"},
+		{"-algorithm", "approx", "-eps", "0.3", "-adversary", "lure"},
+		{"-algorithm", "approx", "-eps", "0.3", "-witness"},
+		{"-algorithm", "rsync", "-eps", "0.3", "-adversary", "silent"},
+		{"-algorithm", "rasync", "-d", "1", "-eps", "0.3"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-algorithm", "bogus"},
+		{"-algorithm", "exact", "-adversary", "bogus"},
+		{"-algorithm", "exact", "-n", "2"}, // below the bound
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Command tverberg computes Tverberg partitions: given points (or the
+// paper's Figure-1 heptagon), it partitions them into blocks whose convex
+// hulls share a common point, and prints the partition and the point.
+//
+// Usage:
+//
+//	tverberg -figure1                 # the paper's heptagon illustration
+//	tverberg -parts 2 "0,0" "1,1" "1,0" "0,1"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tverberg:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tverberg", flag.ContinueOnError)
+	figure1 := fs.Bool("figure1", false, "reproduce the paper's Figure 1 (regular heptagon, 3 parts)")
+	parts := fs.Int("parts", 2, "number of partition blocks (f+1)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var points []bvc.Vector
+	if *figure1 {
+		*parts = 3
+		for k := 0; k < 7; k++ {
+			a := 2 * math.Pi * float64(k) / 7
+			points = append(points, bvc.Vector{math.Cos(a), math.Sin(a)})
+		}
+		fmt.Println("Figure 1: regular heptagon, n = 7 = (d+1)f+1 with d = 2, f = 2")
+	} else {
+		for _, arg := range fs.Args() {
+			p, err := parsePoint(arg)
+			if err != nil {
+				return err
+			}
+			points = append(points, p)
+		}
+		if len(points) == 0 {
+			return fmt.Errorf("no points given (or use -figure1)")
+		}
+	}
+
+	blocks, point, found, err := bvc.TverbergPartition(points, *parts)
+	if err != nil {
+		return err
+	}
+	if !found {
+		fmt.Printf("no Tverberg partition of %d points into %d parts exists\n", len(points), *parts)
+		return nil
+	}
+	fmt.Printf("partition into %d parts:\n", *parts)
+	for b, blk := range blocks {
+		fmt.Printf("  block %d:", b+1)
+		for _, idx := range blk {
+			fmt.Printf("  p%d%v", idx+1, fmtVec(points[idx]))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("Tverberg point: %v\n", fmtVec(point))
+	for b, blk := range blocks {
+		var hullPts []bvc.Vector
+		for _, idx := range blk {
+			hullPts = append(hullPts, points[idx])
+		}
+		in, err := bvc.InConvexHull(hullPts, point)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  in hull of block %d: %v\n", b+1, in)
+	}
+	return nil
+}
+
+func parsePoint(s string) (bvc.Vector, error) {
+	fields := strings.Split(s, ",")
+	out := make(bvc.Vector, 0, len(fields))
+	for _, fstr := range fields {
+		x, err := strconv.ParseFloat(strings.TrimSpace(fstr), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad point %q: %w", s, err)
+		}
+		out = append(out, x)
+	}
+	return out, nil
+}
+
+func fmtVec(v bvc.Vector) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = strconv.FormatFloat(x, 'f', 3, 64)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

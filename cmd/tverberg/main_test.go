@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+func TestRunFigure1(t *testing.T) {
+	if err := run([]string{"-figure1"}); err != nil {
+		t.Errorf("figure1: %v", err)
+	}
+}
+
+func TestRunExplicitPoints(t *testing.T) {
+	// Square: Radon case, d=2, two blocks.
+	if err := run([]string{"-parts", "2", "0,0", "1,1", "1,0", "0,1"}); err != nil {
+		t.Errorf("square: %v", err)
+	}
+	// No partition exists: 3 generic points, 3 parts.
+	if err := run([]string{"-parts", "3", "0,0", "1,0", "0,1"}); err != nil {
+		t.Errorf("unpartitionable input should not error: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no points: expected error")
+	}
+	if err := run([]string{"not-a-point"}); err == nil {
+		t.Error("bad point: expected error")
+	}
+}
+
+func TestParsePoint(t *testing.T) {
+	p, err := parsePoint(" 1.5, -2 ,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 3 || p[0] != 1.5 || p[1] != -2 || p[2] != 3 {
+		t.Errorf("parsed %v", p)
+	}
+}
+
+func TestFmtVec(t *testing.T) {
+	if got := fmtVec([]float64{1, 2.5}); got != "(1.000, 2.500)" {
+		t.Errorf("fmtVec = %q", got)
+	}
+}

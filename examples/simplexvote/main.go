@@ -1,0 +1,68 @@
+// Simplexvote: the paper's §1 counterexample, live. Three correct processes
+// hold probability vectors (e.g. mixture weights that must stay a valid
+// distribution). Running scalar Byzantine consensus per dimension satisfies
+// each coordinate's scalar validity yet decides a vector whose coordinates
+// sum to 1/2 — not a distribution at all. Exact BVC on the same workload
+// provably stays on the simplex.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// The paper's exact inputs.
+	p1 := bvc.Vector{2.0 / 3, 1.0 / 6, 1.0 / 6}
+	p2 := bvc.Vector{1.0 / 6, 2.0 / 3, 1.0 / 6}
+	p3 := bvc.Vector{1.0 / 6, 1.0 / 6, 2.0 / 3}
+
+	fmt.Println("inputs (probability vectors):")
+	for i, p := range []bvc.Vector{p1, p2, p3} {
+		fmt.Printf("  p%d: %.4f (sum = 1)\n", i+1, p)
+	}
+	byzantine := []bvc.Byzantine{{ID: 3, Strategy: bvc.StrategyLure, Target: bvc.Vector{0, 0, 0}}}
+	fmt.Println("  p4: BYZANTINE, announces (0, 0, 0)")
+
+	// Coordinate-wise scalar consensus (n = 3f+1 = 4 suffices — for the
+	// wrong guarantee).
+	cw, err := bvc.SimulateCoordinateWise(
+		bvc.Config{N: 4, F: 1, D: 3},
+		[]bvc.Vector{p1, p2, p3, nil}, byzantine, bvc.SimOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cwDec := cw.Decisions()[0]
+	fmt.Printf("\ncoordinate-wise consensus decides %.4f (sum = %.3f)\n", cwDec, sum(cwDec))
+	if err := cw.VerifyValidity(); err != nil {
+		fmt.Printf("  → vector validity VIOLATED, exactly as §1 predicts:\n    %v\n", err)
+	} else {
+		log.Fatal("expected a validity violation")
+	}
+
+	// Exact BVC needs n ≥ (d+1)f+1 = 5 for d = 3: one more correct voter.
+	p4 := bvc.Vector{1.0 / 3, 1.0 / 3, 1.0 / 3}
+	byz5 := []bvc.Byzantine{{ID: 4, Strategy: bvc.StrategyLure, Target: bvc.Vector{0, 0, 0}}}
+	ex, err := bvc.SimulateExact(
+		bvc.Config{N: 5, F: 1, D: 3},
+		[]bvc.Vector{p1, p2, p3, p4, nil}, byz5, bvc.SimOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	exDec := ex.Decisions()[0]
+	fmt.Printf("\nExact BVC (n = 5) decides %.4f (sum = %.3f)\n", exDec, sum(exDec))
+	if err := ex.VerifyExact(); err != nil {
+		log.Fatalf("verification failed: %v", err)
+	}
+	fmt.Println("  → decision is still a probability vector: validity holds")
+}
+
+func sum(v bvc.Vector) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,96 @@
+// Tcpcluster: asynchronous approximate BVC over a real TCP full mesh. Four
+// processes listen on loopback ports, establish pairwise connections, and
+// run the §3.2 algorithm end to end — the same state machines the simulator
+// drives, now fed by genuine network I/O.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	cfg := bvc.Config{
+		N: 4, F: 1, D: 2,
+		Epsilon: 0.05,
+		Lo:      []float64{0},
+		Hi:      []float64{1},
+	}
+	// d = 1 would give the scalar AAD bound 3f+1 = 4; for d = 2 we need
+	// (d+2)f+1 = 5 — so run with d = 2 and n = 5.
+	cfg.N = 5
+	inputs := []bvc.Vector{
+		{0.10, 0.90},
+		{0.80, 0.20},
+		{0.50, 0.50},
+		{0.30, 0.60},
+		{0.70, 0.40},
+	}
+
+	// Every process listens on an ephemeral loopback port.
+	tmpl := make([]string, cfg.N)
+	for i := range tmpl {
+		tmpl[i] = "127.0.0.1:0"
+	}
+	procs := make([]*bvc.TCPProcess, cfg.N)
+	addrs := make([]string, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		p, err := bvc.NewTCPProcess(cfg, i, tmpl, inputs[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		procs[i] = p
+		addrs[i] = p.Addr()
+	}
+	defer func() {
+		for _, p := range procs {
+			_ = p.Close()
+		}
+	}()
+	fmt.Println("TCP mesh endpoints:")
+	for i, a := range addrs {
+		fmt.Printf("  p%d %s (input %v)\n", i+1, a, inputs[i])
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	decisions := make([]bvc.Vector, cfg.N)
+	errs := make([]error, cfg.N)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, p := range procs {
+		i, p := i, p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			decisions[i], errs[i] = p.Run(ctx, addrs)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			log.Fatalf("process %d: %v", i+1, err)
+		}
+	}
+	fmt.Printf("all processes decided in %v:\n", time.Since(start).Round(time.Millisecond))
+	for i, d := range decisions {
+		fmt.Printf("  p%d → (%.4f, %.4f)\n", i+1, d[0], d[1])
+	}
+	for i := 1; i < cfg.N; i++ {
+		for j := 0; j < cfg.D; j++ {
+			if diff := decisions[i][j] - decisions[0][j]; diff > cfg.Epsilon || diff < -cfg.Epsilon {
+				log.Fatalf("ε-agreement violated between p1 and p%d", i+1)
+			}
+		}
+	}
+	in, err := bvc.InConvexHull(inputs, decisions[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ε-agreement ok; decision inside input hull: %v\n", in)
+}

@@ -1,0 +1,182 @@
+// Package adversary provides concrete Byzantine behaviours for the
+// sufficiency experiments: the theorems quantify over *all* adversaries, so
+// the test suite substitutes a library of canonical attack strategies —
+// silence, crashes (including mid-broadcast partial sends), random noise,
+// equivocation (different values to different peers), and value-lure
+// attacks that try to drag the correct processes' states toward a target.
+//
+// Synchronous behaviours implement sim.SyncNode and are dropped into the
+// lock-step engine next to correct nodes; asynchronous behaviours implement
+// sim.Node for the discrete-event engine. None of them can break the
+// algorithms at the paper's resilience bounds — that is exactly what the
+// experiments verify.
+package adversary
+
+import (
+	"math/rand"
+
+	"repro/internal/geometry"
+	"repro/internal/sim"
+)
+
+// SilentSync is a synchronous process that never sends anything — the
+// simplest crash fault (crashed from round 1).
+type SilentSync struct{}
+
+var _ sim.SyncNode = SilentSync{}
+
+// Outbox implements sim.SyncNode.
+func (SilentSync) Outbox(int) map[sim.ProcID]sim.Message { return nil }
+
+// Deliver implements sim.SyncNode.
+func (SilentSync) Deliver(int, map[sim.ProcID]sim.Message) {}
+
+// Done implements sim.SyncNode.
+func (SilentSync) Done() bool { return true }
+
+// CrashSync wraps a correct synchronous node and crashes it during round
+// CrashRound: in that round only recipients with id < PartialTo receive its
+// messages (a mid-broadcast crash); afterwards it is silent.
+type CrashSync struct {
+	Wrapped    sim.SyncNode
+	CrashRound int
+	PartialTo  int
+
+	crashed bool
+}
+
+var _ sim.SyncNode = (*CrashSync)(nil)
+
+// Outbox implements sim.SyncNode.
+func (c *CrashSync) Outbox(r int) map[sim.ProcID]sim.Message {
+	if c.crashed {
+		return nil
+	}
+	out := c.Wrapped.Outbox(r)
+	if r < c.CrashRound {
+		return out
+	}
+	c.crashed = true
+	partial := make(map[sim.ProcID]sim.Message, c.PartialTo)
+	for to, msg := range out {
+		if int(to) < c.PartialTo {
+			partial[to] = msg
+		}
+	}
+	return partial
+}
+
+// Deliver implements sim.SyncNode.
+func (c *CrashSync) Deliver(r int, inbox map[sim.ProcID]sim.Message) {
+	if !c.crashed {
+		c.Wrapped.Deliver(r, inbox)
+	}
+}
+
+// Done implements sim.SyncNode.
+func (c *CrashSync) Done() bool { return c.crashed || c.Wrapped.Done() }
+
+// FuncSync adapts an outbox function to sim.SyncNode: the function receives
+// the round and produces the full per-recipient message map, which makes
+// equivocation trivial to express. It reports Done after Rounds rounds.
+type FuncSync struct {
+	Rounds int
+	Fn     func(r int) map[sim.ProcID]sim.Message
+
+	round int
+}
+
+var _ sim.SyncNode = (*FuncSync)(nil)
+
+// Outbox implements sim.SyncNode.
+func (s *FuncSync) Outbox(r int) map[sim.ProcID]sim.Message {
+	if s.Fn == nil {
+		return nil
+	}
+	return s.Fn(r)
+}
+
+// Deliver implements sim.SyncNode.
+func (s *FuncSync) Deliver(r int, _ map[sim.ProcID]sim.Message) { s.round = r }
+
+// Done implements sim.SyncNode.
+func (s *FuncSync) Done() bool { return s.round >= s.Rounds }
+
+// RandomVector draws a vector uniformly from the box.
+func RandomVector(rng *rand.Rand, box geometry.Box) geometry.Vector {
+	out := geometry.NewVector(box.Dim())
+	for i := range out {
+		out[i] = box.Lo[i] + rng.Float64()*(box.Hi[i]-box.Lo[i])
+	}
+	return out
+}
+
+// SilentAsync is an asynchronous process that does nothing at all.
+type SilentAsync struct{}
+
+var _ sim.Node = SilentAsync{}
+
+// Init implements sim.Node.
+func (SilentAsync) Init(api sim.API) { api.Halt() }
+
+// OnMessage implements sim.Node.
+func (SilentAsync) OnMessage(sim.API, sim.ProcID, sim.Message) {}
+
+// CrashAsync wraps a correct asynchronous node and stops it (silently)
+// after AfterDeliveries message deliveries.
+type CrashAsync struct {
+	Wrapped         sim.Node
+	AfterDeliveries int
+
+	delivered int
+	crashed   bool
+}
+
+var _ sim.Node = (*CrashAsync)(nil)
+
+// Init implements sim.Node.
+func (c *CrashAsync) Init(api sim.API) {
+	if c.AfterDeliveries <= 0 {
+		c.crashed = true
+		api.Halt()
+		return
+	}
+	c.Wrapped.Init(api)
+}
+
+// OnMessage implements sim.Node.
+func (c *CrashAsync) OnMessage(api sim.API, from sim.ProcID, msg sim.Message) {
+	if c.crashed {
+		return
+	}
+	c.delivered++
+	if c.delivered > c.AfterDeliveries {
+		c.crashed = true
+		api.Halt()
+		return
+	}
+	c.Wrapped.OnMessage(api, from, msg)
+}
+
+// FuncAsync adapts functions to sim.Node for hand-crafted asynchronous
+// attacks (equivocating RBC inits, bogus reports, flooding).
+type FuncAsync struct {
+	OnInit func(api sim.API)
+	OnMsg  func(api sim.API, from sim.ProcID, msg sim.Message)
+}
+
+var _ sim.Node = (*FuncAsync)(nil)
+
+// Init implements sim.Node.
+func (f *FuncAsync) Init(api sim.API) {
+	if f.OnInit != nil {
+		f.OnInit(api)
+	}
+}
+
+// OnMessage implements sim.Node.
+func (f *FuncAsync) OnMessage(api sim.API, from sim.ProcID, msg sim.Message) {
+	if f.OnMsg != nil {
+		f.OnMsg(api, from, msg)
+	}
+}

@@ -1,0 +1,315 @@
+package broadcast
+
+import (
+	"testing"
+
+	"repro/internal/geometry"
+	"repro/internal/sim"
+)
+
+// rbcBus delivers RBC messages among a set of correct processes, with a
+// configurable delivery order (fifo or lifo) to exercise asynchrony.
+type rbcBus struct {
+	t     *testing.T
+	procs map[sim.ProcID]*RBC
+	queue []busItem
+	lifo  bool
+
+	delivered map[sim.ProcID][]RBCDelivery
+}
+
+type busItem struct {
+	from sim.ProcID
+	to   sim.ProcID
+	msg  RBCMsg
+}
+
+func newRBCBus(t *testing.T, n, f, dim int, correct []sim.ProcID) *rbcBus {
+	t.Helper()
+	b := &rbcBus{t: t, procs: make(map[sim.ProcID]*RBC), delivered: make(map[sim.ProcID][]RBCDelivery)}
+	for _, id := range correct {
+		r, err := NewRBC(n, f, id, dim)
+		if err != nil {
+			t.Fatalf("NewRBC(%d): %v", id, err)
+		}
+		b.procs[id] = r
+	}
+	return b
+}
+
+// broadcastFrom enqueues msg from `from` to every correct process.
+func (b *rbcBus) broadcastFrom(from sim.ProcID, msg RBCMsg) {
+	for to := range b.procs {
+		b.queue = append(b.queue, busItem{from: from, to: to, msg: msg})
+	}
+}
+
+// inject sends msg from a (possibly Byzantine) process to one recipient.
+func (b *rbcBus) inject(from, to sim.ProcID, msg RBCMsg) {
+	b.queue = append(b.queue, busItem{from: from, to: to, msg: msg})
+}
+
+// drain delivers queued messages until quiescence.
+func (b *rbcBus) drain() {
+	for len(b.queue) > 0 {
+		var it busItem
+		if b.lifo {
+			it = b.queue[len(b.queue)-1]
+			b.queue = b.queue[:len(b.queue)-1]
+		} else {
+			it = b.queue[0]
+			b.queue = b.queue[1:]
+		}
+		proc, ok := b.procs[it.to]
+		if !ok {
+			continue
+		}
+		out, dels := proc.Handle(it.from, it.msg)
+		for _, o := range out {
+			b.broadcastFrom(it.to, o)
+		}
+		if len(dels) > 0 {
+			b.delivered[it.to] = append(b.delivered[it.to], dels...)
+		}
+	}
+}
+
+func ids(xs ...int) []sim.ProcID {
+	out := make([]sim.ProcID, len(xs))
+	for i, x := range xs {
+		out[i] = sim.ProcID(x)
+	}
+	return out
+}
+
+func TestRBCHonestOriginAllDeliver(t *testing.T) {
+	for _, lifo := range []bool{false, true} {
+		b := newRBCBus(t, 4, 1, 2, ids(0, 1, 2, 3))
+		value := vec(2, 3)
+		initMsg, err := b.procs[0].Broadcast(5, value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.broadcastFrom(0, initMsg)
+		b.lifo = lifo
+		b.drain()
+		for id, dels := range b.delivered {
+			if len(dels) != 1 {
+				t.Fatalf("lifo=%v: process %d delivered %d times", lifo, id, len(dels))
+			}
+			d := dels[0]
+			if d.Origin != 0 || d.Tag != 5 || !d.Value.Equal(value) {
+				t.Errorf("lifo=%v: process %d delivered %+v", lifo, id, d)
+			}
+		}
+		if len(b.delivered) != 4 {
+			t.Errorf("lifo=%v: %d of 4 processes delivered", lifo, len(b.delivered))
+		}
+	}
+}
+
+func TestRBCEquivocatingOriginAgreement(t *testing.T) {
+	// Byzantine origin 3 sends INIT(a) to {0,1} and INIT(b) to {2}; n = 4,
+	// f = 1. Correct processes may or may not deliver, but any deliveries
+	// must carry the same value.
+	b := newRBCBus(t, 4, 1, 1, ids(0, 1, 2))
+	a, v2 := vec(1), vec(2)
+	b.inject(3, 0, RBCMsg{Phase: RBCInit, Origin: 3, Tag: 1, Value: a})
+	b.inject(3, 1, RBCMsg{Phase: RBCInit, Origin: 3, Tag: 1, Value: a})
+	b.inject(3, 2, RBCMsg{Phase: RBCInit, Origin: 3, Tag: 1, Value: v2})
+	b.drain()
+	var seen geometry.Vector
+	for id, dels := range b.delivered {
+		for _, d := range dels {
+			if seen == nil {
+				seen = d.Value
+				continue
+			}
+			if !d.Value.Equal(seen) {
+				t.Errorf("process %d delivered %v, another delivered %v", id, d.Value, seen)
+			}
+		}
+	}
+}
+
+func TestRBCEquivocationWithByzantineEchoes(t *testing.T) {
+	// The Byzantine origin also echoes and readies both values, trying to
+	// drive two quorums. With n = 4, f = 1 the echo quorum is 3, so the two
+	// correct-echo camps (2 vs 1) plus one Byzantine echo each reach at
+	// most 3 for value a — never both.
+	b := newRBCBus(t, 4, 1, 1, ids(0, 1, 2))
+	a, v2 := vec(1), vec(2)
+	b.inject(3, 0, RBCMsg{Phase: RBCInit, Origin: 3, Tag: 1, Value: a})
+	b.inject(3, 1, RBCMsg{Phase: RBCInit, Origin: 3, Tag: 1, Value: a})
+	b.inject(3, 2, RBCMsg{Phase: RBCInit, Origin: 3, Tag: 1, Value: v2})
+	for _, to := range ids(0, 1, 2) {
+		b.inject(3, to, RBCMsg{Phase: RBCEcho, Origin: 3, Tag: 1, Value: a})
+		b.inject(3, to, RBCMsg{Phase: RBCEcho, Origin: 3, Tag: 1, Value: v2})
+		b.inject(3, to, RBCMsg{Phase: RBCReady, Origin: 3, Tag: 1, Value: a})
+		b.inject(3, to, RBCMsg{Phase: RBCReady, Origin: 3, Tag: 1, Value: v2})
+	}
+	b.drain()
+	var seen geometry.Vector
+	total := 0
+	for _, dels := range b.delivered {
+		for _, d := range dels {
+			total++
+			if seen == nil {
+				seen = d.Value
+			} else if !d.Value.Equal(seen) {
+				t.Fatalf("two different values delivered: %v and %v", seen, d.Value)
+			}
+		}
+	}
+	// Totality: if anyone delivered, everyone must have.
+	if total != 0 && total != 3 {
+		t.Errorf("deliveries = %d, want 0 or 3 (totality)", total)
+	}
+}
+
+func TestRBCSpoofedInitIgnored(t *testing.T) {
+	// Process 1 sends an INIT claiming origin 0 — must be ignored.
+	b := newRBCBus(t, 4, 1, 1, ids(0, 1, 2, 3))
+	b.inject(1, 2, RBCMsg{Phase: RBCInit, Origin: 0, Tag: 1, Value: vec(9)})
+	b.drain()
+	if len(b.delivered) != 0 {
+		t.Errorf("spoofed init led to deliveries: %v", b.delivered)
+	}
+}
+
+func TestRBCDuplicateEchoIgnored(t *testing.T) {
+	r, err := NewRBC(4, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two echoes from the same process count once: with quorum 3, echoes
+	// from {1, 1, 2} must not trigger a ready.
+	msgs := []struct {
+		from sim.ProcID
+		msg  RBCMsg
+	}{
+		{1, RBCMsg{Phase: RBCEcho, Origin: 3, Tag: 1, Value: vec(4)}},
+		{1, RBCMsg{Phase: RBCEcho, Origin: 3, Tag: 1, Value: vec(4)}},
+		{2, RBCMsg{Phase: RBCEcho, Origin: 3, Tag: 1, Value: vec(4)}},
+	}
+	var outs []RBCMsg
+	for _, m := range msgs {
+		out, _ := r.Handle(m.from, m.msg)
+		outs = append(outs, out...)
+	}
+	if len(outs) != 0 {
+		t.Errorf("duplicate echoes triggered %v", outs)
+	}
+	// A third distinct echo completes the quorum.
+	out, _ := r.Handle(3, RBCMsg{Phase: RBCEcho, Origin: 3, Tag: 1, Value: vec(4)})
+	if len(out) != 1 || out[0].Phase != RBCReady {
+		t.Errorf("expected ready after 3 distinct echoes, got %v", out)
+	}
+}
+
+func TestRBCReadyAmplification(t *testing.T) {
+	// f+1 = 2 readies without any echo quorum must trigger our own ready.
+	r, err := NewRBC(4, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := r.Handle(1, RBCMsg{Phase: RBCReady, Origin: 3, Tag: 1, Value: vec(4)})
+	if len(out) != 0 {
+		t.Fatalf("one ready must not amplify, got %v", out)
+	}
+	out, _ = r.Handle(2, RBCMsg{Phase: RBCReady, Origin: 3, Tag: 1, Value: vec(4)})
+	if len(out) != 1 || out[0].Phase != RBCReady {
+		t.Fatalf("two readies must amplify, got %v", out)
+	}
+	// 2f+1 = 3 readies deliver.
+	_, dels := r.Handle(3, RBCMsg{Phase: RBCReady, Origin: 3, Tag: 1, Value: vec(4)})
+	if len(dels) != 1 || !dels[0].Value.Equal(vec(4)) {
+		t.Fatalf("three readies must deliver, got %v", dels)
+	}
+	// No double delivery.
+	_, dels = r.Handle(0, RBCMsg{Phase: RBCReady, Origin: 3, Tag: 1, Value: vec(4)})
+	if len(dels) != 0 {
+		t.Error("delivered twice")
+	}
+}
+
+func TestRBCInvalidValuesDropped(t *testing.T) {
+	r, err := NewRBC(4, 1, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []RBCMsg{
+		{Phase: RBCInit, Origin: 1, Tag: 1, Value: vec(1)},         // wrong dim
+		{Phase: RBCInit, Origin: 9, Tag: 1, Value: vec(1, 2)},      // bad origin
+		{Phase: RBCPhase(99), Origin: 1, Tag: 1, Value: vec(1, 2)}, // bad phase
+		{Phase: RBCEcho, Origin: 1, Tag: 1, Value: nil},            // nil value
+	}
+	for _, m := range cases {
+		out, dels := r.Handle(m.Origin, m)
+		if len(out) != 0 || len(dels) != 0 {
+			t.Errorf("malformed %+v produced output", m)
+		}
+	}
+}
+
+func TestRBCConfigValidation(t *testing.T) {
+	if _, err := NewRBC(3, 1, 0, 1); err == nil {
+		t.Error("n = 3f: expected error")
+	}
+	if _, err := NewRBC(4, -1, 0, 1); err == nil {
+		t.Error("negative f: expected error")
+	}
+	if _, err := NewRBC(4, 1, 7, 1); err == nil {
+		t.Error("self out of range: expected error")
+	}
+	if _, err := NewRBC(4, 1, 0, 0); err == nil {
+		t.Error("dim 0: expected error")
+	}
+}
+
+func TestRBCBroadcastValidation(t *testing.T) {
+	r, err := NewRBC(4, 1, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Broadcast(1, vec(1)); err == nil {
+		t.Error("wrong dim: expected error")
+	}
+}
+
+func TestRBCManyTagsIndependent(t *testing.T) {
+	// Instances with different tags are independent even for one origin.
+	b := newRBCBus(t, 4, 1, 1, ids(0, 1, 2, 3))
+	for tag := 1; tag <= 3; tag++ {
+		msg, err := b.procs[1].Broadcast(tag, vec(float64(tag)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.broadcastFrom(1, msg)
+	}
+	b.drain()
+	for id, dels := range b.delivered {
+		if len(dels) != 3 {
+			t.Fatalf("process %d delivered %d, want 3", id, len(dels))
+		}
+		seen := make(map[int]bool)
+		for _, d := range dels {
+			if !d.Value.Equal(vec(float64(d.Tag))) {
+				t.Errorf("tag %d delivered %v", d.Tag, d.Value)
+			}
+			seen[d.Tag] = true
+		}
+		if len(seen) != 3 {
+			t.Errorf("process %d tags %v", id, seen)
+		}
+	}
+}
+
+func TestRBCPhaseString(t *testing.T) {
+	if RBCInit.String() != "init" || RBCEcho.String() != "echo" || RBCReady.String() != "ready" {
+		t.Error("phase strings broken")
+	}
+	if RBCPhase(42).String() == "" {
+		t.Error("unknown phase renders empty")
+	}
+}

@@ -1,0 +1,162 @@
+// Package combin provides the combinatorial enumeration primitives used by
+// the consensus algorithms: k-subsets of an index range (the paper
+// enumerates all (n−f)-size subsets T ⊆ S and C ⊆ Bi[t]), binomial
+// coefficients, and ordered set partitions (used by the exhaustive Tverberg
+// partition search).
+package combin
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// Binomial returns C(n, k). It returns 0 when k < 0 or k > n. The result
+// saturates at math.MaxInt64 if it would overflow.
+func Binomial(n, k int) int64 {
+	if k < 0 || k > n || n < 0 {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	z := new(big.Int).Binomial(int64(n), int64(k))
+	if !z.IsInt64() {
+		return math.MaxInt64
+	}
+	return z.Int64()
+}
+
+// Combinations calls fn with each k-subset of {0, 1, …, n−1} in
+// lexicographic order. The slice passed to fn is reused between calls; fn
+// must copy it if it retains it. Enumeration stops early if fn returns
+// false. It returns an error for invalid k.
+func Combinations(n, k int, fn func(indices []int) bool) error {
+	if k < 0 || n < 0 || k > n {
+		return fmt.Errorf("combin: invalid combination C(%d,%d)", n, k)
+	}
+	if k == 0 {
+		fn([]int{})
+		return nil
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		if !fn(idx) {
+			return nil
+		}
+		// Advance to the next combination in lexicographic order.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return nil
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// AllCombinations materializes every k-subset of {0,…,n−1} in lexicographic
+// order. Intended for small n; callers enumerating large spaces should use
+// Combinations directly.
+func AllCombinations(n, k int) ([][]int, error) {
+	count := Binomial(n, k)
+	if count > 1<<22 {
+		return nil, fmt.Errorf("combin: refusing to materialize %d combinations", count)
+	}
+	out := make([][]int, 0, count)
+	err := Combinations(n, k, func(idx []int) bool {
+		c := make([]int, len(idx))
+		copy(c, idx)
+		out = append(out, c)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Complement returns the elements of {0,…,n−1} not present in the sorted
+// index slice sub. sub must be strictly increasing and within range.
+func Complement(n int, sub []int) ([]int, error) {
+	out := make([]int, 0, n-len(sub))
+	j := 0
+	for i := 0; i < n; i++ {
+		if j < len(sub) && sub[j] == i {
+			j++
+			continue
+		}
+		out = append(out, i)
+	}
+	if j != len(sub) {
+		return nil, fmt.Errorf("combin: subset %v is not a sorted subset of 0..%d", sub, n-1)
+	}
+	return out, nil
+}
+
+// Partitions calls fn with each partition of {0,…,n−1} into exactly b
+// non-empty blocks. Blocks are presented in a canonical order (each block
+// holds ascending indices; blocks are ordered by their smallest member).
+// The outer and inner slices passed to fn are reused; copy to retain.
+// Enumeration stops early if fn returns false.
+//
+// The number of such partitions is the Stirling number S(n,b); this is only
+// tractable for small n and is used by the exhaustive Tverberg search and by
+// tests validating the fast paths.
+func Partitions(n, b int, fn func(blocks [][]int) bool) error {
+	if n < 0 || b < 1 || b > n {
+		return fmt.Errorf("combin: invalid partition of %d elements into %d blocks", n, b)
+	}
+	// assign[i] = block of element i, in restricted-growth form:
+	// assign[0] = 0 and assign[i] ≤ max(assign[:i]) + 1.
+	assign := make([]int, n)
+	blocks := make([][]int, b)
+	for i := range blocks {
+		blocks[i] = make([]int, 0, n)
+	}
+
+	var rec func(i, maxUsed int) bool
+	rec = func(i, maxUsed int) bool {
+		if i == n {
+			if maxUsed != b-1 {
+				return true // not all blocks used; skip
+			}
+			for j := range blocks {
+				blocks[j] = blocks[j][:0]
+			}
+			for e, blk := range assign {
+				blocks[blk] = append(blocks[blk], e)
+			}
+			return fn(blocks)
+		}
+		// Elements remaining must still be able to fill all b blocks.
+		limit := maxUsed + 1
+		if limit > b-1 {
+			limit = b - 1
+		}
+		for blk := 0; blk <= limit; blk++ {
+			assign[i] = blk
+			next := maxUsed
+			if blk > maxUsed {
+				next = blk
+			}
+			// Prune: blocks still unused must fit in remaining slots.
+			if (b - 1 - next) > (n - 1 - i) {
+				continue
+			}
+			if !rec(i+1, next) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(1, 0) // element 0 is always in block 0
+	return nil
+}

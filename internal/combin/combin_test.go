@@ -1,0 +1,275 @@
+package combin
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestBinomial(t *testing.T) {
+	tests := []struct {
+		n, k int
+		want int64
+	}{
+		{0, 0, 1},
+		{5, 0, 1},
+		{5, 5, 1},
+		{5, 2, 10},
+		{7, 5, 21}, // the paper's Γ(S) subset count for n=7, f=2
+		{10, 3, 120},
+		{5, 6, 0},
+		{5, -1, 0},
+		{-1, 0, 0},
+		{52, 26, 495918532948104},
+	}
+	for _, tt := range tests {
+		if got := Binomial(tt.n, tt.k); got != tt.want {
+			t.Errorf("Binomial(%d,%d) = %d, want %d", tt.n, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestBinomialSaturates(t *testing.T) {
+	if got := Binomial(300, 150); got != math.MaxInt64 {
+		t.Errorf("Binomial(300,150) = %d, want saturation", got)
+	}
+}
+
+func TestCombinationsOrderAndCount(t *testing.T) {
+	var got [][]int
+	err := Combinations(4, 2, func(idx []int) bool {
+		c := make([]int, len(idx))
+		copy(c, idx)
+		got = append(got, c)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Combinations(4,2) = %v, want %v", got, want)
+	}
+}
+
+func TestCombinationsCountsMatchBinomial(t *testing.T) {
+	for n := 0; n <= 9; n++ {
+		for k := 0; k <= n; k++ {
+			var count int64
+			if err := Combinations(n, k, func([]int) bool { count++; return true }); err != nil {
+				t.Fatalf("C(%d,%d): %v", n, k, err)
+			}
+			if want := Binomial(n, k); count != want {
+				t.Errorf("C(%d,%d): enumerated %d, binomial %d", n, k, count, want)
+			}
+		}
+	}
+}
+
+func TestCombinationsEarlyStop(t *testing.T) {
+	var count int
+	err := Combinations(6, 3, func([]int) bool {
+		count++
+		return count < 4
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 4 {
+		t.Errorf("stopped after %d calls, want 4", count)
+	}
+}
+
+func TestCombinationsInvalid(t *testing.T) {
+	if err := Combinations(3, 5, func([]int) bool { return true }); err == nil {
+		t.Error("k > n: expected error")
+	}
+	if err := Combinations(-1, 0, func([]int) bool { return true }); err == nil {
+		t.Error("n < 0: expected error")
+	}
+}
+
+func TestCombinationsZeroK(t *testing.T) {
+	calls := 0
+	if err := Combinations(5, 0, func(idx []int) bool {
+		calls++
+		if len(idx) != 0 {
+			t.Errorf("want empty combination, got %v", idx)
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("C(5,0) enumerated %d times, want 1", calls)
+	}
+}
+
+func TestAllCombinations(t *testing.T) {
+	got, err := AllCombinations(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Errorf("len = %d, want 10", len(got))
+	}
+	// Each must be strictly increasing and independent storage.
+	for _, c := range got {
+		for i := 1; i < len(c); i++ {
+			if c[i] <= c[i-1] {
+				t.Errorf("combination %v not increasing", c)
+			}
+		}
+	}
+	got[0][0] = 99
+	if got[1][0] == 99 {
+		t.Error("combinations share storage")
+	}
+}
+
+func TestAllCombinationsRefusesHuge(t *testing.T) {
+	if _, err := AllCombinations(60, 30); err == nil {
+		t.Error("expected refusal for huge enumeration")
+	}
+}
+
+func TestComplement(t *testing.T) {
+	got, err := Complement(5, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{0, 2, 4}) {
+		t.Errorf("Complement = %v", got)
+	}
+}
+
+func TestComplementFull(t *testing.T) {
+	got, err := Complement(3, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("Complement = %v, want empty", got)
+	}
+}
+
+func TestComplementEmptySubset(t *testing.T) {
+	got, err := Complement(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("Complement = %v", got)
+	}
+}
+
+func TestComplementInvalid(t *testing.T) {
+	if _, err := Complement(3, []int{5}); err == nil {
+		t.Error("out of range: expected error")
+	}
+	if _, err := Complement(3, []int{1, 1}); err == nil {
+		t.Error("duplicate: expected error")
+	}
+}
+
+// stirling computes S(n,b) by recurrence for cross-checking Partitions.
+func stirling(n, b int) int {
+	if n == 0 && b == 0 {
+		return 1
+	}
+	if n == 0 || b == 0 || b > n {
+		return 0
+	}
+	return b*stirling(n-1, b) + stirling(n-1, b-1)
+}
+
+func TestPartitionsCountsMatchStirling(t *testing.T) {
+	for n := 1; n <= 7; n++ {
+		for b := 1; b <= n; b++ {
+			count := 0
+			err := Partitions(n, b, func([][]int) bool { count++; return true })
+			if err != nil {
+				t.Fatalf("Partitions(%d,%d): %v", n, b, err)
+			}
+			if want := stirling(n, b); count != want {
+				t.Errorf("Partitions(%d,%d) = %d blocks, want S = %d", n, b, count, want)
+			}
+		}
+	}
+}
+
+func TestPartitionsBlocksAreValid(t *testing.T) {
+	n, b := 6, 3
+	seen := make(map[string]bool)
+	err := Partitions(n, b, func(blocks [][]int) bool {
+		// Every element exactly once; every block non-empty.
+		present := make([]bool, n)
+		key := ""
+		for _, blk := range blocks {
+			if len(blk) == 0 {
+				t.Fatal("empty block")
+			}
+			for _, e := range blk {
+				if present[e] {
+					t.Fatalf("element %d appears twice", e)
+				}
+				present[e] = true
+			}
+			key += "|"
+			for _, e := range blk {
+				key += string(rune('a' + e))
+			}
+		}
+		for e, p := range present {
+			if !p {
+				t.Fatalf("element %d missing", e)
+			}
+		}
+		if seen[key] {
+			t.Fatalf("duplicate partition %s", key)
+		}
+		seen[key] = true
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionsEarlyStop(t *testing.T) {
+	count := 0
+	if err := Partitions(6, 2, func([][]int) bool {
+		count++
+		return count < 3
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Errorf("stopped after %d, want 3", count)
+	}
+}
+
+func TestPartitionsInvalid(t *testing.T) {
+	if err := Partitions(3, 0, func([][]int) bool { return true }); err == nil {
+		t.Error("b=0: expected error")
+	}
+	if err := Partitions(2, 3, func([][]int) bool { return true }); err == nil {
+		t.Error("b>n: expected error")
+	}
+}
+
+func TestPartitionsSingle(t *testing.T) {
+	count := 0
+	if err := Partitions(1, 1, func(blocks [][]int) bool {
+		count++
+		if len(blocks) != 1 || len(blocks[0]) != 1 || blocks[0][0] != 0 {
+			t.Errorf("blocks = %v", blocks)
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Errorf("count = %d, want 1", count)
+	}
+}

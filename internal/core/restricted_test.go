@@ -1,0 +1,352 @@
+package core_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/geometry"
+	"repro/internal/sim"
+)
+
+func restrictedParams(n, f, d int, eps float64) core.Params {
+	return core.Params{
+		N: n, F: f, D: d,
+		Epsilon: eps,
+		Bounds:  geometry.UniformBox(d, 0, 1),
+	}
+}
+
+// runRestrictedSync executes the restricted synchronous algorithm.
+func runRestrictedSync(t *testing.T, params core.Params, inputs []geometry.Vector, byz map[int]sim.SyncNode) (*core.Execution, []*core.RestrictedSyncNode) {
+	t.Helper()
+	nodes := make([]sim.SyncNode, params.N)
+	impls := make([]*core.RestrictedSyncNode, params.N)
+	for i := 0; i < params.N; i++ {
+		if b, ok := byz[i]; ok {
+			nodes[i] = b
+			continue
+		}
+		nd, err := core.NewRestrictedSyncNode(params, sim.ProcID(i), inputs[i])
+		if err != nil {
+			t.Fatalf("NewRestrictedSyncNode(%d): %v", i, err)
+		}
+		impls[i] = nd
+		nodes[i] = nd
+	}
+	var roundCap int
+	for _, nd := range impls {
+		if nd != nil && nd.Rounds()+1 > roundCap {
+			roundCap = nd.Rounds() + 1
+		}
+	}
+	if _, err := sim.RunSync(nodes, roundCap); err != nil && !errors.Is(err, sim.ErrRoundCap) {
+		t.Fatalf("RunSync: %v", err)
+	}
+	// Byzantine nodes may run forever; only correct termination matters.
+	for i, nd := range impls {
+		if nd != nil && !nd.Done() {
+			t.Fatalf("correct node %d did not terminate", i)
+		}
+	}
+	ex := &core.Execution{D: params.D, F: params.F}
+	for i := 0; i < params.N; i++ {
+		o := core.Outcome{ID: i}
+		if impls[i] != nil {
+			o.Correct = true
+			o.Input = inputs[i]
+			dec, err := impls[i].Decision()
+			if err != nil {
+				t.Fatalf("node %d: %v", i, err)
+			}
+			o.Decision = dec
+		}
+		ex.Outcomes = append(ex.Outcomes, o)
+	}
+	return ex, impls
+}
+
+func TestRestrictedSyncAllCorrect(t *testing.T) {
+	params := restrictedParams(5, 1, 2, 0.2)
+	rng := rand.New(rand.NewSource(30))
+	inputs := boxInputs(rng, params.N, params.D, 0, 1)
+	ex, _ := runRestrictedSync(t, params, inputs, nil)
+	if err := ex.VerifyApprox(params.Epsilon, 1e-6); err != nil {
+		t.Fatalf("verification: %v", err)
+	}
+}
+
+func TestRestrictedSyncSilent(t *testing.T) {
+	// A silent process defaults to the all-0 vector at every receiver;
+	// the f-exclusion in Γ must absorb it.
+	params := restrictedParams(5, 1, 2, 0.2)
+	rng := rand.New(rand.NewSource(31))
+	inputs := boxInputs(rng, params.N, params.D, 0.5, 1)
+	ex, _ := runRestrictedSync(t, params, inputs, map[int]sim.SyncNode{0: adversary.SilentSync{}})
+	if err := ex.VerifyApprox(params.Epsilon, 1e-6); err != nil {
+		t.Fatalf("verification: %v", err)
+	}
+}
+
+func TestRestrictedSyncEquivocator(t *testing.T) {
+	params := restrictedParams(5, 1, 2, 0.2)
+	rng := rand.New(rand.NewSource(32))
+	inputs := boxInputs(rng, params.N, params.D, 0, 1)
+	rounds := 64
+	byz := adversary.NewStateEquivocator(params.N, rounds, 2, vec(0, 0), vec(1, 1))
+	ex, _ := runRestrictedSync(t, params, inputs, map[int]sim.SyncNode{3: byz})
+	if err := ex.VerifyApprox(params.Epsilon, 1e-6); err != nil {
+		t.Fatalf("verification: %v", err)
+	}
+}
+
+func TestRestrictedSyncLure(t *testing.T) {
+	params := restrictedParams(5, 1, 2, 0.1)
+	inputs := []geometry.Vector{
+		vec(0.4, 0.4), vec(0.5, 0.5), vec(0.6, 0.4), vec(0.5, 0.6), nil,
+	}
+	byz := adversary.NewStateLure(params.N, 256, vec(1, 1))
+	ex, _ := runRestrictedSync(t, params, inputs, map[int]sim.SyncNode{4: byz})
+	if err := ex.VerifyApprox(params.Epsilon, 1e-6); err != nil {
+		t.Fatalf("verification: %v", err)
+	}
+	for _, o := range ex.Outcomes {
+		if !o.Correct {
+			continue
+		}
+		for l, x := range o.Decision {
+			if x < 0.4-1e-6 || x > 0.6+1e-6 {
+				t.Errorf("process %d decision[%d] = %g lured outside correct range", o.ID, l, x)
+			}
+		}
+	}
+}
+
+func TestRestrictedSyncRandom(t *testing.T) {
+	params := restrictedParams(5, 1, 2, 0.2)
+	rng := rand.New(rand.NewSource(33))
+	inputs := boxInputs(rng, params.N, params.D, 0, 1)
+	byz := adversary.NewStateRandom(params.N, 256, geometry.UniformBox(params.D, -3, 3), rng)
+	ex, _ := runRestrictedSync(t, params, inputs, map[int]sim.SyncNode{2: byz})
+	if err := ex.VerifyApprox(params.Epsilon, 1e-6); err != nil {
+		t.Fatalf("verification: %v", err)
+	}
+}
+
+func TestRestrictedSyncContraction(t *testing.T) {
+	params := restrictedParams(5, 1, 2, 0.15)
+	rng := rand.New(rand.NewSource(34))
+	inputs := boxInputs(rng, params.N, params.D, 0, 1)
+	_, impls := runRestrictedSync(t, params, inputs, nil)
+	gamma := core.Gamma(core.VariantRestrictedSync, params.N, params.F, false)
+	var minLen int = -1
+	var hs [][]geometry.Vector
+	for _, nd := range impls {
+		h := nd.History()
+		hs = append(hs, h)
+		if minLen < 0 || len(h) < minLen {
+			minLen = len(h)
+		}
+	}
+	for round := 1; round < minLen; round++ {
+		prev := geometry.NewMultiset(params.D)
+		cur := geometry.NewMultiset(params.D)
+		for _, h := range hs {
+			if err := prev.Add(h[round-1]); err != nil {
+				t.Fatal(err)
+			}
+			if err := cur.Add(h[round]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ps, err := prev.SpreadInf()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, err := cur.SpreadInf()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs > (1-gamma)*ps+1e-9 {
+			t.Errorf("round %d: spread %g > (1−γ)·%g", round, cs, ps)
+		}
+	}
+}
+
+func TestRestrictedSyncValidation(t *testing.T) {
+	// n = (d+2)f is one short of the bound.
+	if _, err := core.NewRestrictedSyncNode(restrictedParams(4, 1, 2, 0.1), 0, vec(0, 0)); err == nil {
+		t.Error("n below bound: expected error")
+	}
+	nd, err := core.NewRestrictedSyncNode(restrictedParams(5, 1, 2, 0.1), 0, vec(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nd.Decision(); err == nil {
+		t.Error("expected not-terminated error")
+	}
+}
+
+// runRestrictedAsync executes the restricted asynchronous algorithm on the
+// discrete-event engine.
+func runRestrictedAsync(t *testing.T, params core.Params, inputs []geometry.Vector,
+	byz map[int]sim.Node, seed int64, delay sim.DelayModel) (*core.Execution, []*core.RestrictedAsyncNode) {
+	t.Helper()
+	nodes := make([]sim.Node, params.N)
+	impls := make([]*core.RestrictedAsyncNode, params.N)
+	for i := 0; i < params.N; i++ {
+		if b, ok := byz[i]; ok {
+			nodes[i] = b
+			continue
+		}
+		nd, err := core.NewRestrictedAsyncNode(params, sim.ProcID(i), inputs[i])
+		if err != nil {
+			t.Fatalf("NewRestrictedAsyncNode(%d): %v", i, err)
+		}
+		impls[i] = nd
+		nodes[i] = nd
+	}
+	eng, err := sim.NewEngine(sim.Config{N: params.N, Seed: seed, Delay: delay}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	ex := &core.Execution{D: params.D, F: params.F}
+	for i := 0; i < params.N; i++ {
+		o := core.Outcome{ID: i}
+		if impls[i] != nil {
+			o.Correct = true
+			o.Input = inputs[i]
+			dec, err := impls[i].Decision()
+			if err != nil {
+				t.Fatalf("node %d: %v", i, err)
+			}
+			o.Decision = dec
+		}
+		ex.Outcomes = append(ex.Outcomes, o)
+	}
+	return ex, impls
+}
+
+func TestRestrictedAsyncAllCorrect(t *testing.T) {
+	params := restrictedParams(7, 1, 2, 0.2) // (d+4)f+1 = 7
+	rng := rand.New(rand.NewSource(40))
+	inputs := boxInputs(rng, params.N, params.D, 0, 1)
+	ex, _ := runRestrictedAsync(t, params, inputs, nil, 41,
+		sim.UniformDelay{Min: time.Millisecond, Max: 20 * time.Millisecond})
+	if err := ex.VerifyApprox(params.Epsilon, 1e-6); err != nil {
+		t.Fatalf("verification: %v", err)
+	}
+}
+
+func TestRestrictedAsyncSilentByzantine(t *testing.T) {
+	params := restrictedParams(7, 1, 2, 0.2)
+	rng := rand.New(rand.NewSource(42))
+	inputs := boxInputs(rng, params.N, params.D, 0, 1)
+	ex, _ := runRestrictedAsync(t, params, inputs,
+		map[int]sim.Node{6: adversary.SilentAsync{}}, 43,
+		sim.UniformDelay{Min: time.Millisecond, Max: 10 * time.Millisecond})
+	if err := ex.VerifyApprox(params.Epsilon, 1e-6); err != nil {
+		t.Fatalf("verification: %v", err)
+	}
+}
+
+func TestRestrictedAsyncEquivocatingFlood(t *testing.T) {
+	// The Byzantine process floods per-recipient contradictory states for
+	// every round up front.
+	params := restrictedParams(7, 1, 2, 0.25)
+	rng := rand.New(rand.NewSource(44))
+	inputs := boxInputs(rng, params.N, params.D, 0, 1)
+	gamma := core.Gamma(core.VariantRestrictedAsync, params.N, params.F, false)
+	rounds := core.RoundBound(gamma, 1, params.Epsilon)
+	flood := &adversary.FuncAsync{
+		OnInit: func(api sim.API) {
+			for t := 1; t <= rounds; t++ {
+				for to := 0; to < params.N; to++ {
+					v := vec(0, 0)
+					if to%2 == 0 {
+						v = vec(1, 1)
+					}
+					api.Send(sim.ProcID(to), core.StateMsg{Round: t, Value: v})
+				}
+			}
+		},
+	}
+	ex, _ := runRestrictedAsync(t, params, inputs, map[int]sim.Node{3: flood}, 45,
+		sim.UniformDelay{Min: time.Millisecond, Max: 10 * time.Millisecond})
+	if err := ex.VerifyApprox(params.Epsilon, 1e-6); err != nil {
+		t.Fatalf("verification: %v", err)
+	}
+}
+
+func TestRestrictedAsyncAdversarialScheduling(t *testing.T) {
+	// The scheduler starves one correct process; the rest proceed without
+	// it (that is the point of waiting for only n−f−1 others), and the
+	// starved process still converges to within ε.
+	params := restrictedParams(7, 1, 2, 0.2)
+	rng := rand.New(rand.NewSource(46))
+	inputs := boxInputs(rng, params.N, params.D, 0, 1)
+	delay := sim.StarveSenders{
+		Inner: sim.ConstantDelay{D: time.Millisecond},
+		Slow:  map[sim.ProcID]bool{2: true},
+		Extra: 300 * time.Millisecond,
+	}
+	ex, _ := runRestrictedAsync(t, params, inputs, nil, 47, delay)
+	if err := ex.VerifyApprox(params.Epsilon, 1e-6); err != nil {
+		t.Fatalf("verification: %v", err)
+	}
+}
+
+func TestRestrictedAsyncScalar(t *testing.T) {
+	// d = 1: n ≥ 5f+1 = 6 — the classic Dolev et al. bound, recovered as
+	// the d = 1 case of Theorem 6.
+	params := restrictedParams(6, 1, 1, 0.1)
+	inputs := []geometry.Vector{vec(0), vec(0.2), vec(0.4), vec(0.6), vec(0.8), vec(1)}
+	ex, _ := runRestrictedAsync(t, params, inputs, nil, 48,
+		sim.ExponentialDelay{Mean: 3 * time.Millisecond})
+	if err := ex.VerifyApprox(params.Epsilon, 1e-6); err != nil {
+		t.Fatalf("verification: %v", err)
+	}
+}
+
+func TestRestrictedAsyncValidation(t *testing.T) {
+	// n = (d+4)f is one short.
+	if _, err := core.NewRestrictedAsyncNode(restrictedParams(6, 1, 2, 0.1), 0, vec(0, 0)); err == nil {
+		t.Error("n below bound: expected error")
+	}
+	nd, err := core.NewRestrictedAsyncNode(restrictedParams(7, 1, 2, 0.1), 0, vec(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nd.Decision(); err == nil {
+		t.Error("expected not-terminated error")
+	}
+}
+
+func TestRestrictedAsyncHistoryContracts(t *testing.T) {
+	params := restrictedParams(7, 1, 2, 0.2)
+	rng := rand.New(rand.NewSource(49))
+	inputs := boxInputs(rng, params.N, params.D, 0, 1)
+	_, impls := runRestrictedAsync(t, params, inputs, nil, 50,
+		sim.ConstantDelay{D: time.Millisecond})
+	// Spread across correct states must reach ≤ ε at the final round.
+	last := geometry.NewMultiset(params.D)
+	for _, nd := range impls {
+		h := nd.History()
+		if err := last.Add(h[len(h)-1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := last.SpreadInf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s > params.Epsilon {
+		t.Errorf("final spread %g > ε = %g", s, params.Epsilon)
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/geometry"
+	"repro/internal/hull"
+)
+
+// Outcome records one process's role and result in an execution.
+type Outcome struct {
+	ID      int
+	Correct bool
+	// Input is the process's input vector (meaningful for correct
+	// processes; Byzantine "inputs" are irrelevant to the conditions).
+	Input geometry.Vector
+	// Decision is the decided vector; nil for Byzantine processes and for
+	// correct processes that failed to decide (a termination violation).
+	Decision geometry.Vector
+}
+
+// Execution is a finished run to be checked against the problem
+// definitions of §1.
+type Execution struct {
+	D, F     int
+	Outcomes []Outcome
+}
+
+// Verification errors distinguishable with errors.Is.
+var (
+	ErrTermination  = errors.New("termination violated: a correct process did not decide")
+	ErrAgreement    = errors.New("agreement violated: correct processes decided differently")
+	ErrEpsAgreement = errors.New("ε-agreement violated: decisions differ by more than ε in some coordinate")
+	ErrValidity     = errors.New("validity violated: a decision lies outside the convex hull of correct inputs")
+)
+
+// correctOutcomes returns the outcomes of correct processes, validating
+// shapes as it goes.
+func (ex *Execution) correctOutcomes() ([]Outcome, error) {
+	var out []Outcome
+	for _, o := range ex.Outcomes {
+		if !o.Correct {
+			continue
+		}
+		if o.Input.Dim() != ex.D {
+			return nil, fmt.Errorf("core: process %d input dimension %d, want %d", o.ID, o.Input.Dim(), ex.D)
+		}
+		out = append(out, o)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("core: execution has no correct processes")
+	}
+	return out, nil
+}
+
+// VerifyTermination checks that every correct process decided.
+func (ex *Execution) VerifyTermination() error {
+	correct, err := ex.correctOutcomes()
+	if err != nil {
+		return err
+	}
+	for _, o := range correct {
+		if o.Decision == nil {
+			return fmt.Errorf("%w (process %d)", ErrTermination, o.ID)
+		}
+		if o.Decision.Dim() != ex.D {
+			return fmt.Errorf("core: process %d decision dimension %d, want %d", o.ID, o.Decision.Dim(), ex.D)
+		}
+	}
+	return nil
+}
+
+// VerifyAgreement checks the Exact BVC agreement condition: identical
+// decisions at all correct processes.
+func (ex *Execution) VerifyAgreement() error {
+	if err := ex.VerifyTermination(); err != nil {
+		return err
+	}
+	correct, err := ex.correctOutcomes()
+	if err != nil {
+		return err
+	}
+	first := correct[0]
+	for _, o := range correct[1:] {
+		if !o.Decision.Equal(first.Decision) {
+			return fmt.Errorf("%w: process %d decided %v, process %d decided %v",
+				ErrAgreement, first.ID, first.Decision, o.ID, o.Decision)
+		}
+	}
+	return nil
+}
+
+// VerifyEpsAgreement checks the approximate BVC ε-agreement condition:
+// per-coordinate difference at most eps between any two correct decisions.
+func (ex *Execution) VerifyEpsAgreement(eps float64) error {
+	if err := ex.VerifyTermination(); err != nil {
+		return err
+	}
+	correct, err := ex.correctOutcomes()
+	if err != nil {
+		return err
+	}
+	for i, a := range correct {
+		for _, b := range correct[i+1:] {
+			if d := a.Decision.DistInf(b.Decision); d > eps {
+				return fmt.Errorf("%w: processes %d and %d differ by %g > ε = %g",
+					ErrEpsAgreement, a.ID, b.ID, d, eps)
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyValidity checks that every correct decision lies in the convex hull
+// of the correct processes' inputs, within tolerance tol (hull.DefaultTol
+// if tol ≤ 0). This is the condition coordinate-wise consensus breaks.
+func (ex *Execution) VerifyValidity(tol float64) error {
+	if err := ex.VerifyTermination(); err != nil {
+		return err
+	}
+	correct, err := ex.correctOutcomes()
+	if err != nil {
+		return err
+	}
+	inputs := make([]geometry.Vector, len(correct))
+	for i, o := range correct {
+		inputs[i] = o.Input
+	}
+	for _, o := range correct {
+		in, err := hull.Contains(inputs, o.Decision, tol)
+		if err != nil {
+			return err
+		}
+		if !in {
+			return fmt.Errorf("%w: process %d decided %v", ErrValidity, o.ID, o.Decision)
+		}
+	}
+	return nil
+}
+
+// VerifyExact checks all three Exact BVC conditions.
+func (ex *Execution) VerifyExact(tol float64) error {
+	if err := ex.VerifyAgreement(); err != nil {
+		return err
+	}
+	return ex.VerifyValidity(tol)
+}
+
+// VerifyApprox checks all three approximate BVC conditions.
+func (ex *Execution) VerifyApprox(eps, tol float64) error {
+	if err := ex.VerifyEpsAgreement(eps); err != nil {
+		return err
+	}
+	return ex.VerifyValidity(tol)
+}

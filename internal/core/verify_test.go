@@ -1,0 +1,125 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func mkExec(d, f int, outcomes ...core.Outcome) *core.Execution {
+	return &core.Execution{D: d, F: f, Outcomes: outcomes}
+}
+
+func TestVerifyAgreementPasses(t *testing.T) {
+	ex := mkExec(2, 1,
+		core.Outcome{ID: 0, Correct: true, Input: vec(0, 0), Decision: vec(0.5, 0.5)},
+		core.Outcome{ID: 1, Correct: true, Input: vec(1, 1), Decision: vec(0.5, 0.5)},
+		core.Outcome{ID: 2, Correct: false},
+	)
+	if err := ex.VerifyAgreement(); err != nil {
+		t.Errorf("agreement should pass: %v", err)
+	}
+}
+
+func TestVerifyAgreementFails(t *testing.T) {
+	ex := mkExec(1, 0,
+		core.Outcome{ID: 0, Correct: true, Input: vec(0), Decision: vec(0)},
+		core.Outcome{ID: 1, Correct: true, Input: vec(1), Decision: vec(1)},
+	)
+	if err := ex.VerifyAgreement(); !errors.Is(err, core.ErrAgreement) {
+		t.Errorf("err = %v, want ErrAgreement", err)
+	}
+}
+
+func TestVerifyTermination(t *testing.T) {
+	ex := mkExec(1, 0,
+		core.Outcome{ID: 0, Correct: true, Input: vec(0), Decision: nil},
+	)
+	if err := ex.VerifyTermination(); !errors.Is(err, core.ErrTermination) {
+		t.Errorf("err = %v, want ErrTermination", err)
+	}
+	if err := ex.VerifyAgreement(); !errors.Is(err, core.ErrTermination) {
+		t.Errorf("agreement on undecided: err = %v, want ErrTermination", err)
+	}
+}
+
+func TestVerifyEpsAgreement(t *testing.T) {
+	ex := mkExec(2, 0,
+		core.Outcome{ID: 0, Correct: true, Input: vec(0, 0), Decision: vec(0.50, 0.50)},
+		core.Outcome{ID: 1, Correct: true, Input: vec(1, 1), Decision: vec(0.55, 0.45)},
+	)
+	if err := ex.VerifyEpsAgreement(0.1); err != nil {
+		t.Errorf("within ε: %v", err)
+	}
+	if err := ex.VerifyEpsAgreement(0.01); !errors.Is(err, core.ErrEpsAgreement) {
+		t.Errorf("err = %v, want ErrEpsAgreement", err)
+	}
+}
+
+func TestVerifyValidity(t *testing.T) {
+	// Decision on the segment between correct inputs: valid.
+	ex := mkExec(2, 1,
+		core.Outcome{ID: 0, Correct: true, Input: vec(0, 0), Decision: vec(0.5, 0.5)},
+		core.Outcome{ID: 1, Correct: true, Input: vec(1, 1), Decision: vec(0.5, 0.5)},
+		core.Outcome{ID: 2, Correct: false},
+	)
+	if err := ex.VerifyValidity(1e-9); err != nil {
+		t.Errorf("validity should pass: %v", err)
+	}
+	// Decision off the segment: invalid even if both agree.
+	bad := mkExec(2, 1,
+		core.Outcome{ID: 0, Correct: true, Input: vec(0, 0), Decision: vec(0.5, 0.6)},
+		core.Outcome{ID: 1, Correct: true, Input: vec(1, 1), Decision: vec(0.5, 0.6)},
+	)
+	if err := bad.VerifyValidity(1e-9); !errors.Is(err, core.ErrValidity) {
+		t.Errorf("err = %v, want ErrValidity", err)
+	}
+}
+
+func TestVerifyValidityIgnoresByzantineInputs(t *testing.T) {
+	// The Byzantine "input" must not enlarge the allowed hull.
+	ex := mkExec(1, 1,
+		core.Outcome{ID: 0, Correct: true, Input: vec(0), Decision: vec(0.9)},
+		core.Outcome{ID: 1, Correct: true, Input: vec(0.5), Decision: vec(0.9)},
+		core.Outcome{ID: 2, Correct: false, Input: vec(100)},
+	)
+	if err := ex.VerifyValidity(1e-9); !errors.Is(err, core.ErrValidity) {
+		t.Errorf("err = %v, want ErrValidity (0.9 outside [0, 0.5])", err)
+	}
+}
+
+func TestVerifyNoCorrectProcesses(t *testing.T) {
+	ex := mkExec(1, 1, core.Outcome{ID: 0, Correct: false})
+	if err := ex.VerifyTermination(); err == nil {
+		t.Error("expected error for zero correct processes")
+	}
+}
+
+func TestVerifyDimensionChecks(t *testing.T) {
+	ex := mkExec(2, 0,
+		core.Outcome{ID: 0, Correct: true, Input: vec(0), Decision: vec(0, 0)},
+	)
+	if err := ex.VerifyTermination(); err == nil {
+		t.Error("expected input-dimension error")
+	}
+	ex2 := mkExec(2, 0,
+		core.Outcome{ID: 0, Correct: true, Input: vec(0, 0), Decision: vec(0)},
+	)
+	if err := ex2.VerifyTermination(); err == nil {
+		t.Error("expected decision-dimension error")
+	}
+}
+
+func TestVerifyExactAndApproxCompose(t *testing.T) {
+	ex := mkExec(1, 0,
+		core.Outcome{ID: 0, Correct: true, Input: vec(0), Decision: vec(0.25)},
+		core.Outcome{ID: 1, Correct: true, Input: vec(1), Decision: vec(0.25)},
+	)
+	if err := ex.VerifyExact(1e-9); err != nil {
+		t.Errorf("VerifyExact: %v", err)
+	}
+	if err := ex.VerifyApprox(0.1, 1e-9); err != nil {
+		t.Errorf("VerifyApprox: %v", err)
+	}
+}

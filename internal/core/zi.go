@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/combin"
+	"repro/internal/geometry"
+	"repro/internal/safearea"
+)
+
+// tuple is one (origin, value) pair inside a B set; the restricted
+// algorithms and the AAD-based algorithm both reduce to this shape.
+type tuple struct {
+	origin int
+	value  geometry.Vector
+}
+
+// gammaPointOfSet computes the deterministic safe point of one candidate
+// set C: the tuples are canonicalized by origin id (so any two correct
+// processes holding the same set compute the identical multiset and hence
+// the identical point — the zij of Observation 2), then Γ(Φ(C))'s
+// deterministic point is returned.
+func gammaPointOfSet(set []tuple, f int, method safearea.Method) (geometry.Vector, error) {
+	if len(set) == 0 {
+		return nil, fmt.Errorf("core: empty candidate set")
+	}
+	sorted := make([]tuple, len(set))
+	copy(sorted, set)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].origin < sorted[j].origin })
+	ms := geometry.NewMultiset(sorted[0].value.Dim())
+	for _, tp := range sorted {
+		if err := ms.Add(tp.value); err != nil {
+			return nil, err
+		}
+	}
+	return safearea.PointWith(ms, f, method)
+}
+
+// averageGammaPoints computes Zi = {one safe point per candidate set} and
+// returns its average — eq. (9) of the paper — along with |Zi|.
+func averageGammaPoints(sets [][]tuple, f int, method safearea.Method) (geometry.Vector, int, error) {
+	if len(sets) == 0 {
+		return nil, 0, fmt.Errorf("core: no candidate sets")
+	}
+	points := make([]geometry.Vector, 0, len(sets))
+	for _, set := range sets {
+		pt, err := gammaPointOfSet(set, f, method)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: safe point of candidate set: %w", err)
+		}
+		points = append(points, pt)
+	}
+	avg, err := geometry.Mean(points)
+	if err != nil {
+		return nil, 0, err
+	}
+	return avg, len(points), nil
+}
+
+// subsetsOfSize enumerates every size-k subset of the given tuples — the
+// "for each C ⊆ Bi[t], |C| = n−f" loop of the paper's Step 2.
+func subsetsOfSize(tuples []tuple, k int) ([][]tuple, error) {
+	if k <= 0 || k > len(tuples) {
+		return nil, fmt.Errorf("core: subset size %d of %d tuples", k, len(tuples))
+	}
+	var out [][]tuple
+	err := combin.Combinations(len(tuples), k, func(idx []int) bool {
+		set := make([]tuple, k)
+		for i, j := range idx {
+			set[i] = tuples[j]
+		}
+		out = append(out, set)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,22 @@
+package geometry
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Key returns a canonical, bit-exact map key for v. Two vectors have equal
+// keys iff they are Equal (same dimension, identical float bits). The
+// broadcast protocols use keys to count votes for "the same value" — vote
+// counting must be exact, not tolerance-based, or a Byzantine process could
+// split or merge quorums with near-identical values.
+func Key(v Vector) string {
+	b := make([]byte, 8*len(v))
+	for i, x := range v {
+		if x == 0 {
+			x = 0 // collapse −0.0 onto +0.0 so Key agrees with Equal
+		}
+		binary.BigEndian.PutUint64(b[i*8:], math.Float64bits(x))
+	}
+	return string(b)
+}

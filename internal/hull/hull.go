@@ -1,0 +1,218 @@
+// Package hull answers convex-hull queries by reduction to linear
+// programming: membership of a point in the hull of a point multiset,
+// existence of a point common to several hulls, and deterministic selection
+// of the lexicographically minimal such point.
+//
+// These are exactly the geometric predicates the BVC algorithms need: the
+// validity condition is hull membership, and the safe area Γ(Y) is an
+// intersection of hulls (paper eq. (1)).
+package hull
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/geometry"
+	"repro/internal/lp"
+)
+
+// DefaultTol is the geometric tolerance used when callers pass tol ≤ 0.
+// Inputs in this repository are O(1) in magnitude, so an absolute tolerance
+// is appropriate.
+const DefaultTol = 1e-7
+
+// Contains reports whether z lies in the convex hull of points, within the
+// per-coordinate tolerance tol (DefaultTol if tol ≤ 0). It reduces to an LP
+// feasibility problem in the convex weights α.
+func Contains(points []geometry.Vector, z geometry.Vector, tol float64) (bool, error) {
+	if len(points) == 0 {
+		return false, errors.New("hull: membership in hull of empty set")
+	}
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	d := z.Dim()
+	for i, p := range points {
+		if p.Dim() != d {
+			return false, fmt.Errorf("hull: point %d has dimension %d, want %d", i, p.Dim(), d)
+		}
+	}
+
+	prob := lp.NewProblem()
+	alphas := make([]lp.VarID, len(points))
+	for i := range points {
+		v, err := prob.AddVar(fmt.Sprintf("a%d", i), 0, math.Inf(1))
+		if err != nil {
+			return false, err
+		}
+		alphas[i] = v
+	}
+	// Σ αᵢ = 1.
+	sum := make([]lp.Term, len(points))
+	for i, a := range alphas {
+		sum[i] = lp.Term{Var: a, Coeff: 1}
+	}
+	if err := prob.AddConstraint("sum", sum, lp.EQ, 1); err != nil {
+		return false, err
+	}
+	// |Σ αᵢ pᵢ[l] − z[l]| ≤ tol for each coordinate l.
+	for l := 0; l < d; l++ {
+		terms := make([]lp.Term, 0, len(points))
+		for i, a := range alphas {
+			if points[i][l] != 0 {
+				terms = append(terms, lp.Term{Var: a, Coeff: points[i][l]})
+			}
+		}
+		if err := prob.AddConstraint(fmt.Sprintf("lo%d", l), terms, lp.GE, z[l]-tol); err != nil {
+			return false, err
+		}
+		if err := prob.AddConstraint(fmt.Sprintf("hi%d", l), terms, lp.LE, z[l]+tol); err != nil {
+			return false, err
+		}
+	}
+	sol, err := prob.Solve()
+	if err != nil {
+		return false, err
+	}
+	return sol.Status == lp.Optimal, nil
+}
+
+// intersectionProblem builds the shared LP skeleton for hull-intersection
+// queries: free variables z[0..d), and for each group g convex weights
+// α_{g,i} ≥ 0 with Σ_i α_{g,i} = 1 and Σ_i α_{g,i}·groups[g][i] = z.
+// It returns the problem and the z variable ids.
+func intersectionProblem(groups [][]geometry.Vector) (*lp.Problem, []lp.VarID, error) {
+	if len(groups) == 0 {
+		return nil, nil, errors.New("hull: intersection of zero hulls")
+	}
+	if len(groups[0]) == 0 {
+		return nil, nil, errors.New("hull: group 0 is empty")
+	}
+	d := groups[0][0].Dim()
+
+	prob := lp.NewProblem()
+	zvars := make([]lp.VarID, d)
+	for l := 0; l < d; l++ {
+		v, err := prob.AddVar(fmt.Sprintf("z%d", l), math.Inf(-1), math.Inf(1))
+		if err != nil {
+			return nil, nil, err
+		}
+		zvars[l] = v
+	}
+	for g, pts := range groups {
+		if len(pts) == 0 {
+			return nil, nil, fmt.Errorf("hull: group %d is empty", g)
+		}
+		alphas := make([]lp.VarID, len(pts))
+		for i, p := range pts {
+			if p.Dim() != d {
+				return nil, nil, fmt.Errorf("hull: group %d point %d has dimension %d, want %d", g, i, p.Dim(), d)
+			}
+			v, err := prob.AddVar(fmt.Sprintf("a%d_%d", g, i), 0, math.Inf(1))
+			if err != nil {
+				return nil, nil, err
+			}
+			alphas[i] = v
+		}
+		sum := make([]lp.Term, len(pts))
+		for i, a := range alphas {
+			sum[i] = lp.Term{Var: a, Coeff: 1}
+		}
+		if err := prob.AddConstraint(fmt.Sprintf("sum%d", g), sum, lp.EQ, 1); err != nil {
+			return nil, nil, err
+		}
+		for l := 0; l < d; l++ {
+			terms := make([]lp.Term, 0, len(pts)+1)
+			for i, a := range alphas {
+				if pts[i][l] != 0 {
+					terms = append(terms, lp.Term{Var: a, Coeff: pts[i][l]})
+				}
+			}
+			terms = append(terms, lp.Term{Var: zvars[l], Coeff: -1})
+			if err := prob.AddConstraint(fmt.Sprintf("eq%d_%d", g, l), terms, lp.EQ, 0); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return prob, zvars, nil
+}
+
+// CommonPoint finds some point lying in every conv(groups[g]). The boolean
+// result reports whether the intersection is non-empty. The returned point is
+// deterministic for identical inputs (simplex pivoting is deterministic) but
+// otherwise unspecified; use LexMinCommonPoint when a canonical point is
+// required.
+func CommonPoint(groups [][]geometry.Vector) (geometry.Vector, bool, error) {
+	prob, zvars, err := intersectionProblem(groups)
+	if err != nil {
+		return nil, false, err
+	}
+	sol, err := prob.Solve()
+	if err != nil {
+		return nil, false, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, false, nil
+	}
+	return pointFrom(sol, zvars), true, nil
+}
+
+// LexMinCommonPoint finds the lexicographically minimal point of
+// ∩ conv(groups[g]) by solving d LPs: minimize z₁, pin it, minimize z₂, and
+// so on. This is the deterministic choice function used by the Exact BVC
+// algorithm (paper §2.2: "all non-faulty processes choose the point
+// identically using a deterministic function").
+func LexMinCommonPoint(groups [][]geometry.Vector) (geometry.Vector, bool, error) {
+	prob, zvars, err := intersectionProblem(groups)
+	if err != nil {
+		return nil, false, err
+	}
+	// The pinning slack keeps successive LPs feasible in floating point; it
+	// is deterministic, so all correct processes still agree exactly.
+	const pinSlack = 1e-9
+	var last *lp.Solution
+	for l := 0; l < len(zvars); l++ {
+		if err := prob.SetObjective(lp.Minimize, []lp.Term{{Var: zvars[l], Coeff: 1}}); err != nil {
+			return nil, false, err
+		}
+		sol, err := prob.Solve()
+		if err != nil {
+			return nil, false, err
+		}
+		if sol.Status == lp.Infeasible {
+			if l == 0 {
+				return nil, false, nil
+			}
+			return nil, false, fmt.Errorf("hull: lexmin stage %d infeasible after pinning", l)
+		}
+		if sol.Status != lp.Optimal {
+			return nil, false, fmt.Errorf("hull: lexmin stage %d status %v", l, sol.Status)
+		}
+		last = sol
+		if l < len(zvars)-1 {
+			pin := []lp.Term{{Var: zvars[l], Coeff: 1}}
+			if err := prob.AddConstraint(fmt.Sprintf("pin%d", l), pin, lp.LE, sol.Values[zvars[l]]+pinSlack); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+	return pointFrom(last, zvars), true, nil
+}
+
+// IntersectionEmpty reports whether ∩ conv(groups[g]) is empty.
+func IntersectionEmpty(groups [][]geometry.Vector) (bool, error) {
+	_, ok, err := CommonPoint(groups)
+	if err != nil {
+		return false, err
+	}
+	return !ok, nil
+}
+
+func pointFrom(sol *lp.Solution, zvars []lp.VarID) geometry.Vector {
+	out := geometry.NewVector(len(zvars))
+	for l, v := range zvars {
+		out[l] = sol.Values[v]
+	}
+	return out
+}

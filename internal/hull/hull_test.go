@@ -1,0 +1,316 @@
+package hull
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geometry"
+)
+
+func vec(xs ...float64) geometry.Vector { return geometry.Vector(xs) }
+
+func TestContainsTriangle(t *testing.T) {
+	tri := []geometry.Vector{vec(0, 0), vec(1, 0), vec(0, 1)}
+	tests := []struct {
+		name string
+		z    geometry.Vector
+		want bool
+	}{
+		{name: "centroid", z: vec(1.0/3, 1.0/3), want: true},
+		{name: "vertex", z: vec(0, 0), want: true},
+		{name: "edge midpoint", z: vec(0.5, 0.5), want: true},
+		{name: "outside", z: vec(0.6, 0.6), want: false},
+		{name: "far outside", z: vec(5, 5), want: false},
+		{name: "negative", z: vec(-0.1, 0.1), want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Contains(tri, tt.z, 0)
+			if err != nil {
+				t.Fatalf("Contains: %v", err)
+			}
+			if got != tt.want {
+				t.Errorf("Contains(%v) = %v, want %v", tt.z, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestContainsSinglePoint(t *testing.T) {
+	pts := []geometry.Vector{vec(2, 3)}
+	ok, err := Contains(pts, vec(2, 3), 0)
+	if err != nil || !ok {
+		t.Errorf("point should contain itself: ok=%v err=%v", ok, err)
+	}
+	ok, err = Contains(pts, vec(2, 3.1), 0)
+	if err != nil || ok {
+		t.Errorf("distinct point should not be contained: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestContainsSegment1D(t *testing.T) {
+	seg := []geometry.Vector{vec(-1), vec(3)}
+	for _, tt := range []struct {
+		z    float64
+		want bool
+	}{{-1, true}, {0, true}, {3, true}, {3.001, false}, {-1.001, false}} {
+		ok, err := Contains(seg, vec(tt.z), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != tt.want {
+			t.Errorf("Contains(%g) = %v, want %v", tt.z, ok, tt.want)
+		}
+	}
+}
+
+func TestContainsDuplicatePoints(t *testing.T) {
+	// Multiset semantics: duplicates are harmless.
+	pts := []geometry.Vector{vec(0, 0), vec(0, 0), vec(2, 2)}
+	ok, err := Contains(pts, vec(1, 1), 0)
+	if err != nil || !ok {
+		t.Errorf("midpoint of duplicated segment: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestContainsTolerance(t *testing.T) {
+	tri := []geometry.Vector{vec(0, 0), vec(1, 0), vec(0, 1)}
+	// Slightly outside but within a loose tolerance.
+	ok, err := Contains(tri, vec(-1e-6, 0.5), 1e-3)
+	if err != nil || !ok {
+		t.Errorf("tolerance should admit near-boundary point: ok=%v err=%v", ok, err)
+	}
+	ok, err = Contains(tri, vec(-1e-6, 0.5), 1e-9)
+	if err != nil || ok {
+		t.Errorf("tight tolerance should reject: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestContainsErrors(t *testing.T) {
+	if _, err := Contains(nil, vec(0), 0); err == nil {
+		t.Error("empty set: expected error")
+	}
+	if _, err := Contains([]geometry.Vector{vec(0, 0), vec(1)}, vec(0, 0), 0); err == nil {
+		t.Error("mixed dims: expected error")
+	}
+}
+
+func TestContainsHighDim(t *testing.T) {
+	// Standard simplex in R⁵: barycenter inside, outside point rejected.
+	d := 5
+	pts := make([]geometry.Vector, d+1)
+	pts[0] = geometry.NewVector(d)
+	for i := 1; i <= d; i++ {
+		p := geometry.NewVector(d)
+		p[i-1] = 1
+		pts[i] = p
+	}
+	center := geometry.NewVector(d)
+	for i := range center {
+		center[i] = 1 / float64(d+1)
+	}
+	ok, err := Contains(pts, center, 0)
+	if err != nil || !ok {
+		t.Errorf("barycenter: ok=%v err=%v", ok, err)
+	}
+	out := geometry.NewVector(d)
+	out[0] = 1.01
+	ok, err = Contains(pts, out, 0)
+	if err != nil || ok {
+		t.Errorf("outside point: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestCommonPointDisjoint(t *testing.T) {
+	g1 := []geometry.Vector{vec(0, 0), vec(1, 0)}
+	g2 := []geometry.Vector{vec(0, 1), vec(1, 1)}
+	_, ok, err := CommonPoint([][]geometry.Vector{g1, g2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("disjoint segments should have empty intersection")
+	}
+	empty, err := IntersectionEmpty([][]geometry.Vector{g1, g2})
+	if err != nil || !empty {
+		t.Errorf("IntersectionEmpty = %v, err=%v", empty, err)
+	}
+}
+
+func TestCommonPointCrossingSegments(t *testing.T) {
+	g1 := []geometry.Vector{vec(0, 0), vec(2, 2)}
+	g2 := []geometry.Vector{vec(0, 2), vec(2, 0)}
+	pt, ok, err := CommonPoint([][]geometry.Vector{g1, g2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("crossing segments must intersect")
+	}
+	if !pt.ApproxEqual(vec(1, 1), 1e-6) {
+		t.Errorf("intersection point = %v, want (1,1)", pt)
+	}
+}
+
+func TestCommonPointSharedVertex(t *testing.T) {
+	g1 := []geometry.Vector{vec(0, 0), vec(1, 0)}
+	g2 := []geometry.Vector{vec(1, 0), vec(2, 5)}
+	pt, ok, err := CommonPoint([][]geometry.Vector{g1, g2})
+	if err != nil || !ok {
+		t.Fatalf("shared vertex: ok=%v err=%v", ok, err)
+	}
+	if !pt.ApproxEqual(vec(1, 0), 1e-6) {
+		t.Errorf("point = %v, want (1,0)", pt)
+	}
+}
+
+func TestCommonPointThreeGroups(t *testing.T) {
+	// Three triangles all containing the origin.
+	mk := func(rot float64) []geometry.Vector {
+		out := make([]geometry.Vector, 3)
+		for k := 0; k < 3; k++ {
+			a := rot + 2*math.Pi*float64(k)/3
+			out[k] = vec(2*math.Cos(a), 2*math.Sin(a))
+		}
+		return out
+	}
+	groups := [][]geometry.Vector{mk(0), mk(0.4), mk(0.9)}
+	pt, ok, err := CommonPoint(groups)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	for g, pts := range groups {
+		in, err := Contains(pts, pt, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !in {
+			t.Errorf("common point %v not in group %d", pt, g)
+		}
+	}
+}
+
+func TestCommonPointSingleGroup(t *testing.T) {
+	pt, ok, err := CommonPoint([][]geometry.Vector{{vec(3, 4)}})
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if !pt.ApproxEqual(vec(3, 4), 1e-6) {
+		t.Errorf("point = %v", pt)
+	}
+}
+
+func TestCommonPointErrors(t *testing.T) {
+	if _, _, err := CommonPoint(nil); err == nil {
+		t.Error("no groups: expected error")
+	}
+	if _, _, err := CommonPoint([][]geometry.Vector{{}}); err == nil {
+		t.Error("empty group: expected error")
+	}
+	if _, _, err := CommonPoint([][]geometry.Vector{{vec(1)}, {}}); err == nil {
+		t.Error("empty later group: expected error")
+	}
+	if _, _, err := CommonPoint([][]geometry.Vector{{vec(1)}, {vec(1, 2)}}); err == nil {
+		t.Error("mixed dims: expected error")
+	}
+}
+
+func TestLexMinCommonPoint(t *testing.T) {
+	// Intersection of two overlapping squares [0,2]² and [1,3]² is [1,2]²;
+	// the lex-min point is (1,1).
+	sq := func(lo float64) []geometry.Vector {
+		return []geometry.Vector{vec(lo, lo), vec(lo+2, lo), vec(lo, lo+2), vec(lo+2, lo+2)}
+	}
+	pt, ok, err := LexMinCommonPoint([][]geometry.Vector{sq(0), sq(1)})
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if !pt.ApproxEqual(vec(1, 1), 1e-6) {
+		t.Errorf("lexmin = %v, want (1,1)", pt)
+	}
+}
+
+func TestLexMinCommonPointTieBreak(t *testing.T) {
+	// A vertical segment at x = 2: lex-min must pick the lower endpoint.
+	seg := []geometry.Vector{vec(2, 5), vec(2, -3)}
+	pt, ok, err := LexMinCommonPoint([][]geometry.Vector{seg})
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if !pt.ApproxEqual(vec(2, -3), 1e-6) {
+		t.Errorf("lexmin = %v, want (2,-3)", pt)
+	}
+}
+
+func TestLexMinCommonPointEmpty(t *testing.T) {
+	g1 := []geometry.Vector{vec(0)}
+	g2 := []geometry.Vector{vec(1)}
+	_, ok, err := LexMinCommonPoint([][]geometry.Vector{g1, g2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("disjoint points: expected empty")
+	}
+}
+
+func TestLexMinDeterminism(t *testing.T) {
+	groups := [][]geometry.Vector{
+		{vec(0, 0), vec(4, 0), vec(0, 4)},
+		{vec(1, 1), vec(5, 1), vec(1, 5)},
+		{vec(-1, 2), vec(3, 2), vec(1, -2)},
+	}
+	a, ok1, err1 := LexMinCommonPoint(groups)
+	b, ok2, err2 := LexMinCommonPoint(groups)
+	if err1 != nil || err2 != nil || !ok1 || !ok2 {
+		t.Fatalf("ok=%v/%v err=%v/%v", ok1, ok2, err1, err2)
+	}
+	if !a.Equal(b) {
+		t.Errorf("non-deterministic lexmin: %v vs %v", a, b)
+	}
+}
+
+// TestCommonPointAlwaysInAllHulls: random overlapping groups sharing a seed
+// point must yield a common point that membership-tests into every group.
+func TestCommonPointAlwaysInAllHulls(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		d := 1 + rng.Intn(3)
+		shared := geometry.NewVector(d)
+		for i := range shared {
+			shared[i] = rng.Float64()*4 - 2
+		}
+		ngroups := 2 + rng.Intn(3)
+		groups := make([][]geometry.Vector, ngroups)
+		for g := range groups {
+			k := 1 + rng.Intn(4)
+			pts := make([]geometry.Vector, 0, k+1)
+			pts = append(pts, shared.Clone())
+			for j := 0; j < k; j++ {
+				p := geometry.NewVector(d)
+				for i := range p {
+					p[i] = rng.Float64()*8 - 4
+				}
+				pts = append(pts, p)
+			}
+			groups[g] = pts
+		}
+		pt, ok, err := CommonPoint(groups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("trial %d: groups share %v but intersection empty", trial, shared)
+		}
+		for g, pts := range groups {
+			in, err := Contains(pts, pt, 1e-6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !in {
+				t.Fatalf("trial %d: common point %v not in group %d", trial, pt, g)
+			}
+		}
+	}
+}

@@ -1,0 +1,400 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs, plus a small modeling layer (named variables with bounds,
+// ≤ / ≥ / = rows, minimize or maximize objectives).
+//
+// The Byzantine vector consensus algorithms of Vaidya & Garg reduce their
+// geometric core to linear programming: testing whether a point lies in a
+// convex hull, testing whether the safe area Γ(Y) is empty, and selecting a
+// deterministic point inside Γ(Y) (paper §2.2 spells out the LP). This
+// package is that substrate, built only on the standard library.
+//
+// The solver uses Bland's anti-cycling rule, so it terminates on every input;
+// pivoting is deterministic, so identical problems yield bit-identical
+// solutions on every process — a property the consensus algorithms rely on
+// when all correct processes must select the same point.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense selects minimization or maximization of the objective.
+type Sense int
+
+// Objective senses.
+const (
+	Minimize Sense = iota + 1
+	Maximize
+)
+
+// Rel is a constraint relation.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota + 1 // Σ aᵢxᵢ ≤ rhs
+	GE                // Σ aᵢxᵢ ≥ rhs
+	EQ                // Σ aᵢxᵢ = rhs
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	default:
+		return fmt.Sprintf("Rel(%d)", int(r))
+	}
+}
+
+// Status reports the outcome of Solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota + 1
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// VarID identifies a variable within a Problem.
+type VarID int
+
+// Term is one coefficient·variable product in a linear expression.
+type Term struct {
+	Var   VarID
+	Coeff float64
+}
+
+// Problem is a linear program under construction. The zero value is not
+// usable; create problems with NewProblem.
+type Problem struct {
+	varLo    []float64
+	varHi    []float64
+	varNames []string
+
+	rows     [][]Term
+	rels     []Rel
+	rhs      []float64
+	rowNames []string
+
+	objSense Sense
+	obj      []Term
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status Status
+	// Objective is the optimal objective value in the problem's own sense.
+	// Meaningful only when Status == Optimal.
+	Objective float64
+	// Values holds the optimal value of each variable, indexed by VarID.
+	// Meaningful only when Status == Optimal.
+	Values []float64
+}
+
+// ErrNotSolved is returned when a solution accessor is used on a non-optimal
+// solution.
+var ErrNotSolved = errors.New("lp: problem has no optimal solution")
+
+// NewProblem returns an empty problem with a Minimize-zero objective.
+func NewProblem() *Problem {
+	return &Problem{objSense: Minimize}
+}
+
+// AddVar adds a variable with bounds lo ≤ x ≤ hi and returns its id. Use
+// math.Inf(-1) / math.Inf(1) for unbounded sides. NaN bounds or lo > hi are
+// rejected.
+func (p *Problem) AddVar(name string, lo, hi float64) (VarID, error) {
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		return 0, fmt.Errorf("lp: variable %q has NaN bound", name)
+	}
+	if lo > hi {
+		return 0, fmt.Errorf("lp: variable %q has lo=%g > hi=%g", name, lo, hi)
+	}
+	p.varLo = append(p.varLo, lo)
+	p.varHi = append(p.varHi, hi)
+	p.varNames = append(p.varNames, name)
+	return VarID(len(p.varLo) - 1), nil
+}
+
+// NumVars returns the number of variables added so far.
+func (p *Problem) NumVars() int { return len(p.varLo) }
+
+// NumRows returns the number of constraints added so far.
+func (p *Problem) NumRows() int { return len(p.rows) }
+
+// AddConstraint adds the row Σ termᵢ rel rhs.
+func (p *Problem) AddConstraint(name string, terms []Term, rel Rel, rhs float64) error {
+	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+		return fmt.Errorf("lp: constraint %q has non-finite rhs %g", name, rhs)
+	}
+	if rel != LE && rel != GE && rel != EQ {
+		return fmt.Errorf("lp: constraint %q has invalid relation", name)
+	}
+	for _, t := range terms {
+		if int(t.Var) < 0 || int(t.Var) >= len(p.varLo) {
+			return fmt.Errorf("lp: constraint %q references unknown variable %d", name, t.Var)
+		}
+		if math.IsNaN(t.Coeff) || math.IsInf(t.Coeff, 0) {
+			return fmt.Errorf("lp: constraint %q has non-finite coefficient", name)
+		}
+	}
+	row := make([]Term, len(terms))
+	copy(row, terms)
+	p.rows = append(p.rows, row)
+	p.rels = append(p.rels, rel)
+	p.rhs = append(p.rhs, rhs)
+	p.rowNames = append(p.rowNames, name)
+	return nil
+}
+
+// SetObjective replaces the objective with sense·Σ termᵢ.
+func (p *Problem) SetObjective(sense Sense, terms []Term) error {
+	if sense != Minimize && sense != Maximize {
+		return errors.New("lp: invalid objective sense")
+	}
+	for _, t := range terms {
+		if int(t.Var) < 0 || int(t.Var) >= len(p.varLo) {
+			return fmt.Errorf("lp: objective references unknown variable %d", t.Var)
+		}
+		if math.IsNaN(t.Coeff) || math.IsInf(t.Coeff, 0) {
+			return errors.New("lp: objective has non-finite coefficient")
+		}
+	}
+	p.objSense = sense
+	p.obj = make([]Term, len(terms))
+	copy(p.obj, terms)
+	return nil
+}
+
+// Solve standardizes the problem and runs two-phase simplex. A Solution with
+// Status Infeasible or Unbounded is returned without error; error indicates
+// a malformed problem or an internal failure (e.g. iteration cap).
+func (p *Problem) Solve() (*Solution, error) {
+	std, err := p.standardize()
+	if err != nil {
+		return nil, err
+	}
+	status, x, err := std.solve()
+	if err != nil {
+		return nil, err
+	}
+	sol := &Solution{Status: status}
+	if status != Optimal {
+		return sol, nil
+	}
+	sol.Values = std.recover(x)
+	var obj float64
+	for _, t := range p.obj {
+		obj += t.Coeff * sol.Values[t.Var]
+	}
+	sol.Objective = obj
+	return sol, nil
+}
+
+// standard is the standard-form program min c·y s.t. Ay = b, y ≥ 0, together
+// with the bookkeeping needed to map a standard-form solution back to the
+// original variables.
+type standard struct {
+	m, n int // rows, columns
+	a    [][]float64
+	b    []float64
+	c    []float64
+
+	// varMap describes how each original variable is represented:
+	// shifted (y = x − lo), mirrored (y = hi − x) or split (x = y⁺ − y⁻).
+	varMap []stdVar
+}
+
+type stdVar struct {
+	kind stdVarKind
+	col  int     // primary standard column
+	col2 int     // negative part for split variables
+	off  float64 // shift offset (lo) or mirror origin (hi)
+}
+
+type stdVarKind int
+
+const (
+	varShift  stdVarKind = iota + 1 // x = off + y
+	varMirror                       // x = off − y
+	varSplit                        // x = y − y2
+)
+
+// standardize converts the modeling-layer problem into standard form.
+func (p *Problem) standardize() (*standard, error) {
+	std := &standard{varMap: make([]stdVar, len(p.varLo))}
+
+	// Columns for original variables.
+	var cols int
+	for i := range p.varLo {
+		lo, hi := p.varLo[i], p.varHi[i]
+		switch {
+		case !math.IsInf(lo, -1):
+			std.varMap[i] = stdVar{kind: varShift, col: cols, off: lo}
+			cols++
+		case !math.IsInf(hi, 1):
+			// lo = −∞, hi finite: x = hi − y with y ≥ 0.
+			std.varMap[i] = stdVar{kind: varMirror, col: cols, off: hi}
+			cols++
+		default:
+			std.varMap[i] = stdVar{kind: varSplit, col: cols, col2: cols + 1}
+			cols += 2
+		}
+	}
+
+	type stdRow struct {
+		coeffs map[int]float64
+		rel    Rel
+		rhs    float64
+	}
+	var rows []stdRow
+
+	// Upper-bound rows for doubly-bounded shifted variables:
+	// y ≤ hi − lo.
+	for i := range p.varLo {
+		lo, hi := p.varLo[i], p.varHi[i]
+		if std.varMap[i].kind == varShift && !math.IsInf(hi, 1) && hi > lo {
+			rows = append(rows, stdRow{
+				coeffs: map[int]float64{std.varMap[i].col: 1},
+				rel:    LE,
+				rhs:    hi - lo,
+			})
+		}
+		// Fixed variables (lo == hi) become y = 0, enforced via an
+		// equality row so phase 1 sees them.
+		if std.varMap[i].kind == varShift && hi == lo {
+			rows = append(rows, stdRow{
+				coeffs: map[int]float64{std.varMap[i].col: 1},
+				rel:    EQ,
+				rhs:    0,
+			})
+		}
+	}
+
+	// Original constraint rows with substituted variables.
+	for r := range p.rows {
+		coeffs := make(map[int]float64)
+		rhs := p.rhs[r]
+		for _, t := range p.rows[r] {
+			v := std.varMap[t.Var]
+			switch v.kind {
+			case varShift:
+				coeffs[v.col] += t.Coeff
+				rhs -= t.Coeff * v.off
+			case varMirror:
+				coeffs[v.col] -= t.Coeff
+				rhs -= t.Coeff * v.off
+			case varSplit:
+				coeffs[v.col] += t.Coeff
+				coeffs[v.col2] -= t.Coeff
+			}
+		}
+		rows = append(rows, stdRow{coeffs: coeffs, rel: p.rels[r], rhs: rhs})
+	}
+
+	// Slack / surplus columns.
+	for i := range rows {
+		switch rows[i].rel {
+		case LE:
+			rows[i].coeffs[cols] = 1
+			cols++
+		case GE:
+			rows[i].coeffs[cols] = -1
+			cols++
+		}
+	}
+
+	std.m = len(rows)
+	std.n = cols
+	std.a = make([][]float64, std.m)
+	std.b = make([]float64, std.m)
+	for i, row := range rows {
+		std.a[i] = make([]float64, cols)
+		for c, v := range row.coeffs {
+			std.a[i][c] = v
+		}
+		std.b[i] = row.rhs
+		// Row equilibration: scale each row to unit max magnitude. This
+		// leaves the solution unchanged but keeps the absolute pivot and
+		// feasibility tolerances meaningful when constraint data spans
+		// orders of magnitude (e.g. honest values near 1 vs Byzantine
+		// values in the hundreds) — without it the simplex can stall or
+		// mis-declare optimality on such instances.
+		var scale float64
+		for _, v := range std.a[i] {
+			if av := math.Abs(v); av > scale {
+				scale = av
+			}
+		}
+		if scale > 0 && (scale > 4 || scale < 0.25) {
+			inv := 1 / scale
+			for c := range std.a[i] {
+				std.a[i][c] *= inv
+			}
+			std.b[i] *= inv
+		}
+		// Normalize to b ≥ 0 for phase 1.
+		if std.b[i] < 0 {
+			for c := range std.a[i] {
+				std.a[i][c] = -std.a[i][c]
+			}
+			std.b[i] = -std.b[i]
+		}
+	}
+
+	// Standard-form objective (always minimize).
+	std.c = make([]float64, cols)
+	sign := 1.0
+	if p.objSense == Maximize {
+		sign = -1
+	}
+	for _, t := range p.obj {
+		v := std.varMap[t.Var]
+		switch v.kind {
+		case varShift:
+			std.c[v.col] += sign * t.Coeff
+		case varMirror:
+			std.c[v.col] -= sign * t.Coeff
+		case varSplit:
+			std.c[v.col] += sign * t.Coeff
+			std.c[v.col2] -= sign * t.Coeff
+		}
+	}
+	return std, nil
+}
+
+// recover maps a standard-form solution vector back to original variables.
+func (s *standard) recover(y []float64) []float64 {
+	out := make([]float64, len(s.varMap))
+	for i, v := range s.varMap {
+		switch v.kind {
+		case varShift:
+			out[i] = v.off + y[v.col]
+		case varMirror:
+			out[i] = v.off - y[v.col]
+		case varSplit:
+			out[i] = y[v.col] - y[v.col2]
+		}
+	}
+	return out
+}

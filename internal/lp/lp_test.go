@@ -1,0 +1,621 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// mustVar adds a variable or fails the test.
+func mustVar(t *testing.T, p *Problem, name string, lo, hi float64) VarID {
+	t.Helper()
+	v, err := p.AddVar(name, lo, hi)
+	if err != nil {
+		t.Fatalf("AddVar(%s): %v", name, err)
+	}
+	return v
+}
+
+func solveOptimal(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	return sol
+}
+
+func TestSimpleMinimize(t *testing.T) {
+	// min x + y  s.t. x + y >= 2, x >= 0, y >= 0 → objective 2.
+	p := NewProblem()
+	x := mustVar(t, p, "x", 0, math.Inf(1))
+	y := mustVar(t, p, "y", 0, math.Inf(1))
+	if err := p.AddConstraint("c", []Term{{x, 1}, {y, 1}}, GE, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetObjective(Minimize, []Term{{x, 1}, {y, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOptimal(t, p)
+	if math.Abs(sol.Objective-2) > 1e-8 {
+		t.Errorf("objective = %g, want 2", sol.Objective)
+	}
+}
+
+func TestSimpleMaximize(t *testing.T) {
+	// max 3x + 2y  s.t. x + y <= 4, x + 3y <= 6, x,y >= 0 → x=4, y=0, obj=12.
+	p := NewProblem()
+	x := mustVar(t, p, "x", 0, math.Inf(1))
+	y := mustVar(t, p, "y", 0, math.Inf(1))
+	if err := p.AddConstraint("c1", []Term{{x, 1}, {y, 1}}, LE, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint("c2", []Term{{x, 1}, {y, 3}}, LE, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetObjective(Maximize, []Term{{x, 3}, {y, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOptimal(t, p)
+	if math.Abs(sol.Objective-12) > 1e-8 {
+		t.Errorf("objective = %g, want 12", sol.Objective)
+	}
+	if math.Abs(sol.Values[x]-4) > 1e-8 || math.Abs(sol.Values[y]) > 1e-8 {
+		t.Errorf("solution = (%g, %g), want (4, 0)", sol.Values[x], sol.Values[y])
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x >= 0, x <= -1 is infeasible.
+	p := NewProblem()
+	x := mustVar(t, p, "x", 0, math.Inf(1))
+	if err := p.AddConstraint("c", []Term{{x, 1}}, LE, -1); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestInfeasibleEqualities(t *testing.T) {
+	// x + y = 1, x + y = 2 is infeasible.
+	p := NewProblem()
+	x := mustVar(t, p, "x", 0, math.Inf(1))
+	y := mustVar(t, p, "y", 0, math.Inf(1))
+	if err := p.AddConstraint("c1", []Term{{x, 1}, {y, 1}}, EQ, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint("c2", []Term{{x, 1}, {y, 1}}, EQ, 2); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x, x >= 0 unconstrained above → unbounded.
+	p := NewProblem()
+	x := mustVar(t, p, "x", 0, math.Inf(1))
+	if err := p.SetObjective(Minimize, []Term{{x, -1}}); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestUnboundedWithConstraint(t *testing.T) {
+	// max x + y s.t. x − y <= 1: improving direction along x=y.
+	p := NewProblem()
+	x := mustVar(t, p, "x", 0, math.Inf(1))
+	y := mustVar(t, p, "y", 0, math.Inf(1))
+	if err := p.AddConstraint("c", []Term{{x, 1}, {y, -1}}, LE, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetObjective(Maximize, []Term{{x, 1}, {y, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestFreeVariable(t *testing.T) {
+	// min x s.t. x >= -5 encoded with a free variable and a GE row → −5.
+	p := NewProblem()
+	x := mustVar(t, p, "x", math.Inf(-1), math.Inf(1))
+	if err := p.AddConstraint("c", []Term{{x, 1}}, GE, -5); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetObjective(Minimize, []Term{{x, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOptimal(t, p)
+	if math.Abs(sol.Values[x]+5) > 1e-8 {
+		t.Errorf("x = %g, want -5", sol.Values[x])
+	}
+}
+
+func TestVariableBounds(t *testing.T) {
+	// max x with −2 ≤ x ≤ 3 → 3; min → −2.
+	for _, tt := range []struct {
+		sense Sense
+		want  float64
+	}{
+		{Maximize, 3},
+		{Minimize, -2},
+	} {
+		p := NewProblem()
+		x := mustVar(t, p, "x", -2, 3)
+		if err := p.SetObjective(tt.sense, []Term{{x, 1}}); err != nil {
+			t.Fatal(err)
+		}
+		sol := solveOptimal(t, p)
+		if math.Abs(sol.Values[x]-tt.want) > 1e-8 {
+			t.Errorf("sense %v: x = %g, want %g", tt.sense, sol.Values[x], tt.want)
+		}
+	}
+}
+
+func TestUpperBoundOnlyVariable(t *testing.T) {
+	// x ≤ 4 (lo = −∞): max x → 4.
+	p := NewProblem()
+	x := mustVar(t, p, "x", math.Inf(-1), 4)
+	if err := p.SetObjective(Maximize, []Term{{x, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOptimal(t, p)
+	if math.Abs(sol.Values[x]-4) > 1e-8 {
+		t.Errorf("x = %g, want 4", sol.Values[x])
+	}
+}
+
+func TestFixedVariable(t *testing.T) {
+	// lo == hi pins the variable.
+	p := NewProblem()
+	x := mustVar(t, p, "x", 2.5, 2.5)
+	y := mustVar(t, p, "y", 0, math.Inf(1))
+	if err := p.AddConstraint("c", []Term{{x, 1}, {y, 1}}, EQ, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetObjective(Minimize, []Term{{y, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOptimal(t, p)
+	if math.Abs(sol.Values[x]-2.5) > 1e-8 {
+		t.Errorf("x = %g, want 2.5", sol.Values[x])
+	}
+	if math.Abs(sol.Values[y]-1.5) > 1e-8 {
+		t.Errorf("y = %g, want 1.5", sol.Values[y])
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min y s.t. −x ≤ −3 (i.e. x ≥ 3), y ≥ x − 10 encoded as −x + y ≥ −10.
+	p := NewProblem()
+	x := mustVar(t, p, "x", 0, math.Inf(1))
+	y := mustVar(t, p, "y", 0, math.Inf(1))
+	if err := p.AddConstraint("c1", []Term{{x, -1}}, LE, -3); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint("c2", []Term{{x, -1}, {y, 1}}, GE, -10); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetObjective(Minimize, []Term{{y, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOptimal(t, p)
+	if sol.Values[x] < 3-1e-8 {
+		t.Errorf("x = %g, want >= 3", sol.Values[x])
+	}
+	if math.Abs(sol.Values[y]) > 1e-8 {
+		t.Errorf("y = %g, want 0", sol.Values[y])
+	}
+}
+
+func TestEqualitySystem(t *testing.T) {
+	// x + y = 3, x − y = 1 → x = 2, y = 1 (feasibility; zero objective).
+	p := NewProblem()
+	x := mustVar(t, p, "x", math.Inf(-1), math.Inf(1))
+	y := mustVar(t, p, "y", math.Inf(-1), math.Inf(1))
+	if err := p.AddConstraint("c1", []Term{{x, 1}, {y, 1}}, EQ, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint("c2", []Term{{x, 1}, {y, -1}}, EQ, 1); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOptimal(t, p)
+	if math.Abs(sol.Values[x]-2) > 1e-8 || math.Abs(sol.Values[y]-1) > 1e-8 {
+		t.Errorf("solution = (%g, %g), want (2, 1)", sol.Values[x], sol.Values[y])
+	}
+}
+
+func TestRedundantConstraints(t *testing.T) {
+	// Duplicate equality rows exercise the redundant-row neutralization in
+	// phase 1 → phase 2 transition.
+	p := NewProblem()
+	x := mustVar(t, p, "x", 0, math.Inf(1))
+	y := mustVar(t, p, "y", 0, math.Inf(1))
+	for i := 0; i < 3; i++ {
+		if err := p.AddConstraint("dup", []Term{{x, 1}, {y, 1}}, EQ, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.SetObjective(Minimize, []Term{{x, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOptimal(t, p)
+	if math.Abs(sol.Values[x]) > 1e-8 || math.Abs(sol.Values[y]-2) > 1e-8 {
+		t.Errorf("solution = (%g, %g), want (0, 2)", sol.Values[x], sol.Values[y])
+	}
+}
+
+func TestDegenerateProblem(t *testing.T) {
+	// A classic degenerate LP (multiple constraints active at the optimum);
+	// Bland's rule must terminate.
+	p := NewProblem()
+	x := mustVar(t, p, "x", 0, math.Inf(1))
+	y := mustVar(t, p, "y", 0, math.Inf(1))
+	z := mustVar(t, p, "z", 0, math.Inf(1))
+	cons := []struct {
+		terms []Term
+		rhs   float64
+	}{
+		{[]Term{{x, 0.5}, {y, -5.5}, {z, -2.5}}, 0},
+		{[]Term{{x, 0.5}, {y, -1.5}, {z, -0.5}}, 0},
+		{[]Term{{x, 1}}, 1},
+	}
+	for i, c := range cons {
+		if err := p.AddConstraint("c", c.terms, LE, c.rhs); err != nil {
+			t.Fatalf("c%d: %v", i, err)
+		}
+	}
+	if err := p.SetObjective(Maximize, []Term{{x, 10}, {y, -57}, {z, -9}}); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOptimal(t, p)
+	// Known optimum of this (Beale-like) instance family: x=1, y,z chosen
+	// to keep constraints tight; objective must be finite and ≥ 0.
+	if sol.Objective < -1e-8 {
+		t.Errorf("objective = %g, want >= 0", sol.Objective)
+	}
+}
+
+func TestZeroObjectiveFeasibility(t *testing.T) {
+	// Pure feasibility: a point in a triangle via convex weights.
+	p := NewProblem()
+	a := mustVar(t, p, "a", 0, math.Inf(1))
+	b := mustVar(t, p, "b", 0, math.Inf(1))
+	c := mustVar(t, p, "c", 0, math.Inf(1))
+	// Vertices (0,0), (1,0), (0,1); target (0.25, 0.25).
+	if err := p.AddConstraint("x", []Term{{b, 1}}, EQ, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint("y", []Term{{c, 1}}, EQ, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint("sum", []Term{{a, 1}, {b, 1}, {c, 1}}, EQ, 1); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOptimal(t, p)
+	if math.Abs(sol.Values[a]-0.5) > 1e-8 {
+		t.Errorf("a = %g, want 0.5", sol.Values[a])
+	}
+}
+
+func TestNoConstraintsUnbounded(t *testing.T) {
+	p := NewProblem()
+	x := mustVar(t, p, "x", 0, math.Inf(1))
+	if err := p.SetObjective(Maximize, []Term{{x, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestNoConstraintsOptimal(t *testing.T) {
+	p := NewProblem()
+	x := mustVar(t, p, "x", 0, math.Inf(1))
+	if err := p.SetObjective(Minimize, []Term{{x, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOptimal(t, p)
+	if sol.Values[x] != 0 {
+		t.Errorf("x = %g, want 0", sol.Values[x])
+	}
+}
+
+func TestAddVarErrors(t *testing.T) {
+	p := NewProblem()
+	if _, err := p.AddVar("bad", 2, 1); err == nil {
+		t.Error("lo > hi: expected error")
+	}
+	if _, err := p.AddVar("nan", math.NaN(), 1); err == nil {
+		t.Error("NaN bound: expected error")
+	}
+}
+
+func TestAddConstraintErrors(t *testing.T) {
+	p := NewProblem()
+	x := mustVar(t, p, "x", 0, 1)
+	if err := p.AddConstraint("bad-var", []Term{{VarID(9), 1}}, LE, 0); err == nil {
+		t.Error("unknown var: expected error")
+	}
+	if err := p.AddConstraint("bad-rhs", []Term{{x, 1}}, LE, math.Inf(1)); err == nil {
+		t.Error("infinite rhs: expected error")
+	}
+	if err := p.AddConstraint("bad-rel", []Term{{x, 1}}, Rel(0), 0); err == nil {
+		t.Error("invalid rel: expected error")
+	}
+	if err := p.AddConstraint("bad-coeff", []Term{{x, math.NaN()}}, LE, 0); err == nil {
+		t.Error("NaN coeff: expected error")
+	}
+}
+
+func TestSetObjectiveErrors(t *testing.T) {
+	p := NewProblem()
+	x := mustVar(t, p, "x", 0, 1)
+	if err := p.SetObjective(Sense(0), []Term{{x, 1}}); err == nil {
+		t.Error("invalid sense: expected error")
+	}
+	if err := p.SetObjective(Minimize, []Term{{VarID(7), 1}}); err == nil {
+		t.Error("unknown var: expected error")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "==" {
+		t.Error("Rel.String broken")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" {
+		t.Error("Status.String broken")
+	}
+	if Rel(99).String() == "" || Status(99).String() == "" {
+		t.Error("unknown values must still render")
+	}
+}
+
+// TestRandomFeasibilityAgainstBruteForce cross-checks LP feasibility of
+// random interval systems a ≤ x ≤ b ∧ c ≤ x ≤ d against the closed-form
+// answer.
+func TestRandomFeasibilityAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		a, b := rng.Float64()*10-5, rng.Float64()*10-5
+		c, d := rng.Float64()*10-5, rng.Float64()*10-5
+		if a > b {
+			a, b = b, a
+		}
+		if c > d {
+			c, d = d, c
+		}
+		p := NewProblem()
+		x, err := p.AddVar("x", math.Inf(-1), math.Inf(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, con := range []struct {
+			rel Rel
+			rhs float64
+		}{{GE, a}, {LE, b}, {GE, c}, {LE, d}} {
+			if err := p.AddConstraint("c", []Term{{x, 1}}, con.rel, con.rhs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantFeasible := math.Max(a, c) <= math.Min(b, d)+1e-12
+		gotFeasible := sol.Status == Optimal
+		if gotFeasible != wantFeasible {
+			t.Fatalf("trial %d: intervals [%g,%g] [%g,%g]: got %v want feasible=%v",
+				trial, a, b, c, d, sol.Status, wantFeasible)
+		}
+	}
+}
+
+// TestRandomLPsAgainstVertexEnumeration solves random small 2-D LPs and
+// cross-checks the optimum against brute-force vertex enumeration.
+func TestRandomLPsAgainstVertexEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 120; trial++ {
+		// Box 0 ≤ x,y ≤ 10 plus 3 random ≤ half-planes keeps it bounded.
+		type halfPlane struct{ a, b, rhs float64 }
+		hps := []halfPlane{
+			{1, 0, 10}, {0, 1, 10}, {-1, 0, 0}, {0, -1, 0},
+		}
+		for k := 0; k < 3; k++ {
+			hps = append(hps, halfPlane{
+				a:   rng.Float64()*4 - 2,
+				b:   rng.Float64()*4 - 2,
+				rhs: rng.Float64() * 8,
+			})
+		}
+		cx, cy := rng.Float64()*2-1, rng.Float64()*2-1
+
+		p := NewProblem()
+		x := mustVar(t, p, "x", math.Inf(-1), math.Inf(1))
+		y := mustVar(t, p, "y", math.Inf(-1), math.Inf(1))
+		for _, h := range hps {
+			if err := p.AddConstraint("h", []Term{{x, h.a}, {y, h.b}}, LE, h.rhs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := p.SetObjective(Maximize, []Term{{x, cx}, {y, cy}}); err != nil {
+			t.Fatal(err)
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Brute force: intersect every pair of boundary lines, keep feasible
+		// vertices, take the best objective.
+		best := math.Inf(-1)
+		feasibleFound := false
+		for i := 0; i < len(hps); i++ {
+			for j := i + 1; j < len(hps); j++ {
+				det := hps[i].a*hps[j].b - hps[j].a*hps[i].b
+				if math.Abs(det) < 1e-9 {
+					continue
+				}
+				vx := (hps[i].rhs*hps[j].b - hps[j].rhs*hps[i].b) / det
+				vy := (hps[i].a*hps[j].rhs - hps[j].a*hps[i].rhs) / det
+				ok := true
+				for _, h := range hps {
+					if h.a*vx+h.b*vy > h.rhs+1e-7 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					feasibleFound = true
+					if v := cx*vx + cy*vy; v > best {
+						best = v
+					}
+				}
+			}
+		}
+		if !feasibleFound {
+			// Origin region could still be feasible without 2 tight rows;
+			// skip the cross-check in that unlikely degenerate case.
+			continue
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v with feasible vertices", trial, sol.Status)
+		}
+		if math.Abs(sol.Objective-best) > 1e-6 {
+			t.Fatalf("trial %d: objective %g, brute force %g", trial, sol.Objective, best)
+		}
+	}
+}
+
+// TestDeterminism verifies that solving the identical problem twice yields
+// bit-identical results — the property consensus processes rely on.
+func TestDeterminism(t *testing.T) {
+	build := func() *Problem {
+		p := NewProblem()
+		x, _ := p.AddVar("x", math.Inf(-1), math.Inf(1))
+		y, _ := p.AddVar("y", 0, 5)
+		_ = p.AddConstraint("c1", []Term{{x, 1}, {y, 2}}, LE, 7)
+		_ = p.AddConstraint("c2", []Term{{x, 3}, {y, -1}}, GE, 1)
+		_ = p.SetObjective(Maximize, []Term{{x, 1}, {y, 1}})
+		return p
+	}
+	s1, err := build().Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := build().Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Status != s2.Status || s1.Objective != s2.Objective {
+		t.Fatal("non-deterministic status/objective")
+	}
+	for i := range s1.Values {
+		if s1.Values[i] != s2.Values[i] {
+			t.Fatalf("non-deterministic value[%d]: %g vs %g", i, s1.Values[i], s2.Values[i])
+		}
+	}
+}
+
+// TestBadlyScaledIntersection is a regression test for the row-equilibration
+// fix: constraint data spanning orders of magnitude (values near 1 vs
+// values in the hundreds) used to make the simplex mis-declare optimality.
+func TestBadlyScaledIntersection(t *testing.T) {
+	// Feasibility: z in [−7.1, −6.9] (tight rows) and z ≤ 540 (huge row),
+	// minimize z. Mixed magnitudes on one variable.
+	p := NewProblem()
+	z := mustVar(t, p, "z", math.Inf(-1), math.Inf(1))
+	if err := p.AddConstraint("lo", []Term{{z, 1}}, GE, -7.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint("hi", []Term{{z, 1}}, LE, -6.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint("huge", []Term{{z, 540}}, LE, 540*540); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetObjective(Minimize, []Term{{z, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOptimal(t, p)
+	if math.Abs(sol.Values[z]+7.1) > 1e-6 {
+		t.Errorf("z = %g, want -7.1", sol.Values[z])
+	}
+}
+
+// TestMixedMagnitudeConvexCombination reproduces the structure of the
+// gradient-aggregation failure: a target point expressible as a convex
+// combination of clustered small points, with two enormous outliers in the
+// candidate set.
+func TestMixedMagnitudeConvexCombination(t *testing.T) {
+	points := [][2]float64{
+		{-6.99947, 6.01334},
+		{-7.0819, 5.95616},
+		{-6.9863, 5.9543},
+		{540, 460},
+		{540, 460},
+	}
+	// Find weights putting the combination at the cluster centroid-ish
+	// target (-7.03, 5.97): the huge outliers must get ~0 weight.
+	p := NewProblem()
+	alphas := make([]VarID, len(points))
+	for i := range points {
+		alphas[i] = mustVar(t, p, "a", 0, math.Inf(1))
+	}
+	sum := make([]Term, len(points))
+	for i, a := range alphas {
+		sum[i] = Term{Var: a, Coeff: 1}
+	}
+	if err := p.AddConstraint("sum", sum, EQ, 1); err != nil {
+		t.Fatal(err)
+	}
+	for dim := 0; dim < 2; dim++ {
+		terms := make([]Term, len(points))
+		for i, a := range alphas {
+			terms[i] = Term{Var: a, Coeff: points[i][dim]}
+		}
+		target := []float64{-7.03, 5.97}[dim]
+		if err := p.AddConstraint("eq", terms, EQ, target); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sol := solveOptimal(t, p)
+	var recon [2]float64
+	for i, a := range alphas {
+		recon[0] += sol.Values[a] * points[i][0]
+		recon[1] += sol.Values[a] * points[i][1]
+	}
+	if math.Abs(recon[0]+7.03) > 1e-5 || math.Abs(recon[1]-5.97) > 1e-5 {
+		t.Errorf("reconstruction = %v, want (-7.03, 5.97)", recon)
+	}
+}

@@ -1,0 +1,119 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestWeakDualityOnRandomLPs: for feasible bounded random LPs
+// min c·x s.t. Ax ≥ b, x ≥ 0, any feasible point gives an objective ≥ the
+// reported optimum — checked against random feasible points built from the
+// optimal solution by inflation.
+func TestWeakDualityOnRandomLPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 150; trial++ {
+		nvars := 2 + rng.Intn(3)
+		nrows := 1 + rng.Intn(4)
+		p := NewProblem()
+		vars := make([]VarID, nvars)
+		for i := range vars {
+			v, err := p.AddVar("x", 0, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vars[i] = v
+		}
+		// Rows Σ a x ≥ b with a ≥ 0 and b small enough to keep the box
+		// feasible.
+		rows := make([][]float64, nrows)
+		rhs := make([]float64, nrows)
+		for r := 0; r < nrows; r++ {
+			terms := make([]Term, nvars)
+			rows[r] = make([]float64, nvars)
+			var rowMax float64
+			for i, v := range vars {
+				a := rng.Float64() * 3
+				rows[r][i] = a
+				rowMax += a * 10
+				terms[i] = Term{Var: v, Coeff: a}
+			}
+			rhs[r] = rng.Float64() * rowMax * 0.5
+			if err := p.AddConstraint("r", terms, GE, rhs[r]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		costs := make([]Term, nvars)
+		costVec := make([]float64, nvars)
+		for i, v := range vars {
+			c := rng.Float64() * 2
+			costVec[i] = c
+			costs[i] = Term{Var: v, Coeff: c}
+		}
+		if err := p.SetObjective(Minimize, costs); err != nil {
+			t.Fatal(err)
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v (box LP must be feasible+bounded)", trial, sol.Status)
+		}
+		// The optimum must satisfy every constraint.
+		for r := 0; r < nrows; r++ {
+			var lhs float64
+			for i, v := range vars {
+				lhs += rows[r][i] * sol.Values[v]
+			}
+			if lhs < rhs[r]-1e-6 {
+				t.Fatalf("trial %d: optimum infeasible: row %d %g < %g", trial, r, lhs, rhs[r])
+			}
+		}
+		// Inflated feasible points can only cost more (costs ≥ 0, rows
+		// monotone in x).
+		for k := 0; k < 5; k++ {
+			var alt float64
+			for i, v := range vars {
+				x := sol.Values[v] + rng.Float64()*(10-sol.Values[v])
+				alt += costVec[i] * x
+			}
+			if alt < sol.Objective-1e-6 {
+				t.Fatalf("trial %d: inflation beat the optimum: %g < %g", trial, alt, sol.Objective)
+			}
+		}
+	}
+}
+
+// TestScaleInvariance: multiplying all constraint rows of a feasibility
+// problem by a large constant must not change the verdict (this is what
+// row equilibration guarantees).
+func TestScaleInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 100; trial++ {
+		target := rng.Float64()*2 - 1
+		scale := math.Pow(10, float64(rng.Intn(7))-3) // 1e-3 … 1e3
+		build := func(s float64) *Problem {
+			p := NewProblem()
+			x, _ := p.AddVar("x", math.Inf(-1), math.Inf(1))
+			_ = p.AddConstraint("lo", []Term{{x, s}}, GE, s*(target-0.25))
+			_ = p.AddConstraint("hi", []Term{{x, s}}, LE, s*(target+0.25))
+			_ = p.SetObjective(Minimize, []Term{{x, 1}})
+			return p
+		}
+		plain, err := build(1).Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		scaled, err := build(scale).Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Status != scaled.Status {
+			t.Fatalf("trial %d: status %v vs %v at scale %g", trial, plain.Status, scaled.Status, scale)
+		}
+		if math.Abs(plain.Objective-scaled.Objective) > 1e-6 {
+			t.Fatalf("trial %d: objective %g vs %g at scale %g", trial, plain.Objective, scaled.Objective, scale)
+		}
+	}
+}

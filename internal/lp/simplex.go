@@ -1,0 +1,247 @@
+package lp
+
+import (
+	"errors"
+	"math"
+)
+
+// Numerical tolerances for the simplex pivot loop. Problem data in this
+// repository is O(1) in magnitude (consensus inputs live in known boxes), so
+// absolute tolerances suffice.
+const (
+	pivotEps    = 1e-9  // minimum magnitude of a usable pivot element
+	reducedEps  = 1e-9  // reduced cost below −reducedEps means "improving"
+	feasEps     = 1e-7  // phase-1 objective above feasEps means infeasible
+	maxItFactor = 200   // iteration cap: maxItFactor · (m + n) per phase
+	minIters    = 10000 // floor for the iteration cap on tiny problems
+)
+
+// errIterationCap is reported if simplex fails to terminate within the cap.
+// With Bland's rule this indicates severe numerical trouble, not cycling.
+var errIterationCap = errors.New("lp: simplex iteration cap exceeded")
+
+// solve runs two-phase simplex on the standard-form program and returns the
+// status and, when Optimal, the full standard-form solution vector.
+func (s *standard) solve() (Status, []float64, error) {
+	m, n := s.m, s.n
+	if m == 0 {
+		// No constraints: optimum is 0 for all variables unless some cost is
+		// negative, in which case the problem is unbounded below.
+		for _, cj := range s.c {
+			if cj < -reducedEps {
+				return Unbounded, nil, nil
+			}
+		}
+		return Optimal, make([]float64, n), nil
+	}
+
+	// Tableau with one artificial column per row: T is m×(n+m+1); column
+	// n+m holds b. Basis starts as the artificials.
+	width := n + m + 1
+	t := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		t[i] = make([]float64, width)
+		copy(t[i], s.a[i])
+		t[i][n+i] = 1
+		t[i][width-1] = s.b[i]
+	}
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + i
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	phase1Cost := make([]float64, n+m)
+	for j := n; j < n+m; j++ {
+		phase1Cost[j] = 1
+	}
+	if err := simplexLoop(t, basis, phase1Cost, n+m); err != nil {
+		if errors.Is(err, errUnboundedPivot) {
+			// Phase 1 is bounded below by 0; an unbounded signal here is a
+			// numerical failure.
+			return 0, nil, errIterationCap
+		}
+		return 0, nil, err
+	}
+	var p1obj float64
+	for i, bi := range basis {
+		if bi >= n {
+			p1obj += t[i][width-1]
+		}
+	}
+	if p1obj > feasEps {
+		return Infeasible, nil, nil
+	}
+
+	// Drive residual artificials out of the basis. A basic artificial at
+	// value 0 either pivots out on some structural column or its row is
+	// redundant (all structural entries ~0) and is neutralized.
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < n; j++ {
+			if math.Abs(t[i][j]) > pivotEps {
+				pivot(t, basis, i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row: zero it so it can never constrain a pivot.
+			for j := range t[i] {
+				t[i][j] = 0
+			}
+			t[i][n+i] = 1 // keep the artificial basic in a null row
+		}
+	}
+
+	// Phase 2: original costs; artificial columns are barred by +∞-like
+	// cost treatment (simplexLoop only considers columns < limit).
+	phase2Cost := make([]float64, n+m)
+	copy(phase2Cost, s.c)
+	if err := simplexLoop(t, basis, phase2Cost, n); err != nil {
+		if errors.Is(err, errUnboundedPivot) {
+			return Unbounded, nil, nil
+		}
+		return 0, nil, err
+	}
+
+	x := make([]float64, n)
+	for i, bi := range basis {
+		if bi < n {
+			x[bi] = t[i][width-1]
+		}
+	}
+	return Optimal, x, nil
+}
+
+// errUnboundedPivot signals an improving column with no blocking row.
+var errUnboundedPivot = errors.New("lp: unbounded pivot direction")
+
+// simplexLoop runs primal simplex pivots on tableau t with the given basic
+// cost vector until no improving column below `limit` exists.
+//
+// Pivoting uses Dantzig's rule (most negative reduced cost) for speed, and
+// falls back to Bland's rule (lowest improving index — provably acyclic)
+// whenever the objective has stalled for stallLimit consecutive iterations,
+// switching back once progress resumes. This combination is fast on the
+// highly degenerate hull-intersection programs this repository generates
+// while remaining termination-safe.
+func simplexLoop(t [][]float64, basis []int, cost []float64, limit int) error {
+	m := len(t)
+	if m == 0 {
+		return nil
+	}
+	width := len(t[0])
+	maxIters := maxItFactor * (m + width)
+	if maxIters < minIters {
+		maxIters = minIters
+	}
+	const stallLimit = 30
+
+	// Maintain the simplex multipliers y_i = c_{basis[i]} implicitly: the
+	// reduced cost of column j is r_j = c_j − Σ_i c_{basis[i]}·t[i][j].
+	reduced := func(j int) float64 {
+		r := cost[j]
+		for i := 0; i < m; i++ {
+			cb := cost[basis[i]]
+			if cb != 0 && t[i][j] != 0 {
+				r -= cb * t[i][j]
+			}
+		}
+		return r
+	}
+	objective := func() float64 {
+		var v float64
+		for i := 0; i < m; i++ {
+			if cb := cost[basis[i]]; cb != 0 {
+				v += cb * t[i][width-1]
+			}
+		}
+		return v
+	}
+
+	stall := 0
+	lastObj := objective()
+	for iter := 0; iter < maxIters; iter++ {
+		blandMode := stall >= stallLimit
+		enter := -1
+		if blandMode {
+			for j := 0; j < limit; j++ {
+				if reduced(j) < -reducedEps {
+					enter = j // Bland: first improving index
+					break
+				}
+			}
+		} else {
+			best := -reducedEps
+			for j := 0; j < limit; j++ {
+				if r := reduced(j); r < best {
+					best = r
+					enter = j // Dantzig: most improving index
+				}
+			}
+		}
+		if enter < 0 {
+			return nil // optimal for this phase
+		}
+
+		// Ratio test; in Bland mode ties break toward the lowest basis
+		// index (required for the anti-cycling guarantee).
+		leave := -1
+		var bestRatio float64
+		for i := 0; i < m; i++ {
+			if t[i][enter] > pivotEps {
+				ratio := t[i][width-1] / t[i][enter]
+				switch {
+				case leave < 0 || ratio < bestRatio-pivotEps:
+					leave = i
+					bestRatio = ratio
+				case math.Abs(ratio-bestRatio) <= pivotEps && basis[i] < basis[leave]:
+					leave = i
+					bestRatio = ratio
+				}
+			}
+		}
+		if leave < 0 {
+			return errUnboundedPivot
+		}
+		pivot(t, basis, leave, enter)
+
+		obj := objective()
+		if obj < lastObj-reducedEps {
+			stall = 0
+			lastObj = obj
+		} else {
+			stall++
+		}
+	}
+	return errIterationCap
+}
+
+// pivot performs a Gauss-Jordan pivot on t[row][col] and updates the basis.
+func pivot(t [][]float64, basis []int, row, col int) {
+	width := len(t[row])
+	p := t[row][col]
+	inv := 1 / p
+	for j := 0; j < width; j++ {
+		t[row][j] *= inv
+	}
+	t[row][col] = 1 // exact
+	for i := range t {
+		if i == row {
+			continue
+		}
+		factor := t[i][col]
+		if factor == 0 {
+			continue
+		}
+		for j := 0; j < width; j++ {
+			t[i][j] -= factor * t[row][j]
+		}
+		t[i][col] = 0 // exact
+	}
+	basis[row] = col
+}

@@ -1,0 +1,201 @@
+// Package runtime hosts event-driven consensus nodes (sim.Node) on live
+// transports: each Host runs one node, pumping messages from its transport
+// endpoint into the node's OnMessage handler until the node halts or the
+// context is cancelled. This is the bridge between the deterministic
+// simulator used by tests/benchmarks and real deployments (in-process
+// goroutine meshes or TCP clusters).
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// Host runs one node over one transport endpoint.
+type Host struct {
+	id    sim.ProcID
+	n     int
+	tr    transport.Transport
+	node  sim.Node
+	api   *liveAPI
+	start time.Time
+}
+
+// NewHost creates a host for process id (of n total) running node over tr.
+// The seed feeds the node's PRNG stream.
+func NewHost(id, n int, tr transport.Transport, node sim.Node, seed int64) (*Host, error) {
+	if id < 0 || id >= n {
+		return nil, fmt.Errorf("runtime: id %d out of range [0,%d)", id, n)
+	}
+	if tr == nil || node == nil {
+		return nil, errors.New("runtime: nil transport or node")
+	}
+	h := &Host{id: sim.ProcID(id), n: n, tr: tr, node: node, start: time.Now()}
+	h.api = &liveAPI{host: h, rng: rand.New(rand.NewSource(seed ^ (0x9e3779b9 * int64(id+1))))}
+	return h, nil
+}
+
+// Run initializes the node and pumps messages until the node halts, the
+// context is cancelled, or the transport fails. It returns nil on a clean
+// halt and the first transport/protocol error otherwise.
+func (h *Host) Run(ctx context.Context) error {
+	type recvResult struct {
+		from    int
+		payload any
+		err     error
+	}
+	recvCh := make(chan recvResult)
+	pumpCtx, cancel := context.WithCancel(ctx)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			from, payload, err := h.tr.Recv()
+			select {
+			case recvCh <- recvResult{from: from, payload: payload, err: err}:
+				if err != nil {
+					return
+				}
+			case <-pumpCtx.Done():
+				return
+			}
+		}
+	}()
+	// The pump goroutine blocks either in Recv (unblocked by closing the
+	// transport) or on the recvCh send (unblocked by cancelling pumpCtx);
+	// both must happen before waiting for it.
+	defer func() {
+		cancel()
+		_ = h.tr.Close()
+		wg.Wait()
+	}()
+
+	h.node.Init(h.api)
+	if err := h.api.takeErr(); err != nil {
+		return err
+	}
+	for !h.api.halted() {
+		select {
+		case r := <-recvCh:
+			if r.err != nil {
+				if errors.Is(r.err, transport.ErrClosed) {
+					return nil
+				}
+				return r.err
+			}
+			h.node.OnMessage(h.api, sim.ProcID(r.from), r.payload)
+			if err := h.api.takeErr(); err != nil {
+				return err
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// liveAPI implements sim.API over a transport. Send errors cannot be
+// returned through the API, so the first one is latched and surfaced by the
+// host loop; sends to closed peers are tolerated (a halted peer looks like
+// a crashed process, which the protocols handle by design).
+type liveAPI struct {
+	host *Host
+	rng  *rand.Rand
+
+	mu   sync.Mutex
+	done bool
+	err  error
+}
+
+var _ sim.API = (*liveAPI)(nil)
+
+func (a *liveAPI) ID() sim.ProcID { return a.host.id }
+
+func (a *liveAPI) N() int { return a.host.n }
+
+func (a *liveAPI) Send(to sim.ProcID, msg sim.Message) {
+	err := a.host.tr.Send(int(to), msg)
+	if err != nil && !errors.Is(err, transport.ErrPeerClosed) {
+		a.mu.Lock()
+		if a.err == nil {
+			a.err = fmt.Errorf("runtime: send to %d: %w", to, err)
+		}
+		a.mu.Unlock()
+	}
+}
+
+func (a *liveAPI) Broadcast(msg sim.Message) {
+	for to := 0; to < a.host.n; to++ {
+		a.Send(sim.ProcID(to), msg)
+	}
+}
+
+func (a *liveAPI) Halt() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.done = true
+}
+
+func (a *liveAPI) Rand() *rand.Rand { return a.rng }
+
+func (a *liveAPI) Now() time.Duration { return time.Since(a.host.start) }
+
+func (a *liveAPI) halted() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.done
+}
+
+func (a *liveAPI) takeErr() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	err := a.err
+	a.err = nil
+	return err
+}
+
+// RunCluster is a convenience for tests and examples: it builds an
+// in-process network of len(nodes) endpoints, hosts each node on its own
+// goroutine, and waits for all hosts to finish. It returns the first host
+// error.
+func RunCluster(ctx context.Context, nodes []sim.Node, seed int64) error {
+	trs, err := transport.NewInProcNetwork(len(nodes))
+	if err != nil {
+		return err
+	}
+	hosts := make([]*Host, len(nodes))
+	for i, nd := range nodes {
+		h, err := NewHost(i, len(nodes), trs[i], nd, seed)
+		if err != nil {
+			return err
+		}
+		hosts[i] = h
+	}
+	errCh := make(chan error, len(hosts))
+	var wg sync.WaitGroup
+	for _, h := range hosts {
+		h := h
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errCh <- h.Run(ctx)
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

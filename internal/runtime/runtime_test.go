@@ -1,0 +1,247 @@
+package runtime
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// gossipNode broadcasts its id once and halts after hearing from everyone.
+type gossipNode struct {
+	mu    sync.Mutex
+	heard map[sim.ProcID]bool
+}
+
+func (g *gossipNode) Init(api sim.API) {
+	g.heard = make(map[sim.ProcID]bool)
+	api.Broadcast(int(api.ID()))
+}
+
+func (g *gossipNode) OnMessage(api sim.API, from sim.ProcID, msg sim.Message) {
+	g.mu.Lock()
+	g.heard[from] = true
+	n := len(g.heard)
+	g.mu.Unlock()
+	if n == api.N() {
+		api.Halt()
+	}
+}
+
+func TestRunClusterGossip(t *testing.T) {
+	const n = 5
+	nodes := make([]sim.Node, n)
+	impls := make([]*gossipNode, n)
+	for i := range nodes {
+		impls[i] = &gossipNode{}
+		nodes[i] = impls[i]
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := RunCluster(ctx, nodes, 42); err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range impls {
+		if len(g.heard) != n {
+			t.Errorf("node %d heard %d of %d", i, len(g.heard), n)
+		}
+	}
+}
+
+func TestNewHostValidation(t *testing.T) {
+	trs, err := transport.NewInProcNetwork(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewHost(5, 1, trs[0], &gossipNode{}, 0); err == nil {
+		t.Error("bad id: expected error")
+	}
+	if _, err := NewHost(0, 1, nil, &gossipNode{}, 0); err == nil {
+		t.Error("nil transport: expected error")
+	}
+	if _, err := NewHost(0, 1, trs[0], nil, 0); err == nil {
+		t.Error("nil node: expected error")
+	}
+}
+
+// haltImmediately halts in Init.
+type haltImmediately struct{}
+
+func (haltImmediately) Init(api sim.API)                           { api.Halt() }
+func (haltImmediately) OnMessage(sim.API, sim.ProcID, sim.Message) {}
+
+func TestHostCleanHalt(t *testing.T) {
+	trs, err := transport.NewInProcNetwork(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHost(0, 1, trs[0], haltImmediately{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := h.Run(ctx); err != nil {
+		t.Errorf("clean halt returned %v", err)
+	}
+}
+
+// neverHalts waits forever.
+type neverHalts struct{}
+
+func (neverHalts) Init(sim.API)                               {}
+func (neverHalts) OnMessage(sim.API, sim.ProcID, sim.Message) {}
+
+func TestHostContextCancel(t *testing.T) {
+	trs, err := transport.NewInProcNetwork(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHost(0, 1, trs[0], neverHalts{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = h.Run(ctx)
+	if err == nil {
+		t.Error("cancelled run should return the context error")
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Error("Run did not return promptly on cancellation")
+	}
+}
+
+// lateSender keeps sending to peer 1 even after the peer halted; the host
+// must tolerate ErrPeerClosed.
+type lateSender struct {
+	sent int
+}
+
+func (l *lateSender) Init(api sim.API) {
+	api.Send(1, "first")
+}
+
+func (l *lateSender) OnMessage(api sim.API, from sim.ProcID, msg sim.Message) {
+	l.sent++
+	if l.sent >= 5 {
+		api.Halt()
+		return
+	}
+	// Peer may already be gone; this must not error the host.
+	api.Send(1, "again")
+	api.Send(0, "loop") // keep ourselves alive
+}
+
+// oneShot halts after the first message.
+type oneShot struct{}
+
+func (oneShot) Init(sim.API)                                       {}
+func (oneShot) OnMessage(api sim.API, _ sim.ProcID, _ sim.Message) { api.Halt() }
+
+func TestHostToleratesHaltedPeers(t *testing.T) {
+	trs, err := transport.NewInProcNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, err := NewHost(0, 2, trs[0], &lateSender{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := NewHost(1, 2, trs[1], oneShot{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	errCh := make(chan error, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); errCh <- h1.Run(ctx) }()
+	// Give host 1 a head start so it halts and closes before host 0's
+	// later sends.
+	go func() {
+		defer wg.Done()
+		// Kick host 0 with a self message loop.
+		_ = trs[0].Send(0, "kick")
+		errCh <- h0.Run(ctx)
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Errorf("host error: %v", err)
+		}
+	}
+}
+
+func TestRunClusterOverTCP(t *testing.T) {
+	// Gossip over a real TCP loopback mesh via individual hosts.
+	const n = 3
+	tmpl := make([]string, n)
+	for i := range tmpl {
+		tmpl[i] = "127.0.0.1:0"
+	}
+	tcps := make([]*transport.TCPNode, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		nd, err := transport.NewTCP(transport.TCPConfig{ID: i, Addrs: tmpl, EstablishTimeout: 5 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tcps[i] = nd
+		addrs[i] = nd.Addr()
+	}
+	var wg sync.WaitGroup
+	estErrs := make([]error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			estErrs[i] = tcps[i].Establish(context.Background(), addrs)
+		}()
+	}
+	wg.Wait()
+	for i, err := range estErrs {
+		if err != nil {
+			t.Fatalf("establish %d: %v", i, err)
+		}
+	}
+
+	impls := make([]*gossipNode, n)
+	hosts := make([]*Host, n)
+	for i := 0; i < n; i++ {
+		impls[i] = &gossipNode{}
+		h, err := NewHost(i, n, tcps[i], impls[i], 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts[i] = h
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	errCh := make(chan error, n)
+	var hwg sync.WaitGroup
+	for _, h := range hosts {
+		h := h
+		hwg.Add(1)
+		go func() { defer hwg.Done(); errCh <- h.Run(ctx) }()
+	}
+	hwg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Errorf("host error: %v", err)
+		}
+	}
+	for i, g := range impls {
+		if len(g.heard) != n {
+			t.Errorf("node %d heard %d of %d", i, len(g.heard), n)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+// Package safearea computes the paper's safe area
+//
+//	Γ(Y) = ∩_{T ⊆ Y, |T| = |Y|−f} H(T)            (paper eq. (1))
+//
+// — the intersection of the convex hulls of all subsets of Y that exclude f
+// members. Lemma 1 guarantees Γ(Y) ≠ ∅ whenever |Y| ≥ (d+1)f+1; the Exact
+// BVC algorithm decides on a deterministic point of Γ(S), and the
+// approximate algorithms collect points of Γ(Φ(C)) per round.
+//
+// Three point-selection strategies are provided and benchmarked as an
+// ablation (DESIGN.md §5):
+//
+//   - MethodLexMinLP: the paper's §2.2 linear program, extended to return
+//     the lexicographically minimal point (deterministic across processes).
+//   - MethodRadon: for f = 1, the Radon point of the first d+2 members is a
+//     Tverberg point and therefore lies in Γ(Y); O(d³) instead of an LP.
+//   - MethodTverbergSearch: exhaustive Tverberg partition search (small
+//     inputs; used for validation).
+//
+// For d = 1 everything collapses to closed form: Γ(Y) is the interval
+// [y₍f+1₎, y₍|Y|−f₎] of the sorted members.
+package safearea
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/combin"
+	"repro/internal/geometry"
+	"repro/internal/hull"
+	"repro/internal/tverberg"
+)
+
+// Method selects how a point of Γ(Y) is computed.
+type Method int
+
+// Point-selection methods.
+const (
+	// MethodAuto picks the cheapest applicable method: closed form for
+	// d = 1, Radon for f = 1, otherwise the lex-min LP.
+	MethodAuto Method = iota + 1
+	// MethodLexMinLP solves the paper's LP, lexicographically minimized.
+	MethodLexMinLP
+	// MethodRadon uses the Radon-point fast path (requires f == 1).
+	MethodRadon
+	// MethodTverbergSearch exhaustively searches for a Tverberg partition
+	// and returns its Tverberg point (small |Y| only).
+	MethodTverbergSearch
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodAuto:
+		return "auto"
+	case MethodLexMinLP:
+		return "lexmin-lp"
+	case MethodRadon:
+		return "radon"
+	case MethodTverbergSearch:
+		return "tverberg-search"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// ErrEmpty is returned by Point when Γ(Y) is empty.
+var ErrEmpty = errors.New("safearea: Γ(Y) is empty")
+
+// SubsetCount returns the number of hulls intersected in Γ(Y):
+// C(|Y|, |Y|−f) = C(|Y|, f).
+func SubsetCount(size, f int) int64 {
+	return combin.Binomial(size, f)
+}
+
+// validate checks the (Y, f) pair and returns |Y| − f.
+func validate(y *geometry.Multiset, f int) (int, error) {
+	if y == nil || y.Len() == 0 {
+		return 0, errors.New("safearea: empty multiset")
+	}
+	if f < 0 {
+		return 0, fmt.Errorf("safearea: negative f = %d", f)
+	}
+	keep := y.Len() - f
+	if keep <= 0 {
+		return 0, fmt.Errorf("safearea: |Y| = %d with f = %d leaves no subset", y.Len(), f)
+	}
+	return keep, nil
+}
+
+// groups materializes the point sets of all (|Y|−f)-subsets of Y.
+func groups(y *geometry.Multiset, keep int) ([][]geometry.Vector, error) {
+	var out [][]geometry.Vector
+	err := combin.Combinations(y.Len(), keep, func(idx []int) bool {
+		pts := make([]geometry.Vector, len(idx))
+		for i, j := range idx {
+			pts[i] = y.At(j)
+		}
+		out = append(out, pts)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// IsEmpty reports whether Γ(Y) is empty for the given fault bound.
+func IsEmpty(y *geometry.Multiset, f int) (bool, error) {
+	keep, err := validate(y, f)
+	if err != nil {
+		return false, err
+	}
+	if f == 0 {
+		return false, nil // Γ(Y) = H(Y), never empty for non-empty Y
+	}
+	if y.Dim() == 1 {
+		lo, hi, err := interval(y, f)
+		if err != nil {
+			return false, err
+		}
+		return lo > hi, nil
+	}
+	gs, err := groups(y, keep)
+	if err != nil {
+		return false, err
+	}
+	return hull.IntersectionEmpty(gs)
+}
+
+// Contains reports whether z ∈ Γ(Y) within tolerance tol (hull.DefaultTol
+// if tol ≤ 0): z must lie in the hull of every (|Y|−f)-subset.
+func Contains(y *geometry.Multiset, f int, z geometry.Vector, tol float64) (bool, error) {
+	keep, err := validate(y, f)
+	if err != nil {
+		return false, err
+	}
+	if z.Dim() != y.Dim() {
+		return false, fmt.Errorf("safearea: point dimension %d, multiset dimension %d", z.Dim(), y.Dim())
+	}
+	inside := true
+	var cerr error
+	err = combin.Combinations(y.Len(), keep, func(idx []int) bool {
+		pts := make([]geometry.Vector, len(idx))
+		for i, j := range idx {
+			pts[i] = y.At(j)
+		}
+		ok, err := hull.Contains(pts, z, tol)
+		if err != nil {
+			cerr = err
+			return false
+		}
+		if !ok {
+			inside = false
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return false, err
+	}
+	if cerr != nil {
+		return false, cerr
+	}
+	return inside, nil
+}
+
+// Point returns a deterministic point of Γ(Y) using MethodAuto.
+// All correct processes calling Point on identical (Y, f) obtain the
+// identical point — the property Exact BVC step 2 requires.
+func Point(y *geometry.Multiset, f int) (geometry.Vector, error) {
+	return PointWith(y, f, MethodAuto)
+}
+
+// PointWith returns a deterministic point of Γ(Y) computed with the given
+// method. It returns ErrEmpty if Γ(Y) is empty (only possible when |Y| <
+// (d+1)f+1; Lemma 1 guarantees non-emptiness above that threshold).
+func PointWith(y *geometry.Multiset, f int, method Method) (geometry.Vector, error) {
+	keep, err := validate(y, f)
+	if err != nil {
+		return nil, err
+	}
+	d := y.Dim()
+
+	if method == MethodAuto {
+		switch {
+		case d == 1:
+			lo, hi, err := interval(y, f)
+			if err != nil {
+				return nil, err
+			}
+			if lo > hi {
+				return nil, ErrEmpty
+			}
+			return geometry.Vector{lo}, nil
+		case f == 0:
+			// Γ(Y) = H(Y): any member is inside; pick the lex-min member.
+			return lexMinMember(y), nil
+		case f == 1 && y.Len() >= d+2:
+			method = MethodRadon
+		default:
+			method = MethodLexMinLP
+		}
+	}
+
+	switch method {
+	case MethodLexMinLP:
+		gs, err := groups(y, keep)
+		if err != nil {
+			return nil, err
+		}
+		pt, ok, err := hull.LexMinCommonPoint(gs)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, ErrEmpty
+		}
+		return pt, nil
+
+	case MethodRadon:
+		if f != 1 {
+			return nil, fmt.Errorf("safearea: Radon method requires f = 1, got f = %d", f)
+		}
+		if y.Len() < d+2 {
+			return nil, fmt.Errorf("safearea: Radon method needs |Y| ≥ d+2 = %d, got %d", d+2, y.Len())
+		}
+		part, err := tverberg.RadonOfFirst(y)
+		if err != nil {
+			return nil, err
+		}
+		return part.Point, nil
+
+	case MethodTverbergSearch:
+		part, ok, err := tverberg.Search(y, f+1)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			// No Tverberg partition found. Γ may still be non-empty in
+			// exotic cases; fall back to the LP to decide conclusively.
+			return PointWith(y, f, MethodLexMinLP)
+		}
+		return part.Point, nil
+
+	default:
+		return nil, fmt.Errorf("safearea: unknown method %v", method)
+	}
+}
+
+// Interval returns the closed-form Γ(Y) = [y₍f+1₎, y₍|Y|−f₎] for d = 1
+// multisets (members sorted ascending; 1-indexed as in the paper).
+func Interval(y *geometry.Multiset, f int) (lo, hi float64, err error) {
+	if _, err := validate(y, f); err != nil {
+		return 0, 0, err
+	}
+	if y.Dim() != 1 {
+		return 0, 0, fmt.Errorf("safearea: Interval requires d = 1, got d = %d", y.Dim())
+	}
+	return interval(y, f)
+}
+
+func interval(y *geometry.Multiset, f int) (lo, hi float64, err error) {
+	vals := make([]float64, y.Len())
+	for i := 0; i < y.Len(); i++ {
+		vals[i] = y.At(i)[0]
+	}
+	sort.Float64s(vals)
+	if f >= len(vals) {
+		return 0, 0, fmt.Errorf("safearea: f = %d too large for |Y| = %d", f, len(vals))
+	}
+	return vals[f], vals[len(vals)-1-f], nil
+}
+
+// lexMinMember returns the lexicographically smallest member of y.
+func lexMinMember(y *geometry.Multiset) geometry.Vector {
+	best := y.At(0)
+	for i := 1; i < y.Len(); i++ {
+		if y.At(i).Compare(best) < 0 {
+			best = y.At(i)
+		}
+	}
+	return best.Clone()
+}

@@ -1,0 +1,278 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// TCP transport defaults.
+const (
+	defaultDialRetry   = 25 * time.Millisecond
+	defaultEstablishTO = 10 * time.Second
+)
+
+// TCPConfig configures one process's endpoint of a TCP full mesh.
+type TCPConfig struct {
+	// ID is this process's id (index into Addrs).
+	ID int
+	// Addrs lists each process's listen address ("host:port"), indexed by
+	// process id. Addrs[ID] may use port 0; the actual address is
+	// available from Addr after NewTCP.
+	Addrs []string
+	// EstablishTimeout bounds mesh setup (default 10s).
+	EstablishTimeout time.Duration
+}
+
+// TCPNode is a Transport over a TCP full mesh: one connection per peer
+// pair, the higher id dialing the lower. Per-connection reader goroutines
+// preserve per-link FIFO order; frames are wire envelopes.
+type TCPNode struct {
+	cfg      TCPConfig
+	listener net.Listener
+
+	mu     sync.Mutex
+	conns  map[int]net.Conn
+	wmu    map[int]*sync.Mutex
+	closed bool
+
+	inbox  chan item
+	errs   chan error
+	wg     sync.WaitGroup
+	stopCh chan struct{}
+}
+
+var _ Transport = (*TCPNode)(nil)
+
+// NewTCP opens this process's listener. Establish must be called next, once
+// all processes' listeners are up.
+func NewTCP(cfg TCPConfig) (*TCPNode, error) {
+	if cfg.ID < 0 || cfg.ID >= len(cfg.Addrs) {
+		return nil, fmt.Errorf("transport: id %d out of range for %d addresses", cfg.ID, len(cfg.Addrs))
+	}
+	if cfg.EstablishTimeout <= 0 {
+		cfg.EstablishTimeout = defaultEstablishTO
+	}
+	ln, err := net.Listen("tcp", cfg.Addrs[cfg.ID])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Addrs[cfg.ID], err)
+	}
+	return &TCPNode{
+		cfg:      cfg,
+		listener: ln,
+		conns:    make(map[int]net.Conn, len(cfg.Addrs)),
+		wmu:      make(map[int]*sync.Mutex, len(cfg.Addrs)),
+		inbox:    make(chan item, 1024),
+		errs:     make(chan error, len(cfg.Addrs)),
+		stopCh:   make(chan struct{}),
+	}, nil
+}
+
+// Addr returns the actual listen address (useful with port 0).
+func (t *TCPNode) Addr() string { return t.listener.Addr().String() }
+
+// Establish builds the full mesh: this node accepts connections from every
+// higher-id peer and dials every lower-id peer. It blocks until the mesh is
+// complete or the timeout/context expires.
+func (t *TCPNode) Establish(ctx context.Context, addrs []string) error {
+	if addrs == nil {
+		addrs = t.cfg.Addrs
+	}
+	n := len(addrs)
+	deadline := time.Now().Add(t.cfg.EstablishTimeout)
+	ctx, cancel := context.WithDeadline(ctx, deadline)
+	defer cancel()
+
+	expectAccept := n - 1 - t.cfg.ID // peers with higher id dial us
+	type accepted struct {
+		peer int
+		conn net.Conn
+		err  error
+	}
+	acceptCh := make(chan accepted, expectAccept)
+	go func() {
+		for i := 0; i < expectAccept; i++ {
+			conn, err := t.listener.Accept()
+			if err != nil {
+				acceptCh <- accepted{err: err}
+				return
+			}
+			// Handshake: the dialer sends its id as one frame.
+			frame, err := wire.ReadFrame(conn)
+			if err != nil || len(frame) != 4 {
+				_ = conn.Close()
+				acceptCh <- accepted{err: fmt.Errorf("transport: bad handshake: %v", err)}
+				return
+			}
+			peer := int(uint32(frame[0])<<24 | uint32(frame[1])<<16 | uint32(frame[2])<<8 | uint32(frame[3]))
+			acceptCh <- accepted{peer: peer, conn: conn}
+		}
+	}()
+
+	// Dial every lower-id peer, retrying until its listener is up.
+	for peer := 0; peer < t.cfg.ID; peer++ {
+		conn, err := dialRetry(ctx, addrs[peer])
+		if err != nil {
+			return fmt.Errorf("transport: dial peer %d at %s: %w", peer, addrs[peer], err)
+		}
+		id := uint32(t.cfg.ID)
+		hs := []byte{byte(id >> 24), byte(id >> 16), byte(id >> 8), byte(id)}
+		if err := wire.WriteFrame(conn, hs); err != nil {
+			_ = conn.Close()
+			return fmt.Errorf("transport: handshake with peer %d: %w", peer, err)
+		}
+		t.addConn(peer, conn)
+	}
+
+	for i := 0; i < expectAccept; i++ {
+		select {
+		case acc := <-acceptCh:
+			if acc.err != nil {
+				return acc.err
+			}
+			if acc.peer <= t.cfg.ID || acc.peer >= n {
+				_ = acc.conn.Close()
+				return fmt.Errorf("transport: unexpected handshake id %d", acc.peer)
+			}
+			t.addConn(acc.peer, acc.conn)
+		case <-ctx.Done():
+			return fmt.Errorf("transport: mesh establish: %w", ctx.Err())
+		}
+	}
+	return nil
+}
+
+func dialRetry(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	for {
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(defaultDialRetry):
+		}
+	}
+}
+
+// addConn registers a peer connection and starts its reader goroutine.
+func (t *TCPNode) addConn(peer int, conn net.Conn) {
+	t.mu.Lock()
+	t.conns[peer] = conn
+	t.wmu[peer] = &sync.Mutex{}
+	t.mu.Unlock()
+
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		for {
+			frame, err := wire.ReadFrame(conn)
+			if err != nil {
+				// A peer closing its endpoint looks like a crashed
+				// process, which the consensus protocols tolerate by
+				// design; only surface unexpected failures. A close with
+				// unread buffered data surfaces as ECONNRESET rather
+				// than a clean EOF.
+				if errors.Is(err, io.EOF) || errors.Is(err, syscall.ECONNRESET) {
+					return
+				}
+				select {
+				case <-t.stopCh: // clean shutdown
+				default:
+					t.errs <- fmt.Errorf("transport: read from peer %d: %w", peer, err)
+				}
+				return
+			}
+			env, err := wire.Decode(frame)
+			if err != nil {
+				t.errs <- err
+				return
+			}
+			select {
+			case t.inbox <- item{from: peer, payload: env.Payload}:
+			case <-t.stopCh:
+				return
+			}
+		}
+	}()
+}
+
+// Send implements Transport. Self-sends short-circuit through the inbox.
+func (t *TCPNode) Send(to int, payload any) error {
+	if to == t.cfg.ID {
+		select {
+		case t.inbox <- item{from: to, payload: payload}:
+			return nil
+		case <-t.stopCh:
+			return ErrClosed
+		}
+	}
+	t.mu.Lock()
+	conn, ok := t.conns[to]
+	mu := t.wmu[to]
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if !ok {
+		return fmt.Errorf("transport: no connection to peer %d", to)
+	}
+	frame, err := wire.Encode(&wire.Envelope{From: t.cfg.ID, Payload: payload})
+	if err != nil {
+		return err
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if err := wire.WriteFrame(conn, frame); err != nil {
+		// A write failure on an established mesh connection means the
+		// peer went away (decided and closed, or crashed) — exactly the
+		// fault the consensus protocols tolerate. Surface it as
+		// ErrPeerClosed, preserving the cause for diagnostics.
+		return fmt.Errorf("%w: %v", ErrPeerClosed, err)
+	}
+	return nil
+}
+
+// Recv implements Transport.
+func (t *TCPNode) Recv() (int, any, error) {
+	select {
+	case it := <-t.inbox:
+		return it.from, it.payload, nil
+	case err := <-t.errs:
+		return 0, nil, err
+	case <-t.stopCh:
+		return 0, nil, ErrClosed
+	}
+}
+
+// Close implements Transport: it tears down the listener, all connections,
+// and the reader goroutines.
+func (t *TCPNode) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	close(t.stopCh)
+	err := t.listener.Close()
+	for _, c := range t.conns {
+		_ = c.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return nil
+}

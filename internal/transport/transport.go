@@ -1,0 +1,121 @@
+// Package transport provides live reliable-FIFO links between processes:
+// an in-process implementation (goroutines and queues) and a TCP
+// implementation (full mesh over the standard net package). Both satisfy
+// the paper's channel model — reliable, FIFO, complete graph — and both
+// plug into internal/runtime to host the same event-driven nodes that run
+// on the deterministic simulator.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrClosed is returned by operations on a closed endpoint. Sends to a
+// closed *peer* are reported with ErrPeerClosed so callers can treat them
+// like sends to a crashed process (which the protocols tolerate by design).
+var (
+	ErrClosed     = errors.New("transport: endpoint closed")
+	ErrPeerClosed = errors.New("transport: peer endpoint closed")
+)
+
+// Transport is one process's endpoint of the complete network graph.
+type Transport interface {
+	// Send enqueues payload on the FIFO link to process `to`.
+	Send(to int, payload any) error
+	// Recv blocks until a message arrives and returns it with its sender.
+	Recv() (from int, payload any, err error)
+	// Close releases the endpoint; pending and future Recv calls fail.
+	Close() error
+}
+
+// item is one queued in-proc message.
+type item struct {
+	from    int
+	payload any
+}
+
+// inprocEndpoint is an unbounded FIFO mailbox guarded by a mutex+cond.
+// Unbounded capacity models the paper's reliable channels: a sender is
+// never blocked by a slow receiver (back-pressure would create artificial
+// synchrony).
+type inprocEndpoint struct {
+	id  int
+	hub *inprocHub
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []item
+	closed bool
+}
+
+// inprocHub connects n in-proc endpoints.
+type inprocHub struct {
+	endpoints []*inprocEndpoint
+}
+
+// NewInProcNetwork returns n connected in-process endpoints, one per id.
+func NewInProcNetwork(n int) ([]Transport, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("transport: invalid network size %d", n)
+	}
+	hub := &inprocHub{endpoints: make([]*inprocEndpoint, n)}
+	out := make([]Transport, n)
+	for i := 0; i < n; i++ {
+		ep := &inprocEndpoint{id: i, hub: hub}
+		ep.cond = sync.NewCond(&ep.mu)
+		hub.endpoints[i] = ep
+		out[i] = ep
+	}
+	return out, nil
+}
+
+// Send implements Transport.
+func (e *inprocEndpoint) Send(to int, payload any) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if to < 0 || to >= len(e.hub.endpoints) {
+		return fmt.Errorf("transport: unknown destination %d", to)
+	}
+	dst := e.hub.endpoints[to]
+	dst.mu.Lock()
+	defer dst.mu.Unlock()
+	if dst.closed {
+		return ErrPeerClosed
+	}
+	dst.queue = append(dst.queue, item{from: e.id, payload: payload})
+	dst.cond.Signal()
+	return nil
+}
+
+// Recv implements Transport.
+func (e *inprocEndpoint) Recv() (int, any, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for len(e.queue) == 0 && !e.closed {
+		e.cond.Wait()
+	}
+	if len(e.queue) == 0 && e.closed {
+		return 0, nil, ErrClosed
+	}
+	it := e.queue[0]
+	e.queue = e.queue[1:]
+	return it.from, it.payload, nil
+}
+
+// Close implements Transport.
+func (e *inprocEndpoint) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	e.cond.Broadcast()
+	return nil
+}

@@ -1,0 +1,329 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+type tcpPayload struct {
+	Seq int
+	Tag string
+}
+
+func init() {
+	wire.Register(tcpPayload{})
+}
+
+func TestInProcBasic(t *testing.T) {
+	trs, err := NewInProcNetwork(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trs[0].Send(1, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	from, payload, err := trs[1].Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != 0 || payload != "hello" {
+		t.Errorf("got (%d, %v)", from, payload)
+	}
+}
+
+func TestInProcInvalidSize(t *testing.T) {
+	if _, err := NewInProcNetwork(0); err == nil {
+		t.Error("n=0: expected error")
+	}
+}
+
+func TestInProcSelfSend(t *testing.T) {
+	trs, err := NewInProcNetwork(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trs[0].Send(0, 42); err != nil {
+		t.Fatal(err)
+	}
+	from, payload, err := trs[0].Recv()
+	if err != nil || from != 0 || payload != 42 {
+		t.Errorf("(%d, %v, %v)", from, payload, err)
+	}
+}
+
+func TestInProcFIFOPerLink(t *testing.T) {
+	trs, err := NewInProcNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 1000
+	for i := 0; i < k; i++ {
+		if err := trs[0].Send(1, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < k; i++ {
+		_, payload, err := trs[1].Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if payload != i {
+			t.Fatalf("FIFO violated: got %v at position %d", payload, i)
+		}
+	}
+}
+
+func TestInProcConcurrentSenders(t *testing.T) {
+	trs, err := NewInProcNetwork(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const per = 200
+	var wg sync.WaitGroup
+	for s := 1; s < 4; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := trs[s].Send(0, [2]int{s, i}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	seen := make(map[int]int) // sender → next expected seq
+	for i := 0; i < 3*per; i++ {
+		_, payload, err := trs[0].Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := payload.([2]int)
+		if p[1] != seen[p[0]] {
+			t.Fatalf("per-sender FIFO violated: sender %d seq %d, want %d", p[0], p[1], seen[p[0]])
+		}
+		seen[p[0]]++
+	}
+	wg.Wait()
+}
+
+func TestInProcInvalidDestination(t *testing.T) {
+	trs, err := NewInProcNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trs[0].Send(5, "x"); err == nil {
+		t.Error("invalid destination: expected error")
+	}
+}
+
+func TestInProcCloseUnblocksRecv(t *testing.T) {
+	trs, err := NewInProcNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := trs[0].Recv()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := trs[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock on Close")
+	}
+}
+
+func TestInProcSendToClosedPeer(t *testing.T) {
+	trs, err := NewInProcNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trs[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := trs[0].Send(1, "x"); !errors.Is(err, ErrPeerClosed) {
+		t.Errorf("err = %v, want ErrPeerClosed", err)
+	}
+}
+
+func TestInProcSendAfterOwnClose(t *testing.T) {
+	trs, err := NewInProcNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trs[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := trs[0].Send(1, "x"); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestInProcDrainAfterClose(t *testing.T) {
+	// Messages queued before Close are still receivable.
+	trs, err := NewInProcNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trs[0].Send(1, "queued"); err != nil {
+		t.Fatal(err)
+	}
+	if err := trs[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, payload, err := trs[1].Recv()
+	if err != nil || payload != "queued" {
+		t.Errorf("(%v, %v), want queued message", payload, err)
+	}
+	if _, _, err := trs[1].Recv(); !errors.Is(err, ErrClosed) {
+		t.Errorf("after drain: err = %v, want ErrClosed", err)
+	}
+}
+
+// buildTCPMesh creates an n-node loopback TCP mesh on ephemeral ports.
+func buildTCPMesh(t *testing.T, n int) []*TCPNode {
+	t.Helper()
+	nodes := make([]*TCPNode, n)
+	addrs := make([]string, n)
+	tmpl := make([]string, n)
+	for i := range tmpl {
+		tmpl[i] = "127.0.0.1:0"
+	}
+	for i := 0; i < n; i++ {
+		nd, err := NewTCP(TCPConfig{ID: i, Addrs: tmpl, EstablishTimeout: 5 * time.Second})
+		if err != nil {
+			t.Fatalf("NewTCP(%d): %v", i, err)
+		}
+		nodes[i] = nd
+		addrs[i] = nd.Addr()
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = nodes[i].Establish(context.Background(), addrs)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("Establish(%d): %v", i, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			_ = nd.Close()
+		}
+	})
+	return nodes
+}
+
+func TestTCPMeshAllPairs(t *testing.T) {
+	const n = 3
+	nodes := buildTCPMesh(t, n)
+	// Every ordered pair exchanges one message.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			tag := fmt.Sprintf("%d->%d", i, j)
+			if err := nodes[i].Send(j, tcpPayload{Tag: tag}); err != nil {
+				t.Fatalf("send %s: %v", tag, err)
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		got := make(map[string]bool)
+		for k := 0; k < n; k++ {
+			from, payload, err := nodes[j].Recv()
+			if err != nil {
+				t.Fatalf("recv at %d: %v", j, err)
+			}
+			p := payload.(tcpPayload)
+			want := fmt.Sprintf("%d->%d", from, j)
+			if p.Tag != want {
+				t.Errorf("node %d: tag %q from %d, want %q", j, p.Tag, from, want)
+			}
+			got[p.Tag] = true
+		}
+		if len(got) != n {
+			t.Errorf("node %d received %d distinct messages, want %d", j, len(got), n)
+		}
+	}
+}
+
+func TestTCPFIFO(t *testing.T) {
+	nodes := buildTCPMesh(t, 2)
+	const k = 500
+	go func() {
+		for i := 0; i < k; i++ {
+			if err := nodes[0].Send(1, tcpPayload{Seq: i}); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < k; i++ {
+		_, payload, err := nodes[1].Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := payload.(tcpPayload).Seq; got != i {
+			t.Fatalf("FIFO violated: got %d at %d", got, i)
+		}
+	}
+}
+
+func TestTCPCloseUnblocks(t *testing.T) {
+	nodes := buildTCPMesh(t, 2)
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := nodes[0].Recv()
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := nodes[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("Recv did not unblock")
+	}
+}
+
+func TestTCPInvalidConfig(t *testing.T) {
+	if _, err := NewTCP(TCPConfig{ID: 5, Addrs: []string{"127.0.0.1:0"}}); err == nil {
+		t.Error("id out of range: expected error")
+	}
+}
+
+func TestTCPSelfSend(t *testing.T) {
+	nodes := buildTCPMesh(t, 2)
+	if err := nodes[0].Send(0, tcpPayload{Tag: "self"}); err != nil {
+		t.Fatal(err)
+	}
+	from, payload, err := nodes[0].Recv()
+	if err != nil || from != 0 || payload.(tcpPayload).Tag != "self" {
+		t.Errorf("(%d, %v, %v)", from, payload, err)
+	}
+}

@@ -1,0 +1,290 @@
+package tverberg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geometry"
+)
+
+func vec(xs ...float64) geometry.Vector { return geometry.Vector(xs) }
+
+func TestRadonSquare(t *testing.T) {
+	// Four corners of a square in R²: the two diagonals cross at (0.5, 0.5).
+	pts := []geometry.Vector{vec(0, 0), vec(1, 1), vec(1, 0), vec(0, 1)}
+	part, err := Radon(pts)
+	if err != nil {
+		t.Fatalf("Radon: %v", err)
+	}
+	if len(part.Blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2", len(part.Blocks))
+	}
+	ms := geometry.MustMultisetOf(pts...)
+	if err := Verify(ms, part, 1e-7); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	if !part.Point.ApproxEqual(vec(0.5, 0.5), 1e-7) {
+		t.Errorf("Radon point = %v, want (0.5,0.5)", part.Point)
+	}
+}
+
+func TestRadon1D(t *testing.T) {
+	// Three collinear points in R¹: middle point in hull of the outer two.
+	pts := []geometry.Vector{vec(0), vec(10), vec(4)}
+	part, err := Radon(pts)
+	if err != nil {
+		t.Fatalf("Radon: %v", err)
+	}
+	ms := geometry.MustMultisetOf(pts...)
+	if err := Verify(ms, part, 1e-7); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+func TestRadonDuplicatePoints(t *testing.T) {
+	pts := []geometry.Vector{vec(1, 1), vec(1, 1), vec(0, 0), vec(2, 0)}
+	part, err := Radon(pts)
+	if err != nil {
+		t.Fatalf("Radon with duplicates: %v", err)
+	}
+	ms := geometry.MustMultisetOf(pts...)
+	if err := Verify(ms, part, 1e-7); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+func TestRadonWrongCount(t *testing.T) {
+	if _, err := Radon([]geometry.Vector{vec(0, 0), vec(1, 1)}); err == nil {
+		t.Error("too few points: expected error")
+	}
+	if _, err := Radon(nil); err == nil {
+		t.Error("no points: expected error")
+	}
+}
+
+func TestRadonNonFinite(t *testing.T) {
+	pts := []geometry.Vector{vec(0, 0), vec(1, 1), vec(math.NaN(), 0), vec(0, 1)}
+	if _, err := Radon(pts); err == nil {
+		t.Error("NaN point: expected error")
+	}
+}
+
+func TestRadonRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 150; trial++ {
+		d := 1 + rng.Intn(4)
+		pts := make([]geometry.Vector, d+2)
+		for i := range pts {
+			p := geometry.NewVector(d)
+			for j := range p {
+				p[j] = rng.Float64()*10 - 5
+			}
+			pts[i] = p
+		}
+		part, err := Radon(pts)
+		if err != nil {
+			t.Fatalf("trial %d (d=%d): %v", trial, d, err)
+		}
+		ms := geometry.MustMultisetOf(pts...)
+		if err := Verify(ms, part, 1e-6); err != nil {
+			t.Fatalf("trial %d (d=%d): %v", trial, d, err)
+		}
+	}
+}
+
+func TestRadonOfFirstAttachesExtras(t *testing.T) {
+	// 6 points in R², f = 1: prefix of 4 is Radon-partitioned, extras join
+	// block 2.
+	pts := []geometry.Vector{
+		vec(0, 0), vec(1, 1), vec(1, 0), vec(0, 1), // prefix square
+		vec(9, 9), vec(-3, 4), // extras
+	}
+	ms := geometry.MustMultisetOf(pts...)
+	part, err := RadonOfFirst(ms)
+	if err != nil {
+		t.Fatalf("RadonOfFirst: %v", err)
+	}
+	if err := Verify(ms, part, 1e-7); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	total := len(part.Blocks[0]) + len(part.Blocks[1])
+	if total != 6 {
+		t.Errorf("partition covers %d of 6", total)
+	}
+}
+
+func TestRadonOfFirstTooFew(t *testing.T) {
+	ms := geometry.MustMultisetOf(vec(0, 0), vec(1, 1), vec(2, 2))
+	if _, err := RadonOfFirst(ms); err == nil {
+		t.Error("|Y| < d+2: expected error")
+	}
+}
+
+// TestSearchHeptagonFigure1 reproduces the paper's Figure 1: the 7 vertices
+// of a regular heptagon (n = (d+1)f+1 with d = 2, f = 2) admit a Tverberg
+// partition into f+1 = 3 parts.
+func TestSearchHeptagonFigure1(t *testing.T) {
+	ms := heptagon()
+	part, ok, err := Search(ms, 3)
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	if !ok {
+		t.Fatal("heptagon must admit a 3-part Tverberg partition (Figure 1)")
+	}
+	if err := Verify(ms, part, 1e-6); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	if len(part.Blocks) != 3 {
+		t.Errorf("blocks = %d, want 3", len(part.Blocks))
+	}
+	// Figure 1's partition consists of a triangle and two segments — block
+	// sizes {3, 2, 2} in some order.
+	sizes := map[int]int{}
+	for _, b := range part.Blocks {
+		sizes[len(b)]++
+	}
+	if sizes[3] != 1 || sizes[2] != 2 {
+		t.Errorf("block sizes = %v, want one 3 and two 2s", sizes)
+	}
+}
+
+func TestSearchTooFewPointsFails(t *testing.T) {
+	// 3 generic points in R² cannot be split into 3 parts with a common
+	// hull point unless they coincide.
+	ms := geometry.MustMultisetOf(vec(0, 0), vec(1, 0), vec(0, 1))
+	_, ok, err := Search(ms, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("3 generic points must not 3-partition")
+	}
+}
+
+func TestSearchDuplicatedPointTriple(t *testing.T) {
+	// The same point three times partitions trivially into 3 singletons.
+	p := vec(2, 2)
+	ms := geometry.MustMultisetOf(p, p, p)
+	part, ok, err := Search(ms, 3)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if err := Verify(ms, part, 1e-7); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+func TestSearchOneBlock(t *testing.T) {
+	ms := geometry.MustMultisetOf(vec(0, 0), vec(1, 1))
+	part, ok, err := Search(ms, 1)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if err := Verify(ms, part, 1e-7); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+func TestSearchMoreBlocksThanPoints(t *testing.T) {
+	ms := geometry.MustMultisetOf(vec(0, 0))
+	_, ok, err := Search(ms, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("cannot partition 1 point into 2 blocks")
+	}
+}
+
+func TestSearchRejectsHugeInput(t *testing.T) {
+	ms := geometry.NewMultiset(1)
+	for i := 0; i < maxSearchSize+1; i++ {
+		if err := ms.Add(vec(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := Search(ms, 2); err == nil {
+		t.Error("oversize input: expected error")
+	}
+}
+
+func TestSearchInvalidParts(t *testing.T) {
+	ms := geometry.MustMultisetOf(vec(0))
+	if _, _, err := Search(ms, 0); err == nil {
+		t.Error("parts=0: expected error")
+	}
+}
+
+// TestSearchRandomMatchesTheorem: for random multisets at the Tverberg
+// threshold |Y| = (d+1)f+1, Search must always find a partition (Theorem 2).
+func TestSearchRandomMatchesTheorem(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		d := 1 + rng.Intn(2) // d ∈ {1,2}
+		f := 1 + rng.Intn(2) // f ∈ {1,2}
+		n := (d+1)*f + 1
+		ms := geometry.NewMultiset(d)
+		for i := 0; i < n; i++ {
+			p := geometry.NewVector(d)
+			for j := range p {
+				p[j] = rng.Float64()*10 - 5
+			}
+			if err := ms.Add(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		part, ok, err := Search(ms, f+1)
+		if err != nil {
+			t.Fatalf("trial %d (d=%d f=%d): %v", trial, d, f, err)
+		}
+		if !ok {
+			t.Fatalf("trial %d (d=%d f=%d): Theorem 2 violated — no partition found", trial, d, f)
+		}
+		if err := Verify(ms, part, 1e-6); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestVerifyRejectsBadPartitions(t *testing.T) {
+	ms := geometry.MustMultisetOf(vec(0, 0), vec(1, 0), vec(0, 1), vec(1, 1))
+	good, err := Radon(ms.Points())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name string
+		part *Partition
+	}{
+		{name: "nil", part: nil},
+		{name: "empty block", part: &Partition{Blocks: [][]int{{0, 1, 2, 3}, {}}, Point: good.Point}},
+		{name: "duplicate index", part: &Partition{Blocks: [][]int{{0, 1}, {1, 2, 3}}, Point: good.Point}},
+		{name: "missing index", part: &Partition{Blocks: [][]int{{0}, {1, 2}}, Point: good.Point}},
+		{name: "out of range", part: &Partition{Blocks: [][]int{{0, 1}, {2, 9}}, Point: good.Point}},
+		{name: "wrong dim point", part: &Partition{Blocks: good.Blocks, Point: vec(1)}},
+		{name: "point outside", part: &Partition{Blocks: good.Blocks, Point: vec(9, 9)}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := Verify(ms, tt.part, 1e-7); err == nil {
+				t.Error("expected verification failure")
+			}
+		})
+	}
+}
+
+// heptagon returns the 7 vertices of a regular heptagon, matching the
+// paper's Figure 1 construction.
+func heptagon() *geometry.Multiset {
+	ms := geometry.NewMultiset(2)
+	for k := 0; k < 7; k++ {
+		a := 2 * math.Pi * float64(k) / 7
+		if err := ms.Add(vec(math.Cos(a), math.Sin(a))); err != nil {
+			panic(err)
+		}
+	}
+	return ms
+}

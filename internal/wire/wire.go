@@ -1,0 +1,92 @@
+// Package wire defines the on-the-wire representation used by the live
+// transports: a gob-encoded envelope carrying an opaque protocol payload,
+// framed with a 4-byte big-endian length prefix.
+//
+// Payload types cross package boundaries as interface values, so every
+// concrete payload type must be registered (Register) before encoding or
+// decoding; the algorithm packages register their message types at init,
+// which is the sanctioned use of init for encoding registries.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrameSize bounds a single frame; larger frames indicate corruption or
+// abuse and are rejected before allocation.
+const MaxFrameSize = 16 << 20
+
+// ErrFrameTooLarge is returned for frames exceeding MaxFrameSize.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+
+// Envelope is the unit of transmission between processes.
+type Envelope struct {
+	// From is the sender's process id as claimed by the transport layer
+	// (authenticated by connection identity, not by message content).
+	From int
+	// Payload is the protocol message; its concrete type must be
+	// registered with Register.
+	Payload any
+}
+
+// Register records a payload type for gob encoding. It is safe to call
+// multiple times with the same type.
+func Register(v any) {
+	gob.Register(v)
+}
+
+// Encode serializes an envelope.
+func Encode(env *Envelope) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+		return nil, fmt.Errorf("wire: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses an envelope produced by Encode.
+func Decode(b []byte) (*Envelope, error) {
+	var env Envelope
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("wire: decode: %w", err)
+	}
+	return &env, nil
+}
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, b []byte) error {
+	if len(b) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("wire: write body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // preserve io.EOF for clean shutdown detection
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("wire: read body: %w", err)
+	}
+	return body, nil
+}

@@ -1,0 +1,117 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+type testPayload struct {
+	Round int
+	Value []float64
+}
+
+func init() {
+	Register(testPayload{})
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	env := &Envelope{From: 3, Payload: testPayload{Round: 7, Value: []float64{1.5, -2}}}
+	b, err := Encode(env)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.From != 3 {
+		t.Errorf("From = %d, want 3", got.From)
+	}
+	p, ok := got.Payload.(testPayload)
+	if !ok {
+		t.Fatalf("payload type %T", got.Payload)
+	}
+	if p.Round != 7 || len(p.Value) != 2 || p.Value[0] != 1.5 || p.Value[1] != -2 {
+		t.Errorf("payload = %+v", p)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode([]byte{0x01, 0x02, 0x03}); err == nil {
+		t.Error("garbage should not decode")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := [][]byte{[]byte("hello"), {}, []byte("world"), bytes.Repeat([]byte{7}, 10000)}
+	for _, m := range msgs {
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame %d = %q, want %q", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf); !errors.Is(err, io.EOF) {
+		t.Errorf("exhausted reader: err = %v, want EOF", err)
+	}
+}
+
+func TestWriteFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	big := make([]byte, MaxFrameSize+1)
+	if err := WriteFrame(&buf, big); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameTooLarge(t *testing.T) {
+	// Handcraft a header claiming an enormous body.
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := ReadFrame(bytes.NewReader(hdr)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("full message")); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadFrame(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated body should error")
+	}
+}
+
+func TestEnvelopeThroughFrames(t *testing.T) {
+	env := &Envelope{From: 1, Payload: testPayload{Round: 2}}
+	raw, err := Encode(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, raw); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Payload.(testPayload).Round != 2 {
+		t.Errorf("payload = %+v", got.Payload)
+	}
+}
