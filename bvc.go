@@ -25,6 +25,31 @@
 //	cfg := bvc.Config{N: 5, F: 1, D: 2}
 //	res, err := bvc.SimulateExact(cfg, inputs, nil, bvc.SimOptions{Seed: 1})
 //	// res.Processes[i].Decision is in the convex hull of correct inputs.
+//
+// # Performance
+//
+// Every algorithm bottoms out in the same hot path: computing deterministic
+// points of safe areas Γ(Y) — C(n, n−f) linear-program solves per candidate
+// set per round. That path runs on a dedicated Γ-point engine
+// (internal/core.Engine) which is allocation-free in steady state (the
+// simplex solver reuses flat tableau slabs through internal/lp.Workspace),
+// parallel (candidate-set solves are streamed by subset rank across a
+// bounded worker pool) and memoized (by the paper's Observation 2, every
+// correct process computes the identical point zij for the same candidate
+// set, so identical solves — across the n simulated processes, and across
+// rounds — collapse to one, keyed by the canonical bit-exact multiset key).
+//
+// Two SimOptions knobs control the engine; both are pure performance knobs,
+// guaranteed to leave results bit-identical:
+//
+//   - Workers bounds concurrent Γ-point solves (0 = GOMAXPROCS, 1 = serial).
+//     Parallel runs reduce results in subset-rank order, so output matches
+//     the serial computation exactly.
+//   - DisableGammaCache switches the memoization off (for measurement; the
+//     cache is exact, bounded, and dropped wholesale when full).
+//
+// The cmd/bvcbench -json mode records per-experiment ns/op and allocs/op so
+// perf trajectories can be tracked across changes.
 package bvc
 
 import (

@@ -6,14 +6,21 @@
 //	bvcbench                     # run everything
 //	bvcbench -experiment e5      # one experiment
 //	bvcbench -seed 7             # change the master seed
+//	bvcbench -json               # benchmark mode: per-experiment JSON
+//	                             # records (ns/op, allocs/op, B/op) for the
+//	                             # BENCH_*.json perf trajectory
+//	bvcbench -workers 1 -gammacache=false   # serial, uncached Γ engine
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"testing"
 
+	"repro"
 	"repro/internal/harness"
 )
 
@@ -24,17 +31,34 @@ func main() {
 	}
 }
 
+// experimentOrder fixes the emission order of -json records and of "all".
+var experimentOrder = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "f1", "f2"}
+
+// benchRecord is one -json output line.
+type benchRecord struct {
+	Benchmark   string  `json:"benchmark"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Pass        bool    `json:"pass"`
+	Seconds     float64 `json:"seconds"`
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("bvcbench", flag.ContinueOnError)
 	experiment := fs.String("experiment", "all", "experiment to run: all, e1…e9, f1, f2")
 	seed := fs.Int64("seed", 1, "master random seed")
 	trials := fs.Int("trials", 20, "trial count for statistical experiments (E3)")
+	jsonOut := fs.Bool("json", false, "benchmark each experiment and emit one JSON record per line (ns/op, allocs/op) instead of rendering tables")
+	workers := fs.Int("workers", 0, "Γ-point engine worker bound: 0 = GOMAXPROCS, 1 = serial")
+	gammaCache := fs.Bool("gammacache", true, "memoize Γ-points across processes and rounds")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	harness.SetEngineOptions(*workers, !*gammaCache)
 
-	type runner func() (*harness.Table, error)
-	runners := map[string]runner{
+	runners := map[string]func() (*harness.Table, error){
 		"e1": func() (*harness.Table, error) { return harness.E1SyncNecessity(*seed) },
 		"e2": func() (*harness.Table, error) { return harness.E2ExactSufficiency(*seed) },
 		"e3": func() (*harness.Table, error) { return harness.E3TverbergLemma(*seed, *trials) },
@@ -48,7 +72,30 @@ func run(args []string) error {
 		"f2": func() (*harness.Table, error) { return harness.F2ConvergenceSeries(*seed) },
 	}
 
+	// experimentOrder and runners must describe the same experiment set;
+	// catching a drift here beats silently dropping an experiment from the
+	// -json trajectory (or calling a nil runner).
+	if len(experimentOrder) != len(runners) {
+		return fmt.Errorf("internal: experimentOrder lists %d experiments, runners %d", len(experimentOrder), len(runners))
+	}
+	for _, n := range experimentOrder {
+		if _, ok := runners[n]; !ok {
+			return fmt.Errorf("internal: experimentOrder entry %q has no runner", n)
+		}
+	}
+
 	name := strings.ToLower(*experiment)
+	if *jsonOut {
+		names := experimentOrder
+		if name != "all" {
+			if _, ok := runners[name]; !ok {
+				return fmt.Errorf("unknown experiment %q (want all, e1…e9, f1, f2)", name)
+			}
+			names = []string{name}
+		}
+		return benchJSON(os.Stdout, names, runners)
+	}
+
 	if name == "all" {
 		tables, err := harness.All(*seed)
 		if err != nil {
@@ -72,7 +119,7 @@ func run(args []string) error {
 
 	r, ok := runners[name]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q (want all, e1…e9, f1, f2)", *experiment)
+		return fmt.Errorf("unknown experiment %q (want all, e1…e9, f1, f2)", name)
 	}
 	tbl, err := r()
 	if err != nil {
@@ -83,6 +130,53 @@ func run(args []string) error {
 	}
 	if !tbl.Pass {
 		return fmt.Errorf("experiment %s failed", strings.ToUpper(name))
+	}
+	return nil
+}
+
+// benchJSON measures each named experiment with the standard benchmark
+// machinery and writes one JSON record per line, so successive PRs can
+// archive comparable BENCH_*.json trajectory points. The Γ-point caches are
+// reset before every iteration so each measures a cold-cache experiment run
+// (within-run memoization still counts — that is product behavior); without
+// the reset, later iterations replay the process-wide memo table and ns/op
+// would shrink with iteration count instead of measuring the engine.
+func benchJSON(w *os.File, names []string, runners map[string]func() (*harness.Table, error)) error {
+	enc := json.NewEncoder(w)
+	for _, name := range names {
+		r := runners[name]
+		var (
+			tbl  *harness.Table
+			rerr error
+		)
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bvc.ResetEngineCaches()
+				tbl, rerr = r()
+				if rerr != nil {
+					b.Fatalf("%s: %v", name, rerr)
+				}
+			}
+		})
+		if rerr != nil {
+			return fmt.Errorf("%s: %w", name, rerr)
+		}
+		rec := benchRecord{
+			Benchmark:   name,
+			Iterations:  br.N,
+			NsPerOp:     br.NsPerOp(),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+			Pass:        tbl != nil && tbl.Pass,
+			Seconds:     br.T.Seconds(),
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+		if !rec.Pass {
+			return fmt.Errorf("experiment %s failed", strings.ToUpper(name))
+		}
 	}
 	return nil
 }

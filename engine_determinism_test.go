@@ -1,0 +1,99 @@
+package bvc_test
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro"
+)
+
+// decisionsKey flattens a run's per-process decisions for bit-exact
+// comparison.
+func decisionsKey(t *testing.T, res *bvc.Result) []float64 {
+	t.Helper()
+	var out []float64
+	for _, p := range res.Processes {
+		out = append(out, p.Decision...)
+	}
+	return out
+}
+
+// TestSimulateDeterministicAcrossEngineOptions: end-to-end property — the
+// decisions of every protocol variant are byte-identical for workers ∈
+// {1, 4, GOMAXPROCS} with the Γ-point cache on or off, across random
+// instances. The engine knobs in SimOptions are pure performance knobs.
+func TestSimulateDeterministicAcrossEngineOptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	workerSets := []int{1, 4, runtime.GOMAXPROCS(0)}
+
+	type runFn func(opts bvc.SimOptions) (*bvc.Result, error)
+	mkInputs := func(n, d int) []bvc.Vector {
+		out := make([]bvc.Vector, n)
+		for i := range out {
+			v := make(bvc.Vector, d)
+			for l := range v {
+				v[l] = rng.Float64()
+			}
+			out[i] = v
+		}
+		return out
+	}
+
+	cases := map[string]runFn{}
+	{
+		d, f := 2, 2
+		n := bvc.MinProcesses(bvc.ExactSync, d, f)
+		cfg := bvc.Config{N: n, F: f, D: d}
+		inputs := mkInputs(n, d)
+		cases["exact_d2f2"] = func(opts bvc.SimOptions) (*bvc.Result, error) {
+			return bvc.SimulateExact(cfg, inputs, nil, opts)
+		}
+	}
+	{
+		d, f := 2, 1
+		n := bvc.MinProcesses(bvc.RestrictedSync, d, f)
+		cfg := bvc.Config{N: n, F: f, D: d, Epsilon: 0.2, Lo: []float64{0}, Hi: []float64{1}}
+		inputs := mkInputs(n, d)
+		cases["restricted_sync_d2f1"] = func(opts bvc.SimOptions) (*bvc.Result, error) {
+			return bvc.SimulateRestrictedSync(cfg, inputs, nil, opts)
+		}
+	}
+	{
+		d, f := 1, 2
+		n := bvc.MinProcesses(bvc.ApproxAsync, d, f)
+		cfg := bvc.Config{N: n, F: f, D: d, Epsilon: 0.1, Lo: []float64{0}, Hi: []float64{1}, MaxRounds: 3}
+		inputs := mkInputs(n, d)
+		cases["approx_async_d1f2"] = func(opts bvc.SimOptions) (*bvc.Result, error) {
+			return bvc.SimulateApproxAsync(cfg, inputs, nil, opts)
+		}
+	}
+
+	for name, run := range cases {
+		t.Run(name, func(t *testing.T) {
+			var want []float64
+			for _, workers := range workerSets {
+				for _, noCache := range []bool{false, true} {
+					res, err := run(bvc.SimOptions{Seed: 5, Workers: workers, DisableGammaCache: noCache})
+					if err != nil {
+						t.Fatalf("workers=%d noCache=%v: %v", workers, noCache, err)
+					}
+					got := decisionsKey(t, res)
+					if want == nil {
+						want = got
+						continue
+					}
+					if len(got) != len(want) {
+						t.Fatalf("workers=%d noCache=%v: %d decision coords, want %d", workers, noCache, len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("workers=%d noCache=%v: decision coord %d = %x, want %x",
+								workers, noCache, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -64,8 +64,20 @@ type EIG struct {
 	dim    int
 	input  geometry.Vector // set iff self == sender
 
-	// vals[k] stores level-(k+1) tree nodes: pathKey(σ) → value, |σ| = k+1.
-	vals []map[string]geometry.Vector
+	// vals[k] stores level-(k+1) tree nodes: pathKey(σ) → node, |σ| = k+1.
+	// The node keeps the decoded path so the relay step never re-parses
+	// keys, and the stored values are treated as immutable (they are cloned
+	// nowhere on the hot path — see Receive).
+	vals []map[string]eigNode
+
+	keyBuf []byte // scratch for allocation-free key lookups
+}
+
+// eigNode is one EIG tree node: the (already validated) relay path and the
+// value the path's last process claimed.
+type eigNode struct {
+	path  []sim.ProcID
+	value geometry.Vector
 }
 
 // NewEIG builds an EIG instance. def is the default value used for missing
@@ -91,10 +103,10 @@ func NewEIG(n, f int, self, sender sim.ProcID, input, def geometry.Vector) (*EIG
 		sender: sender,
 		def:    def.Clone(),
 		dim:    def.Dim(),
-		vals:   make([]map[string]geometry.Vector, f+1),
+		vals:   make([]map[string]eigNode, f+1),
 	}
 	for i := range e.vals {
-		e.vals[i] = make(map[string]geometry.Vector)
+		e.vals[i] = make(map[string]eigNode)
 	}
 	if self == sender {
 		if input == nil || input.Dim() != e.dim || !input.IsFinite() {
@@ -123,12 +135,13 @@ func (e *EIG) Outgoing(r int) []EIGRelay {
 	}
 	level := e.vals[r-2] // paths of length r−1
 	out := make([]EIGRelay, 0, len(level))
-	for key, val := range level {
-		path := decodePath(key)
-		if containsID(path, e.self) {
+	for _, node := range level {
+		if containsID(node.path, e.self) {
 			continue
 		}
-		out = append(out, EIGRelay{Path: path, Value: val.Clone()})
+		// The stored path and value are immutable once ingested, so the
+		// relay shares them rather than cloning.
+		out = append(out, EIGRelay{Path: node.path, Value: node.value})
 	}
 	sortRelays(out)
 	return out
@@ -137,7 +150,9 @@ func (e *EIG) Outgoing(r int) []EIGRelay {
 // Receive ingests the relays sent by process `from` in round r. Malformed
 // relays (bad path shape, duplicate ids, wrong dimension, non-finite
 // values) are discarded — the resolve step substitutes the default, exactly
-// as the protocol prescribes for missing messages.
+// as the protocol prescribes for missing messages. Ingested paths and values
+// are retained without cloning: callers must not mutate them afterwards
+// (protocol messages are immutable once sent).
 func (e *EIG) Receive(r int, from sim.ProcID, relays []EIGRelay) {
 	if r < 1 || r > e.f+1 {
 		return
@@ -158,12 +173,18 @@ func (e *EIG) Receive(r int, from sim.ProcID, relays []EIGRelay) {
 		if relay.Value.Dim() != e.dim || !relay.Value.IsFinite() {
 			continue
 		}
-		newPath := append(append([]sim.ProcID(nil), relay.Path...), from)
-		key := pathKey(newPath)
-		if _, dup := e.vals[r-1][key]; dup {
+		buf := e.keyBuf[:0]
+		for _, id := range relay.Path {
+			buf = appendKeyID(buf, id)
+		}
+		buf = appendKeyID(buf, from)
+		e.keyBuf = buf
+		if _, dup := e.vals[r-1][string(buf)]; dup {
 			continue // first occurrence wins
 		}
-		e.vals[r-1][key] = relay.Value.Clone()
+		newPath := make([]sim.ProcID, 0, len(relay.Path)+1)
+		newPath = append(append(newPath, relay.Path...), from)
+		e.vals[r-1][string(buf)] = eigNode{path: newPath, value: relay.Value}
 	}
 }
 
@@ -172,52 +193,83 @@ func (e *EIG) Receive(r int, from sim.ProcID, relays []EIGRelay) {
 // the same value, and to the sender's value when the sender is correct
 // (n ≥ 3f+1).
 func (e *EIG) Resolve() geometry.Vector {
-	return e.resolve([]sim.ProcID{e.sender}).Clone()
+	// One path buffer serves the whole depth-first recursion: each level
+	// writes its own position, so sibling calls may reuse the backing.
+	path := make([]sim.ProcID, 1, e.f+2)
+	path[0] = e.sender
+	// Scratch for one level's children; levels recurse before collecting,
+	// so each needs its own window.
+	scratch := make([]geometry.Vector, 0, e.n*(e.f+1))
+	return e.resolve(path, scratch).Clone()
 }
 
-func (e *EIG) resolve(path []sim.ProcID) geometry.Vector {
+func (e *EIG) resolve(path []sim.ProcID, scratch []geometry.Vector) geometry.Vector {
 	level := len(path) - 1
 	if len(path) == e.f+1 {
-		if v, ok := e.vals[level][pathKey(path)]; ok {
-			return v
+		buf := e.keyBuf[:0]
+		for _, id := range path {
+			buf = appendKeyID(buf, id)
+		}
+		e.keyBuf = buf
+		if node, ok := e.vals[level][string(buf)]; ok {
+			return node.value
 		}
 		return e.def
 	}
-	// Strict majority over children W(σ·j), j ∉ σ.
-	counts := make(map[string]int, e.n)
-	reps := make(map[string]geometry.Vector, e.n)
-	children := 0
+	// Strict majority over children W(σ·j), j ∉ σ. The strict-majority
+	// value is unique when it exists, so a Boyer-Moore vote (candidate
+	// pass + count pass) replaces the per-node hash maps: no allocation,
+	// same deterministic result on every correct process.
+	children := scratch[len(scratch):len(scratch):cap(scratch)]
 	for j := 0; j < e.n; j++ {
 		id := sim.ProcID(j)
 		if containsID(path, id) {
 			continue
 		}
-		children++
-		child := e.resolve(append(path, id))
-		k := geometry.Key(child)
-		counts[k]++
-		if _, ok := reps[k]; !ok {
-			reps[k] = child
+		children = append(children, e.resolve(append(path, id), children))
+	}
+	var candidate geometry.Vector
+	lead := 0
+	for _, child := range children {
+		switch {
+		case lead == 0:
+			candidate, lead = child, 1
+		case candidate.Equal(child):
+			lead++
+		default:
+			lead--
 		}
 	}
-	for k, c := range counts {
-		if 2*c > children {
-			return reps[k]
+	if candidate != nil {
+		count := 0
+		for _, child := range children {
+			if candidate.Equal(child) {
+				count++
+			}
+		}
+		if 2*count > len(children) {
+			return candidate
 		}
 	}
 	return e.def
 }
 
+// appendKeyID appends one process id to a path key under construction,
+// producing the same representation as pathKey without allocating.
+func appendKeyID(dst []byte, id sim.ProcID) []byte {
+	if len(dst) > 0 {
+		dst = append(dst, ',')
+	}
+	return strconv.AppendInt(dst, int64(id), 10)
+}
+
 // pathKey encodes a path deterministically for map storage.
 func pathKey(path []sim.ProcID) string {
-	var b strings.Builder
-	for i, id := range path {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(strconv.Itoa(int(id)))
+	var b []byte
+	for _, id := range path {
+		b = appendKeyID(b, id)
 	}
-	return b.String()
+	return string(b)
 }
 
 // decodePath is the inverse of pathKey (inputs are internally produced,
@@ -238,14 +290,18 @@ func decodePath(key string) []sim.ProcID {
 	return out
 }
 
-// validPath reports whether ids are in range and pairwise distinct.
+// validPath reports whether ids are in range and pairwise distinct (paths
+// are short — at most f+1 ids — so the quadratic scan beats a map).
 func validPath(path []sim.ProcID, n int) bool {
-	seen := make(map[sim.ProcID]bool, len(path))
-	for _, id := range path {
-		if int(id) < 0 || int(id) >= n || seen[id] {
+	for i, id := range path {
+		if int(id) < 0 || int(id) >= n {
 			return false
 		}
-		seen[id] = true
+		for _, prev := range path[:i] {
+			if prev == id {
+				return false
+			}
+		}
 	}
 	return true
 }
@@ -259,13 +315,24 @@ func containsID(path []sim.ProcID, id sim.ProcID) bool {
 	return false
 }
 
-// sortRelays orders relays by path key for deterministic message layout.
+// sortRelays orders relays by path (numeric, position-wise) for
+// deterministic message layout.
 func sortRelays(relays []EIGRelay) {
 	for i := 1; i < len(relays); i++ {
-		for j := i; j > 0 && pathKey(relays[j].Path) < pathKey(relays[j-1].Path); j-- {
+		for j := i; j > 0 && pathLess(relays[j].Path, relays[j-1].Path); j-- {
 			relays[j], relays[j-1] = relays[j-1], relays[j]
 		}
 	}
+}
+
+// pathLess compares paths lexicographically by process id.
+func pathLess(a, b []sim.ProcID) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
 }
 
 // MultiEIG runs n concurrent EIG instances, one per designated sender —

@@ -20,6 +20,16 @@ func Binomial(n, k int) int64 {
 	if k > n-k {
 		k = n - k
 	}
+	if n <= 40 {
+		// Multiplicative formula, exact in int64 for n ≤ 40 (the largest
+		// intermediate is C(40,20)·40 ≈ 5.5e12). This keeps the hot
+		// enumeration/unranking paths free of big.Int allocation.
+		var res int64 = 1
+		for i := 1; i <= k; i++ {
+			res = res * int64(n-k+i) / int64(i)
+		}
+		return res
+	}
 	z := new(big.Int).Binomial(int64(n), int64(k))
 	if !z.IsInt64() {
 		return math.MaxInt64
@@ -60,6 +70,40 @@ func Combinations(n, k int, fn func(indices []int) bool) error {
 			idx[j] = idx[j-1] + 1
 		}
 	}
+}
+
+// Unrank writes the combination of lexicographic rank r (0-based, matching
+// the enumeration order of Combinations) among the k-subsets of {0,…,n−1}
+// into buf and returns it. buf is reused when it has capacity ≥ k. Unranking
+// gives parallel consumers random access into the combination sequence
+// without materializing it: workers pull ranks from a shared counter and
+// reconstruct their subset in O(n).
+func Unrank(n, k int, r int64, buf []int) ([]int, error) {
+	if k < 0 || n < 0 || k > n {
+		return nil, fmt.Errorf("combin: invalid combination C(%d,%d)", n, k)
+	}
+	if r < 0 || r >= Binomial(n, k) {
+		return nil, fmt.Errorf("combin: rank %d out of range for C(%d,%d)", r, n, k)
+	}
+	if cap(buf) < k {
+		buf = make([]int, k)
+	}
+	buf = buf[:k]
+	x := 0
+	for i := 0; i < k; i++ {
+		for {
+			// Combinations starting with x at position i: C(n−1−x, k−1−i).
+			c := Binomial(n-1-x, k-1-i)
+			if r < c {
+				buf[i] = x
+				x++
+				break
+			}
+			r -= c
+			x++
+		}
+	}
+	return buf, nil
 }
 
 // AllCombinations materializes every k-subset of {0,…,n−1} in lexicographic

@@ -2,6 +2,7 @@ package combin
 
 import (
 	"math"
+	"math/big"
 	"reflect"
 	"testing"
 )
@@ -271,5 +272,55 @@ func TestPartitionsSingle(t *testing.T) {
 	}
 	if count != 1 {
 		t.Errorf("count = %d, want 1", count)
+	}
+}
+
+func TestUnrankMatchesEnumeration(t *testing.T) {
+	for _, c := range []struct{ n, k int }{{5, 2}, {7, 5}, {9, 3}, {6, 6}, {4, 1}, {3, 0}} {
+		var rank int64
+		buf := make([]int, c.k)
+		err := Combinations(c.n, c.k, func(idx []int) bool {
+			got, err := Unrank(c.n, c.k, rank, buf)
+			if err != nil {
+				t.Fatalf("Unrank(%d,%d,%d): %v", c.n, c.k, rank, err)
+			}
+			for i := range idx {
+				if got[i] != idx[i] {
+					t.Fatalf("Unrank(%d,%d,%d) = %v, enumeration gives %v", c.n, c.k, rank, got, idx)
+				}
+			}
+			rank++
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rank != Binomial(c.n, c.k) {
+			t.Fatalf("enumerated %d combinations, want C(%d,%d)=%d", rank, c.n, c.k, Binomial(c.n, c.k))
+		}
+	}
+}
+
+func TestUnrankErrors(t *testing.T) {
+	if _, err := Unrank(5, 2, 10, nil); err == nil {
+		t.Error("rank = C(5,2): expected out-of-range error")
+	}
+	if _, err := Unrank(5, 2, -1, nil); err == nil {
+		t.Error("negative rank: expected error")
+	}
+	if _, err := Unrank(2, 3, 0, nil); err == nil {
+		t.Error("k > n: expected error")
+	}
+}
+
+func TestBinomialSmallNPathMatchesBig(t *testing.T) {
+	// The int64 fast path (n ≤ 40) must agree with the big.Int reference.
+	for n := 0; n <= 40; n++ {
+		for k := 0; k <= n; k++ {
+			want := new(big.Int).Binomial(int64(n), int64(k))
+			if got := Binomial(n, k); !want.IsInt64() || got != want.Int64() {
+				t.Fatalf("Binomial(%d,%d) = %d, want %s", n, k, got, want)
+			}
+		}
 	}
 }

@@ -161,11 +161,15 @@ func (a *AsyncNode) finishRound(api sim.API, res *aad.Result) {
 		byOrigin[int(tp.Origin)] = tuples[i]
 	}
 
-	var sets [][]tuple
+	var (
+		next   geometry.Vector
+		ziSize int
+		err    error
+	)
 	if a.cfg.WitnessOpt {
 		// Appendix F: one candidate set per witness — the witness's first
 		// n−f reported tuples. |Zi| ≤ n.
-		sets = make([][]tuple, 0, len(res.WitnessPrefixes))
+		sets := make([][]tuple, 0, len(res.WitnessPrefixes))
 		for _, prefix := range res.WitnessPrefixes {
 			set := make([]tuple, 0, len(prefix))
 			for _, origin := range prefix {
@@ -178,17 +182,12 @@ func (a *AsyncNode) finishRound(api sim.API, res *aad.Result) {
 			}
 			sets = append(sets, set)
 		}
+		next, ziSize, err = a.cfg.engine().AverageGammaSets(sets, a.cfg.F, a.cfg.Method)
 	} else {
-		// §3.2 Step 2: every C ⊆ Bi[t] with |C| = n−f.
-		var err error
-		sets, err = subsetsOfSize(tuples, a.cfg.N-a.cfg.F)
-		if err != nil {
-			a.fail(api, err)
-			return
-		}
+		// §3.2 Step 2: every C ⊆ Bi[t] with |C| = n−f, streamed by the
+		// engine rather than materialized.
+		next, ziSize, err = a.cfg.engine().AverageGamma(tuples, a.cfg.N-a.cfg.F, a.cfg.F, a.cfg.Method)
 	}
-
-	next, ziSize, err := averageGammaPoints(sets, a.cfg.F, a.cfg.Method)
 	if err != nil {
 		a.fail(api, err)
 		return

@@ -1,0 +1,361 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/combin"
+	"repro/internal/geometry"
+	"repro/internal/safearea"
+)
+
+// Engine is the Γ-point computation engine shared by every algorithm
+// variant: it owns the bounded worker pool that fans the per-candidate-set
+// safe-point solves out across CPUs, and the memoization table that collapses
+// identical solves to one. Both optimizations are exact — parallel and
+// serial, cached and uncached runs produce bit-identical results:
+//
+//   - Parallelism: the C(|B|, k) candidate sets are streamed by
+//     lexicographic rank (combin.Unrank gives workers random access, so the
+//     subset list is never materialized), each Γ-point depends only on its
+//     own candidate set, and the Zi average is reduced in rank order.
+//   - Memoization: by Observation 2 of the paper, the deterministic point
+//     zij of a candidate set depends only on the canonical (origin-sorted)
+//     multiset of values, so any two processes — and any two rounds, and any
+//     two of the n simulated nodes of one execution — holding the same set
+//     compute the same point. The cache key is exactly that canonical
+//     multiset (bit-exact geometry.Key encoding) plus (d, f, method).
+//
+// The memoization table is effectively round-scoped: each round's states
+// move, so old entries stop being hit; the table is dropped wholesale when
+// it exceeds a fixed bound, keeping memory O(1) over long executions.
+//
+// An Engine is safe for concurrent use by multiple goroutines.
+type Engine struct {
+	workers int
+	memoize bool
+
+	mu   sync.Mutex
+	memo map[string]*gammaEntry
+}
+
+// maxMemoEntries bounds the memoization table; exceeding it drops the whole
+// table (cheap, deterministic, and correct — entries are pure functions of
+// their key).
+const maxMemoEntries = 1 << 15
+
+type gammaEntry struct {
+	once sync.Once
+	pt   geometry.Vector // read-only after once
+	err  error
+}
+
+// NewEngine returns an engine with the given worker bound (≤ 0 means
+// GOMAXPROCS) and memoization switch.
+func NewEngine(workers int, memoize bool) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{workers: workers, memoize: memoize}
+	if memoize {
+		e.memo = make(map[string]*gammaEntry)
+	}
+	return e
+}
+
+// defaultEngine backs every node whose Params carry no explicit Engine:
+// parallel across GOMAXPROCS and memoized, so the n simulated processes of
+// one execution share work by default.
+var defaultEngine = NewEngine(0, true)
+
+// DefaultEngine returns the process-wide shared engine.
+func DefaultEngine() *Engine { return defaultEngine }
+
+// Workers returns the resolved worker bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Reset drops every memoized Γ-point.
+func (e *Engine) Reset() {
+	if e.memo == nil {
+		return
+	}
+	e.mu.Lock()
+	e.memo = make(map[string]*gammaEntry)
+	e.mu.Unlock()
+}
+
+// entry returns the memo entry for key, creating it if needed.
+func (e *Engine) entry(key []byte) *gammaEntry {
+	e.mu.Lock()
+	ent, ok := e.memo[string(key)]
+	if !ok {
+		if len(e.memo) >= maxMemoEntries {
+			e.memo = make(map[string]*gammaEntry)
+		}
+		ent = &gammaEntry{}
+		e.memo[string(key)] = ent
+	}
+	e.mu.Unlock()
+	return ent
+}
+
+// appendMeta prefixes a memo key with the non-value parameters the Γ-point
+// depends on.
+func appendMeta(dst []byte, d, f int, method safearea.Method) []byte {
+	dst = append(dst, byte(method))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(d))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(f))
+	return dst
+}
+
+// SafePoint returns the deterministic Γ-point of (y, f) under method,
+// memoized on the canonical multiset key. In Exact BVC all n processes hold
+// the identical agreed multiset S, so the n-fold recomputation of the same
+// lex-min LP collapses to a single solve.
+func (e *Engine) SafePoint(y *geometry.Multiset, f int, method safearea.Method) (geometry.Vector, error) {
+	if !e.memoize {
+		return safearea.PointWith(y, f, method)
+	}
+	key := make([]byte, 0, 9+8*y.Len()*y.Dim())
+	key = appendMeta(key, y.Dim(), f, method)
+	for i := 0; i < y.Len(); i++ {
+		key = geometry.AppendKey(key, y.At(i))
+	}
+	ent := e.entry(key)
+	ent.once.Do(func() { ent.pt, ent.err = safearea.PointWith(y, f, method) })
+	if ent.err != nil {
+		return nil, ent.err
+	}
+	return ent.pt.Clone(), nil
+}
+
+// gammaScratch is one worker's reusable state for per-candidate-set
+// Γ-points: the gathered and origin-sorted tuple selection and the memo key
+// buffer.
+type gammaScratch struct {
+	e      *Engine
+	f      int
+	method safearea.Method
+	d      int
+	sel    []tuple
+	key    []byte
+}
+
+func (e *Engine) scratch(k, d, f int, method safearea.Method) gammaScratch {
+	return gammaScratch{
+		e: e, f: f, method: method, d: d,
+		sel: make([]tuple, 0, k),
+		key: make([]byte, 0, 9+8*k*d),
+	}
+}
+
+// point computes (or recalls) the Γ-point of the candidate set selected from
+// tuples by idx. The returned vector is shared with the memo table and must
+// not be mutated.
+func (sc *gammaScratch) point(tuples []tuple, idx []int) (geometry.Vector, error) {
+	sel := sc.sel[:0]
+	for _, j := range idx {
+		sel = append(sel, tuples[j])
+	}
+	sc.sel = sel
+	return sc.pointOfSel()
+}
+
+// pointOfSet is point for an explicitly materialized candidate set (the
+// witness-optimization path).
+func (sc *gammaScratch) pointOfSet(set []tuple) (geometry.Vector, error) {
+	sc.sel = append(sc.sel[:0], set...)
+	return sc.pointOfSel()
+}
+
+func (sc *gammaScratch) pointOfSel() (geometry.Vector, error) {
+	sel := sc.sel
+	// Canonicalize by origin id (Observation 2); insertion sort — the
+	// selections are small and usually already sorted.
+	for i := 1; i < len(sel); i++ {
+		for j := i; j > 0 && sel[j].origin < sel[j-1].origin; j-- {
+			sel[j], sel[j-1] = sel[j-1], sel[j]
+		}
+	}
+	if !sc.e.memoize {
+		return gammaPointOfSorted(sel, sc.f, sc.method)
+	}
+	key := appendMeta(sc.key[:0], sc.d, sc.f, sc.method)
+	for _, tp := range sel {
+		key = geometry.AppendKey(key, tp.value)
+	}
+	sc.key = key
+	ent := sc.e.entry(key)
+	ent.once.Do(func() { ent.pt, ent.err = gammaPointOfSorted(sel, sc.f, sc.method) })
+	return ent.pt, ent.err
+}
+
+// AverageGamma computes Zi = {Γ-point of C : C ⊆ tuples, |C| = k} and
+// returns its average — eq. (9) of the paper — along with |Zi|. Subsets are
+// streamed (never materialized); with more than one worker the solves run
+// concurrently and are reduced in lexicographic rank order, so the result is
+// bit-identical to the serial computation.
+func (e *Engine) AverageGamma(tuples []tuple, k, f int, method safearea.Method) (geometry.Vector, int, error) {
+	n := len(tuples)
+	if k <= 0 || k > n {
+		return nil, 0, fmt.Errorf("core: subset size %d of %d tuples", k, n)
+	}
+	total := combin.Binomial(n, k)
+	d := tuples[0].value.Dim()
+	workers := e.workers
+	if int64(workers) > total {
+		workers = int(total)
+	}
+	if workers <= 1 {
+		return e.averageGammaSerial(tuples, k, f, method, total, d)
+	}
+
+	points := make([]geometry.Vector, total)
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := e.scratch(k, d, f, method)
+			idx := make([]int, k)
+			for {
+				r := next.Add(1) - 1
+				if r >= total || failed.Load() {
+					return
+				}
+				idx, err := combin.Unrank(n, k, r, idx)
+				if err != nil {
+					failed.Store(true)
+					return
+				}
+				pt, err := sc.point(tuples, idx)
+				if err != nil {
+					failed.Store(true)
+					return
+				}
+				points[r] = pt
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() {
+		// Re-run serially for the deterministic first-failing-rank error.
+		return e.averageGammaSerial(tuples, k, f, method, total, d)
+	}
+	return meanOf(points)
+}
+
+func (e *Engine) averageGammaSerial(tuples []tuple, k, f int, method safearea.Method, total int64, d int) (geometry.Vector, int, error) {
+	points := make([]geometry.Vector, 0, total)
+	sc := e.scratch(k, d, f, method)
+	var gerr error
+	err := combin.Combinations(len(tuples), k, func(idx []int) bool {
+		pt, err := sc.point(tuples, idx)
+		if err != nil {
+			gerr = err
+			return false
+		}
+		points = append(points, pt)
+		return true
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	if gerr != nil {
+		return nil, 0, fmt.Errorf("core: safe point of candidate set: %w", gerr)
+	}
+	return meanOf(points)
+}
+
+// AverageGammaSets is AverageGamma over explicitly materialized candidate
+// sets — the Appendix-F witness-optimization path, where the sets are the
+// witnesses' reported prefixes rather than all k-subsets.
+func (e *Engine) AverageGammaSets(sets [][]tuple, f int, method safearea.Method) (geometry.Vector, int, error) {
+	if len(sets) == 0 {
+		return nil, 0, fmt.Errorf("core: no candidate sets")
+	}
+	if len(sets[0]) == 0 {
+		return nil, 0, fmt.Errorf("core: empty candidate set")
+	}
+	d := sets[0][0].value.Dim()
+	maxK := 0
+	for _, set := range sets {
+		if len(set) > maxK {
+			maxK = len(set)
+		}
+	}
+	workers := e.workers
+	if workers > len(sets) {
+		workers = len(sets)
+	}
+
+	points := make([]geometry.Vector, len(sets))
+	if workers <= 1 {
+		sc := e.scratch(maxK, d, f, method)
+		for i, set := range sets {
+			pt, err := sc.pointOfSet(set)
+			if err != nil {
+				return nil, 0, fmt.Errorf("core: safe point of candidate set: %w", err)
+			}
+			points[i] = pt
+		}
+		return meanOf(points)
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := e.scratch(maxK, d, f, method)
+			for {
+				r := int(next.Add(1) - 1)
+				if r >= len(sets) || failed.Load() {
+					return
+				}
+				pt, err := sc.pointOfSet(sets[r])
+				if err != nil {
+					failed.Store(true)
+					return
+				}
+				points[r] = pt
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() {
+		// Deterministic error: recompute serially, reporting the first
+		// failing set in index order. The computation is deterministic, so
+		// the serial pass must fail too; the final error is a backstop.
+		sc := e.scratch(maxK, d, f, method)
+		for _, set := range sets {
+			if _, err := sc.pointOfSet(set); err != nil {
+				return nil, 0, fmt.Errorf("core: safe point of candidate set: %w", err)
+			}
+		}
+		return nil, 0, fmt.Errorf("core: candidate-set solve failed in parallel but not serially")
+	}
+	return meanOf(points)
+}
+
+// meanOf averages the rank-ordered points through geometry.Mean — the one
+// canonical averaging implementation, so serial, parallel and reference
+// computations share the identical floating-point operation order.
+func meanOf(points []geometry.Vector) (geometry.Vector, int, error) {
+	avg, err := geometry.Mean(points)
+	if err != nil {
+		return nil, 0, err
+	}
+	return avg, len(points), nil
+}

@@ -72,7 +72,10 @@ func (e *ExactNode) Deliver(r int, inbox map[sim.ProcID]sim.Message) {
 		}
 	}
 	e.s = s
-	pt, err := safearea.PointWith(s, e.params.F, e.params.Method)
+	// The engine memoizes on the canonical multiset: all n correct
+	// processes hold the identical agreed S, so only the first to reach
+	// this point pays for the lex-min LP.
+	pt, err := e.params.engine().SafePoint(s, e.params.F, e.params.Method)
 	if err != nil {
 		// Γ(S) is non-empty whenever n ≥ (d+1)f+1 (Lemma 1), which
 		// Validate enforced; reaching this indicates a real failure.

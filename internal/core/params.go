@@ -105,6 +105,18 @@ type Params struct {
 	// Method selects the Γ-point computation (safearea.MethodAuto when
 	// zero-valued is not allowed; set explicitly or use Defaults).
 	Method safearea.Method
+	// Engine computes the Γ-points (worker pool + memoization). Nil selects
+	// the process-wide DefaultEngine; results are bit-identical for every
+	// engine configuration, so this is purely a performance/resource knob.
+	Engine *Engine
+}
+
+// engine resolves the Γ-point engine for this parameter set.
+func (p Params) engine() *Engine {
+	if p.Engine != nil {
+		return p.Engine
+	}
+	return defaultEngine
 }
 
 // WithDefaults fills unset optional fields: MethodAuto for Method.

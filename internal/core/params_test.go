@@ -166,23 +166,27 @@ func TestGammaPointOfSetCanonicalizes(t *testing.T) {
 	}
 }
 
-func TestSubsetsOfSize(t *testing.T) {
+func TestAverageGammaSubsetErrors(t *testing.T) {
 	tuples := []tuple{
 		{origin: 0, value: geometry.Vector{0}},
 		{origin: 1, value: geometry.Vector{1}},
 		{origin: 2, value: geometry.Vector{2}},
 	}
-	sets, err := subsetsOfSize(tuples, 2)
+	eng := NewEngine(1, false)
+	avg, size, err := eng.AverageGamma(tuples, 2, 0, 1) // f=0, MethodAuto
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sets) != 3 {
-		t.Errorf("C(3,2) = %d sets, want 3", len(sets))
+	if size != 3 {
+		t.Errorf("C(3,2) = %d sets, want 3", size)
 	}
-	if _, err := subsetsOfSize(tuples, 4); err == nil {
+	if avg == nil {
+		t.Error("nil average")
+	}
+	if _, _, err := eng.AverageGamma(tuples, 4, 0, 1); err == nil {
 		t.Error("k > len: expected error")
 	}
-	if _, err := subsetsOfSize(tuples, 0); err == nil {
+	if _, _, err := eng.AverageGamma(tuples, 0, 0, 1); err == nil {
 		t.Error("k = 0: expected error")
 	}
 }

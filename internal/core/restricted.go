@@ -79,12 +79,7 @@ func (rs *RestrictedSyncNode) Deliver(r int, inbox map[sim.ProcID]sim.Message) {
 		}
 		tuples[j] = tuple{origin: j, value: value}
 	}
-	sets, err := subsetsOfSize(tuples, rs.params.N-rs.params.F)
-	if err != nil {
-		rs.err = err
-		return
-	}
-	next, _, err := averageGammaPoints(sets, rs.params.F, rs.params.Method)
+	next, _, err := rs.params.engine().AverageGamma(tuples, rs.params.N-rs.params.F, rs.params.F, rs.params.Method)
 	if err != nil {
 		rs.err = err
 		return
@@ -225,12 +220,7 @@ func (ra *RestrictedAsyncNode) tryAdvance(api sim.API) bool {
 	b = append(b, tuple{origin: int(ra.self), value: ra.v})
 	b = append(b, arrived[:need]...)
 
-	sets, err := subsetsOfSize(b, ra.params.N-3*ra.params.F)
-	if err != nil {
-		ra.fail(api, err)
-		return false
-	}
-	next, _, err := averageGammaPoints(sets, ra.params.F, ra.params.Method)
+	next, _, err := ra.params.engine().AverageGamma(b, ra.params.N-3*ra.params.F, ra.params.F, ra.params.Method)
 	if err != nil {
 		ra.fail(api, err)
 		return false

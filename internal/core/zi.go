@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/combin"
 	"repro/internal/geometry"
 	"repro/internal/safearea"
 )
@@ -28,6 +27,15 @@ func gammaPointOfSet(set []tuple, f int, method safearea.Method) (geometry.Vecto
 	sorted := make([]tuple, len(set))
 	copy(sorted, set)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].origin < sorted[j].origin })
+	return gammaPointOfSorted(sorted, f, method)
+}
+
+// gammaPointOfSorted is gammaPointOfSet for an already origin-sorted set —
+// the Engine's cache-miss compute path.
+func gammaPointOfSorted(sorted []tuple, f int, method safearea.Method) (geometry.Vector, error) {
+	if len(sorted) == 0 {
+		return nil, fmt.Errorf("core: empty candidate set")
+	}
 	ms := geometry.NewMultiset(sorted[0].value.Dim())
 	for _, tp := range sorted {
 		if err := ms.Add(tp.value); err != nil {
@@ -38,7 +46,11 @@ func gammaPointOfSet(set []tuple, f int, method safearea.Method) (geometry.Vecto
 }
 
 // averageGammaPoints computes Zi = {one safe point per candidate set} and
-// returns its average — eq. (9) of the paper — along with |Zi|.
+// returns its average — eq. (9) of the paper — along with |Zi|. It is the
+// serial reference implementation; production paths go through
+// Engine.AverageGamma / Engine.AverageGammaSets, which stream the subset
+// enumeration, parallelize the solves and memoize identical sets while
+// producing bit-identical results.
 func averageGammaPoints(sets [][]tuple, f int, method safearea.Method) (geometry.Vector, int, error) {
 	if len(sets) == 0 {
 		return nil, 0, fmt.Errorf("core: no candidate sets")
@@ -56,25 +68,4 @@ func averageGammaPoints(sets [][]tuple, f int, method safearea.Method) (geometry
 		return nil, 0, err
 	}
 	return avg, len(points), nil
-}
-
-// subsetsOfSize enumerates every size-k subset of the given tuples — the
-// "for each C ⊆ Bi[t], |C| = n−f" loop of the paper's Step 2.
-func subsetsOfSize(tuples []tuple, k int) ([][]tuple, error) {
-	if k <= 0 || k > len(tuples) {
-		return nil, fmt.Errorf("core: subset size %d of %d tuples", k, len(tuples))
-	}
-	var out [][]tuple
-	err := combin.Combinations(len(tuples), k, func(idx []int) bool {
-		set := make([]tuple, k)
-		for i, j := range idx {
-			set[i] = tuples[j]
-		}
-		out = append(out, set)
-		return true
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
 }

@@ -11,12 +11,18 @@ import (
 // counting must be exact, not tolerance-based, or a Byzantine process could
 // split or merge quorums with near-identical values.
 func Key(v Vector) string {
-	b := make([]byte, 8*len(v))
-	for i, x := range v {
+	return string(AppendKey(make([]byte, 0, 8*len(v)), v))
+}
+
+// AppendKey appends v's canonical key bytes (the Key encoding) to dst and
+// returns the extended slice, letting callers build composite keys over many
+// vectors without intermediate string allocations.
+func AppendKey(dst []byte, v Vector) []byte {
+	for _, x := range v {
 		if x == 0 {
 			x = 0 // collapse −0.0 onto +0.0 so Key agrees with Equal
 		}
-		binary.BigEndian.PutUint64(b[i*8:], math.Float64bits(x))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(x))
 	}
-	return string(b)
+	return dst
 }

@@ -1,0 +1,28 @@
+package harness
+
+import "repro"
+
+// engineOptions is the harness-wide Γ-point engine configuration folded into
+// every experiment's SimOptions. The zero value selects the library default
+// (GOMAXPROCS workers, memoization on); cmd/bvcbench's -workers and
+// -gammacache flags change it. Every configuration produces bit-identical
+// experiment tables — the engine knobs only move work and memory around.
+var engineOptions struct {
+	workers      int
+	disableCache bool
+}
+
+// SetEngineOptions configures the Γ-point engine used by all experiments:
+// workers bounds concurrent Γ-point solves (0 = GOMAXPROCS, 1 = serial) and
+// disableCache turns off cross-process memoization.
+func SetEngineOptions(workers int, disableCache bool) {
+	engineOptions.workers = workers
+	engineOptions.disableCache = disableCache
+}
+
+// withEngine folds the harness engine configuration into o.
+func withEngine(o bvc.SimOptions) bvc.SimOptions {
+	o.Workers = engineOptions.workers
+	o.DisableGammaCache = engineOptions.disableCache
+	return o
+}

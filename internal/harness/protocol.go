@@ -69,7 +69,7 @@ func E2ExactSufficiency(seed int64) (*Table, error) {
 			for _, b := range byz {
 				inputs[b.ID] = nil
 			}
-			res, err := bvc.SimulateExact(cfg, inputs, byz, bvc.SimOptions{Seed: seed})
+			res, err := bvc.SimulateExact(cfg, inputs, byz, withEngine(bvc.SimOptions{Seed: seed}))
 			if err != nil {
 				return nil, fmt.Errorf("E2 d=%d f=%d %s: %w", d, f, c.name, err)
 			}
@@ -123,7 +123,7 @@ func E5AsyncConvergence(seed int64) (*Table, error) {
 		Kind: bvc.DelayExponential, Mean: 4 * time.Millisecond,
 		StarveSet: []int{0}, StarveExtra: 40 * time.Millisecond,
 	}
-	res, err := bvc.SimulateApproxAsync(cfg, inputs, byz, bvc.SimOptions{Seed: seed, Delay: delay})
+	res, err := bvc.SimulateApproxAsync(cfg, inputs, byz, withEngine(bvc.SimOptions{Seed: seed, Delay: delay}))
 	if err != nil {
 		return nil, err
 	}
@@ -144,7 +144,7 @@ func E5AsyncConvergence(seed int64) (*Table, error) {
 
 	// Full run with the analytic termination rule.
 	cfg.MaxRounds = 0
-	full, err := bvc.SimulateApproxAsync(cfg, inputs, byz, bvc.SimOptions{Seed: seed + 1, Delay: delay})
+	full, err := bvc.SimulateApproxAsync(cfg, inputs, byz, withEngine(bvc.SimOptions{Seed: seed + 1, Delay: delay}))
 	if err != nil {
 		return nil, err
 	}
@@ -195,10 +195,10 @@ func F2ConvergenceSeries(seed int64) (*Table, error) {
 	inputs[n-1] = nil
 	byz := []bvc.Byzantine{{ID: n - 1, Strategy: bvc.StrategyEquivocate,
 		Target: make(bvc.Vector, d), Target2: bvc.Vector{1, 1}}}
-	res, err := bvc.SimulateRestrictedAsync(cfg, inputs, byz, bvc.SimOptions{
+	res, err := bvc.SimulateRestrictedAsync(cfg, inputs, byz, withEngine(bvc.SimOptions{
 		Seed:  seed,
 		Delay: bvc.DelaySpec{Kind: bvc.DelayExponential, Mean: 10 * time.Millisecond},
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}
@@ -270,7 +270,7 @@ func E6RestrictedSync(seed int64) (*Table, error) {
 			for _, b := range byz {
 				inputs[b.ID] = nil
 			}
-			res, err := bvc.SimulateRestrictedSync(cfg, inputs, byz, bvc.SimOptions{Seed: seed})
+			res, err := bvc.SimulateRestrictedSync(cfg, inputs, byz, withEngine(bvc.SimOptions{Seed: seed}))
 			if err != nil {
 				return nil, fmt.Errorf("E6 d=%d %s: %w", d, name, err)
 			}
@@ -348,7 +348,7 @@ func E7RestrictedAsync(seed int64) (*Table, error) {
 			for _, b := range c.byz {
 				inputs[b.ID] = nil
 			}
-			res, err := bvc.SimulateRestrictedAsync(cfg, inputs, c.byz, bvc.SimOptions{Seed: seed, Delay: c.delay})
+			res, err := bvc.SimulateRestrictedAsync(cfg, inputs, c.byz, withEngine(bvc.SimOptions{Seed: seed, Delay: c.delay}))
 			if err != nil {
 				return nil, fmt.Errorf("E7 d=%d %s: %w", d, c.schedule, err)
 			}
@@ -395,7 +395,7 @@ func E8CoordinateWise(seed int64) (*Table, error) {
 		nil,
 	}
 	byz := []bvc.Byzantine{{ID: 3, Strategy: bvc.StrategyLure, Target: bvc.Vector{0, 0, 0}}}
-	cw, err := bvc.SimulateCoordinateWise(bvc.Config{N: 4, F: 1, D: 3}, paperInputs, byz, bvc.SimOptions{Seed: seed})
+	cw, err := bvc.SimulateCoordinateWise(bvc.Config{N: 4, F: 1, D: 3}, paperInputs, byz, withEngine(bvc.SimOptions{Seed: seed}))
 	if err != nil {
 		return nil, err
 	}
@@ -413,7 +413,7 @@ func E8CoordinateWise(seed int64) (*Table, error) {
 		nil,
 	}
 	byz5 := []bvc.Byzantine{{ID: 4, Strategy: bvc.StrategyLure, Target: bvc.Vector{0, 0, 0}}}
-	ex, err := bvc.SimulateExact(bvc.Config{N: 5, F: 1, D: 3}, bvcInputs, byz5, bvc.SimOptions{Seed: seed})
+	ex, err := bvc.SimulateExact(bvc.Config{N: 5, F: 1, D: 3}, bvcInputs, byz5, withEngine(bvc.SimOptions{Seed: seed}))
 	if err != nil {
 		return nil, err
 	}
@@ -433,7 +433,7 @@ func E8CoordinateWise(seed int64) (*Table, error) {
 		inputs[3] = nil
 		res, err := bvc.SimulateCoordinateWise(bvc.Config{N: 4, F: 1, D: 3}, inputs,
 			[]bvc.Byzantine{{ID: 3, Strategy: bvc.StrategyLure, Target: bvc.Vector{0, 0, 0}}},
-			bvc.SimOptions{Seed: int64(trial)})
+			withEngine(bvc.SimOptions{Seed: int64(trial)}))
 		if err != nil {
 			return nil, err
 		}

@@ -42,7 +42,7 @@ func Contains(points []geometry.Vector, z geometry.Vector, tol float64) (bool, e
 	prob := lp.NewProblem()
 	alphas := make([]lp.VarID, len(points))
 	for i := range points {
-		v, err := prob.AddVar(fmt.Sprintf("a%d", i), 0, math.Inf(1))
+		v, err := prob.AddVar("a", 0, math.Inf(1))
 		if err != nil {
 			return false, err
 		}
@@ -64,10 +64,10 @@ func Contains(points []geometry.Vector, z geometry.Vector, tol float64) (bool, e
 				terms = append(terms, lp.Term{Var: a, Coeff: points[i][l]})
 			}
 		}
-		if err := prob.AddConstraint(fmt.Sprintf("lo%d", l), terms, lp.GE, z[l]-tol); err != nil {
+		if err := prob.AddConstraint("lo", terms, lp.GE, z[l]-tol); err != nil {
 			return false, err
 		}
-		if err := prob.AddConstraint(fmt.Sprintf("hi%d", l), terms, lp.LE, z[l]+tol); err != nil {
+		if err := prob.AddConstraint("hi", terms, lp.LE, z[l]+tol); err != nil {
 			return false, err
 		}
 	}
@@ -94,7 +94,7 @@ func intersectionProblem(groups [][]geometry.Vector) (*lp.Problem, []lp.VarID, e
 	prob := lp.NewProblem()
 	zvars := make([]lp.VarID, d)
 	for l := 0; l < d; l++ {
-		v, err := prob.AddVar(fmt.Sprintf("z%d", l), math.Inf(-1), math.Inf(1))
+		v, err := prob.AddVar("z", math.Inf(-1), math.Inf(1))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -109,7 +109,7 @@ func intersectionProblem(groups [][]geometry.Vector) (*lp.Problem, []lp.VarID, e
 			if p.Dim() != d {
 				return nil, nil, fmt.Errorf("hull: group %d point %d has dimension %d, want %d", g, i, p.Dim(), d)
 			}
-			v, err := prob.AddVar(fmt.Sprintf("a%d_%d", g, i), 0, math.Inf(1))
+			v, err := prob.AddVar("a", 0, math.Inf(1))
 			if err != nil {
 				return nil, nil, err
 			}
@@ -119,7 +119,7 @@ func intersectionProblem(groups [][]geometry.Vector) (*lp.Problem, []lp.VarID, e
 		for i, a := range alphas {
 			sum[i] = lp.Term{Var: a, Coeff: 1}
 		}
-		if err := prob.AddConstraint(fmt.Sprintf("sum%d", g), sum, lp.EQ, 1); err != nil {
+		if err := prob.AddConstraint("sum", sum, lp.EQ, 1); err != nil {
 			return nil, nil, err
 		}
 		for l := 0; l < d; l++ {
@@ -130,7 +130,7 @@ func intersectionProblem(groups [][]geometry.Vector) (*lp.Problem, []lp.VarID, e
 				}
 			}
 			terms = append(terms, lp.Term{Var: zvars[l], Coeff: -1})
-			if err := prob.AddConstraint(fmt.Sprintf("eq%d_%d", g, l), terms, lp.EQ, 0); err != nil {
+			if err := prob.AddConstraint("eq", terms, lp.EQ, 0); err != nil {
 				return nil, nil, err
 			}
 		}
@@ -192,7 +192,7 @@ func LexMinCommonPoint(groups [][]geometry.Vector) (geometry.Vector, bool, error
 		last = sol
 		if l < len(zvars)-1 {
 			pin := []lp.Term{{Var: zvars[l], Coeff: 1}}
-			if err := prob.AddConstraint(fmt.Sprintf("pin%d", l), pin, lp.LE, sol.Values[zvars[l]]+pinSlack); err != nil {
+			if err := prob.AddConstraint("pin", pin, lp.LE, sol.Values[zvars[l]]+pinSlack); err != nil {
 				return nil, false, err
 			}
 		}

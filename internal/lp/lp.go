@@ -188,13 +188,24 @@ func (p *Problem) SetObjective(sense Sense, terms []Term) error {
 
 // Solve standardizes the problem and runs two-phase simplex. A Solution with
 // Status Infeasible or Unbounded is returned without error; error indicates
-// a malformed problem or an internal failure (e.g. iteration cap).
+// a malformed problem or an internal failure (e.g. iteration cap). Scratch
+// buffers come from an internal pool; callers solving many problems on one
+// goroutine can pass their own Workspace to SolveWith instead.
 func (p *Problem) Solve() (*Solution, error) {
-	std, err := p.standardize()
+	ws := wsPool.Get().(*Workspace)
+	defer wsPool.Put(ws)
+	return p.SolveWith(ws)
+}
+
+// SolveWith is Solve with caller-managed scratch: repeated solves through
+// the same Workspace reuse its buffers, so steady-state allocation is just
+// the returned Solution.
+func (p *Problem) SolveWith(ws *Workspace) (*Solution, error) {
+	std, err := p.standardize(ws)
 	if err != nil {
 		return nil, err
 	}
-	status, x, err := std.solve()
+	status, x, err := std.solve(ws)
 	if err != nil {
 		return nil, err
 	}
@@ -213,10 +224,10 @@ func (p *Problem) Solve() (*Solution, error) {
 
 // standard is the standard-form program min c·y s.t. Ay = b, y ≥ 0, together
 // with the bookkeeping needed to map a standard-form solution back to the
-// original variables.
+// original variables. Its slices alias Workspace buffers.
 type standard struct {
-	m, n int // rows, columns
-	a    [][]float64
+	m, n int       // rows, columns
+	a    []float64 // m×n, row-major
 	b    []float64
 	c    []float64
 
@@ -240,9 +251,11 @@ const (
 	varSplit                        // x = y − y2
 )
 
-// standardize converts the modeling-layer problem into standard form.
-func (p *Problem) standardize() (*standard, error) {
-	std := &standard{varMap: make([]stdVar, len(p.varLo))}
+// standardize converts the modeling-layer problem into standard form,
+// building the dense constraint matrix directly in ws's buffers (no
+// intermediate per-row maps).
+func (p *Problem) standardize(ws *Workspace) (*standard, error) {
+	std := &standard{varMap: grow(&ws.varMap, len(p.varLo))}
 
 	// Columns for original variables.
 	var cols int
@@ -262,78 +275,96 @@ func (p *Problem) standardize() (*standard, error) {
 		}
 	}
 
-	type stdRow struct {
-		coeffs map[int]float64
-		rel    Rel
-		rhs    float64
-	}
-	var rows []stdRow
-
-	// Upper-bound rows for doubly-bounded shifted variables:
-	// y ≤ hi − lo.
+	// Row inventory, in emission order: first the variable-bound rows —
+	// upper-bound rows y ≤ hi − lo for doubly-bounded shifted variables and
+	// y = 0 equality rows for fixed (lo == hi) variables, so phase 1 sees
+	// them — then the original constraint rows. Slack/surplus columns are
+	// assigned in this same row order.
+	rels := grow(&ws.rels, 0)
 	for i := range p.varLo {
 		lo, hi := p.varLo[i], p.varHi[i]
-		if std.varMap[i].kind == varShift && !math.IsInf(hi, 1) && hi > lo {
-			rows = append(rows, stdRow{
-				coeffs: map[int]float64{std.varMap[i].col: 1},
-				rel:    LE,
-				rhs:    hi - lo,
-			})
+		if std.varMap[i].kind != varShift || math.IsInf(hi, 1) {
+			continue
 		}
-		// Fixed variables (lo == hi) become y = 0, enforced via an
-		// equality row so phase 1 sees them.
-		if std.varMap[i].kind == varShift && hi == lo {
-			rows = append(rows, stdRow{
-				coeffs: map[int]float64{std.varMap[i].col: 1},
-				rel:    EQ,
-				rhs:    0,
-			})
+		if hi > lo {
+			rels = append(rels, LE)
+		} else if hi == lo {
+			rels = append(rels, EQ)
 		}
+	}
+	nBound := len(rels)
+	rels = append(rels, p.rels...)
+	ws.rels = rels
+
+	m := len(rels)
+	nSlack := 0
+	for _, rel := range rels {
+		if rel == LE || rel == GE {
+			nSlack++
+		}
+	}
+	n := cols + nSlack
+
+	a := growZero(&ws.a, m*n)
+	b := grow(&ws.b, m)
+	slackCol := cols
+
+	// Variable-bound rows.
+	row := 0
+	for i := range p.varLo {
+		lo, hi := p.varLo[i], p.varHi[i]
+		if std.varMap[i].kind != varShift || math.IsInf(hi, 1) {
+			continue
+		}
+		switch {
+		case hi > lo:
+			a[row*n+std.varMap[i].col] = 1
+			a[row*n+slackCol] = 1
+			slackCol++
+			b[row] = hi - lo
+			row++
+		case hi == lo:
+			a[row*n+std.varMap[i].col] = 1
+			b[row] = 0
+			row++
+		}
+	}
+	if row != nBound {
+		return nil, errors.New("lp: internal: bound row miscount")
 	}
 
 	// Original constraint rows with substituted variables.
 	for r := range p.rows {
-		coeffs := make(map[int]float64)
+		ar := a[row*n : row*n+n]
 		rhs := p.rhs[r]
 		for _, t := range p.rows[r] {
 			v := std.varMap[t.Var]
 			switch v.kind {
 			case varShift:
-				coeffs[v.col] += t.Coeff
+				ar[v.col] += t.Coeff
 				rhs -= t.Coeff * v.off
 			case varMirror:
-				coeffs[v.col] -= t.Coeff
+				ar[v.col] -= t.Coeff
 				rhs -= t.Coeff * v.off
 			case varSplit:
-				coeffs[v.col] += t.Coeff
-				coeffs[v.col2] -= t.Coeff
+				ar[v.col] += t.Coeff
+				ar[v.col2] -= t.Coeff
 			}
 		}
-		rows = append(rows, stdRow{coeffs: coeffs, rel: p.rels[r], rhs: rhs})
-	}
-
-	// Slack / surplus columns.
-	for i := range rows {
-		switch rows[i].rel {
+		switch p.rels[r] {
 		case LE:
-			rows[i].coeffs[cols] = 1
-			cols++
+			ar[slackCol] = 1
+			slackCol++
 		case GE:
-			rows[i].coeffs[cols] = -1
-			cols++
+			ar[slackCol] = -1
+			slackCol++
 		}
+		b[row] = rhs
+		row++
 	}
 
-	std.m = len(rows)
-	std.n = cols
-	std.a = make([][]float64, std.m)
-	std.b = make([]float64, std.m)
-	for i, row := range rows {
-		std.a[i] = make([]float64, cols)
-		for c, v := range row.coeffs {
-			std.a[i][c] = v
-		}
-		std.b[i] = row.rhs
+	for i := 0; i < m; i++ {
+		ai := a[i*n : i*n+n]
 		// Row equilibration: scale each row to unit max magnitude. This
 		// leaves the solution unchanged but keeps the absolute pivot and
 		// feasibility tolerances meaningful when constraint data spans
@@ -341,29 +372,29 @@ func (p *Problem) standardize() (*standard, error) {
 		// values in the hundreds) — without it the simplex can stall or
 		// mis-declare optimality on such instances.
 		var scale float64
-		for _, v := range std.a[i] {
+		for _, v := range ai {
 			if av := math.Abs(v); av > scale {
 				scale = av
 			}
 		}
 		if scale > 0 && (scale > 4 || scale < 0.25) {
 			inv := 1 / scale
-			for c := range std.a[i] {
-				std.a[i][c] *= inv
+			for c := range ai {
+				ai[c] *= inv
 			}
-			std.b[i] *= inv
+			b[i] *= inv
 		}
 		// Normalize to b ≥ 0 for phase 1.
-		if std.b[i] < 0 {
-			for c := range std.a[i] {
-				std.a[i][c] = -std.a[i][c]
+		if b[i] < 0 {
+			for c := range ai {
+				ai[c] = -ai[c]
 			}
-			std.b[i] = -std.b[i]
+			b[i] = -b[i]
 		}
 	}
 
 	// Standard-form objective (always minimize).
-	std.c = make([]float64, cols)
+	c := growZero(&ws.c, n)
 	sign := 1.0
 	if p.objSense == Maximize {
 		sign = -1
@@ -372,14 +403,17 @@ func (p *Problem) standardize() (*standard, error) {
 		v := std.varMap[t.Var]
 		switch v.kind {
 		case varShift:
-			std.c[v.col] += sign * t.Coeff
+			c[v.col] += sign * t.Coeff
 		case varMirror:
-			std.c[v.col] -= sign * t.Coeff
+			c[v.col] -= sign * t.Coeff
 		case varSplit:
-			std.c[v.col] += sign * t.Coeff
-			std.c[v.col2] -= sign * t.Coeff
+			c[v.col] += sign * t.Coeff
+			c[v.col2] -= sign * t.Coeff
 		}
 	}
+
+	std.m, std.n = m, n
+	std.a, std.b, std.c = a, b, c
 	return std, nil
 }
 

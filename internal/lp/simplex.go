@@ -20,9 +20,17 @@ const (
 // With Bland's rule this indicates severe numerical trouble, not cycling.
 var errIterationCap = errors.New("lp: simplex iteration cap exceeded")
 
+// The tableau is a single row-major slab of (m+1)·width float64: rows
+// 0..m−1 are the constraint rows, and row m is the reduced-cost row,
+// maintained incrementally by pivot (priced out once per pivot) so that
+// column selection reads r_j in O(1) instead of re-deriving
+// r_j = c_j − c_B·T_j with an O(m) pass per column per iteration. The cell
+// (m, width−1) holds −objective.
+
 // solve runs two-phase simplex on the standard-form program and returns the
-// status and, when Optimal, the full standard-form solution vector.
-func (s *standard) solve() (Status, []float64, error) {
+// status and, when Optimal, the full standard-form solution vector. The
+// returned slice is scratch owned by ws.
+func (s *standard) solve(ws *Workspace) (Status, []float64, error) {
 	m, n := s.m, s.n
 	if m == 0 {
 		// No constraints: optimum is 0 for all variables unless some cost is
@@ -32,30 +40,37 @@ func (s *standard) solve() (Status, []float64, error) {
 				return Unbounded, nil, nil
 			}
 		}
-		return Optimal, make([]float64, n), nil
+		return Optimal, growZero(&ws.x, n), nil
 	}
 
-	// Tableau with one artificial column per row: T is m×(n+m+1); column
-	// n+m holds b. Basis starts as the artificials.
+	// Tableau with one artificial column per row: constraint rows are
+	// m×(n+m+1); column n+m holds b. Basis starts as the artificials.
 	width := n + m + 1
-	t := make([][]float64, m)
+	t := growZero(&ws.tab, (m+1)*width)
 	for i := 0; i < m; i++ {
-		t[i] = make([]float64, width)
-		copy(t[i], s.a[i])
-		t[i][n+i] = 1
-		t[i][width-1] = s.b[i]
+		row := t[i*width : i*width+width]
+		copy(row, s.a[i*n:(i+1)*n])
+		row[n+i] = 1
+		row[width-1] = s.b[i]
 	}
-	basis := make([]int, m)
+	basis := grow(&ws.basis, m)
 	for i := range basis {
 		basis[i] = n + i
 	}
 
-	// Phase 1: minimize the sum of artificials.
-	phase1Cost := make([]float64, n+m)
-	for j := n; j < n+m; j++ {
-		phase1Cost[j] = 1
+	// Phase 1: minimize the sum of artificials. Initial reduced costs with
+	// the all-artificial basis: r_j = c_j − Σ_i t[i][j], i.e. −Σ_i t[i][j]
+	// for structural columns and 0 for the artificials themselves; the
+	// objective cell starts at −Σ_i b_i.
+	cost := t[m*width:]
+	for i := 0; i < m; i++ {
+		row := t[i*width : i*width+width]
+		for j := 0; j < n; j++ {
+			cost[j] -= row[j]
+		}
+		cost[width-1] -= row[width-1]
 	}
-	if err := simplexLoop(t, basis, phase1Cost, n+m); err != nil {
+	if err := simplexLoop(t, m, width, basis, n+m); err != nil {
 		if errors.Is(err, errUnboundedPivot) {
 			// Phase 1 is bounded below by 0; an unbounded signal here is a
 			// numerical failure.
@@ -66,7 +81,7 @@ func (s *standard) solve() (Status, []float64, error) {
 	var p1obj float64
 	for i, bi := range basis {
 		if bi >= n {
-			p1obj += t[i][width-1]
+			p1obj += t[i*width+width-1]
 		}
 	}
 	if p1obj > feasEps {
@@ -80,38 +95,53 @@ func (s *standard) solve() (Status, []float64, error) {
 		if basis[i] < n {
 			continue
 		}
+		row := t[i*width : i*width+width]
 		pivoted := false
 		for j := 0; j < n; j++ {
-			if math.Abs(t[i][j]) > pivotEps {
-				pivot(t, basis, i, j)
+			if math.Abs(row[j]) > pivotEps {
+				pivot(t, m, width, basis, i, j)
 				pivoted = true
 				break
 			}
 		}
 		if !pivoted {
 			// Redundant row: zero it so it can never constrain a pivot.
-			for j := range t[i] {
-				t[i][j] = 0
-			}
-			t[i][n+i] = 1 // keep the artificial basic in a null row
+			clear(row)
+			row[n+i] = 1 // keep the artificial basic in a null row
 		}
 	}
 
-	// Phase 2: original costs; artificial columns are barred by +∞-like
-	// cost treatment (simplexLoop only considers columns < limit).
-	phase2Cost := make([]float64, n+m)
-	copy(phase2Cost, s.c)
-	if err := simplexLoop(t, basis, phase2Cost, n); err != nil {
+	// Phase 2: original costs; artificial columns are barred (simplexLoop
+	// only considers columns < limit). Rebuild the reduced-cost row for the
+	// new cost vector: r_j = c_j − Σ_i c_{basis[i]}·t[i][j].
+	clear(cost)
+	copy(cost, s.c)
+	for i := 0; i < m; i++ {
+		cb := 0.0
+		if basis[i] < n {
+			cb = s.c[basis[i]]
+		}
+		if cb == 0 {
+			continue
+		}
+		row := t[i*width : i*width+width]
+		for j := 0; j < width; j++ {
+			if row[j] != 0 {
+				cost[j] -= cb * row[j]
+			}
+		}
+	}
+	if err := simplexLoop(t, m, width, basis, n); err != nil {
 		if errors.Is(err, errUnboundedPivot) {
 			return Unbounded, nil, nil
 		}
 		return 0, nil, err
 	}
 
-	x := make([]float64, n)
+	x := growZero(&ws.x, n)
 	for i, bi := range basis {
 		if bi < n {
-			x[bi] = t[i][width-1]
+			x[bi] = t[i*width+width-1]
 		}
 	}
 	return Optimal, x, nil
@@ -120,8 +150,9 @@ func (s *standard) solve() (Status, []float64, error) {
 // errUnboundedPivot signals an improving column with no blocking row.
 var errUnboundedPivot = errors.New("lp: unbounded pivot direction")
 
-// simplexLoop runs primal simplex pivots on tableau t with the given basic
-// cost vector until no improving column below `limit` exists.
+// simplexLoop runs primal simplex pivots on the flat tableau t (m constraint
+// rows of the given width plus the maintained reduced-cost row) until no
+// improving column below `limit` exists.
 //
 // Pivoting uses Dantzig's rule (most negative reduced cost) for speed, and
 // falls back to Bland's rule (lowest improving index — provably acyclic)
@@ -129,48 +160,25 @@ var errUnboundedPivot = errors.New("lp: unbounded pivot direction")
 // switching back once progress resumes. This combination is fast on the
 // highly degenerate hull-intersection programs this repository generates
 // while remaining termination-safe.
-func simplexLoop(t [][]float64, basis []int, cost []float64, limit int) error {
-	m := len(t)
+func simplexLoop(t []float64, m, width int, basis []int, limit int) error {
 	if m == 0 {
 		return nil
 	}
-	width := len(t[0])
 	maxIters := maxItFactor * (m + width)
 	if maxIters < minIters {
 		maxIters = minIters
 	}
 	const stallLimit = 30
 
-	// Maintain the simplex multipliers y_i = c_{basis[i]} implicitly: the
-	// reduced cost of column j is r_j = c_j − Σ_i c_{basis[i]}·t[i][j].
-	reduced := func(j int) float64 {
-		r := cost[j]
-		for i := 0; i < m; i++ {
-			cb := cost[basis[i]]
-			if cb != 0 && t[i][j] != 0 {
-				r -= cb * t[i][j]
-			}
-		}
-		return r
-	}
-	objective := func() float64 {
-		var v float64
-		for i := 0; i < m; i++ {
-			if cb := cost[basis[i]]; cb != 0 {
-				v += cb * t[i][width-1]
-			}
-		}
-		return v
-	}
-
+	cost := t[m*width:]
 	stall := 0
-	lastObj := objective()
+	lastObj := -cost[width-1]
 	for iter := 0; iter < maxIters; iter++ {
 		blandMode := stall >= stallLimit
 		enter := -1
 		if blandMode {
 			for j := 0; j < limit; j++ {
-				if reduced(j) < -reducedEps {
+				if cost[j] < -reducedEps {
 					enter = j // Bland: first improving index
 					break
 				}
@@ -178,7 +186,7 @@ func simplexLoop(t [][]float64, basis []int, cost []float64, limit int) error {
 		} else {
 			best := -reducedEps
 			for j := 0; j < limit; j++ {
-				if r := reduced(j); r < best {
+				if r := cost[j]; r < best {
 					best = r
 					enter = j // Dantzig: most improving index
 				}
@@ -193,8 +201,9 @@ func simplexLoop(t [][]float64, basis []int, cost []float64, limit int) error {
 		leave := -1
 		var bestRatio float64
 		for i := 0; i < m; i++ {
-			if t[i][enter] > pivotEps {
-				ratio := t[i][width-1] / t[i][enter]
+			e := t[i*width+enter]
+			if e > pivotEps {
+				ratio := t[i*width+width-1] / e
 				switch {
 				case leave < 0 || ratio < bestRatio-pivotEps:
 					leave = i
@@ -208,9 +217,9 @@ func simplexLoop(t [][]float64, basis []int, cost []float64, limit int) error {
 		if leave < 0 {
 			return errUnboundedPivot
 		}
-		pivot(t, basis, leave, enter)
+		pivot(t, m, width, basis, leave, enter)
 
-		obj := objective()
+		obj := -cost[width-1]
 		if obj < lastObj-reducedEps {
 			stall = 0
 			lastObj = obj
@@ -222,26 +231,28 @@ func simplexLoop(t [][]float64, basis []int, cost []float64, limit int) error {
 }
 
 // pivot performs a Gauss-Jordan pivot on t[row][col] and updates the basis.
-func pivot(t [][]float64, basis []int, row, col int) {
-	width := len(t[row])
-	p := t[row][col]
-	inv := 1 / p
-	for j := 0; j < width; j++ {
-		t[row][j] *= inv
+// The reduced-cost row (row index m) is eliminated like any other row, which
+// keeps it equal to the priced-out reduced costs after every pivot.
+func pivot(t []float64, m, width int, basis []int, row, col int) {
+	prow := t[row*width : row*width+width]
+	inv := 1 / prow[col]
+	for j := range prow {
+		prow[j] *= inv
 	}
-	t[row][col] = 1 // exact
-	for i := range t {
+	prow[col] = 1 // exact
+	for i := 0; i <= m; i++ {
 		if i == row {
 			continue
 		}
-		factor := t[i][col]
+		r := t[i*width : i*width+width]
+		factor := r[col]
 		if factor == 0 {
 			continue
 		}
-		for j := 0; j < width; j++ {
-			t[i][j] -= factor * t[row][j]
+		for j := range r {
+			r[j] -= factor * prow[j]
 		}
-		t[i][col] = 0 // exact
+		r[col] = 0 // exact
 	}
 	basis[row] = col
 }

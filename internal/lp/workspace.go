@@ -1,0 +1,48 @@
+package lp
+
+import "sync"
+
+// Workspace holds the scratch buffers of one solver instance: the flat
+// tableau slab, the standard-form matrices, and the basis bookkeeping. A
+// Workspace may be reused across any number of solves (SolveWith), which
+// makes repeated solves allocation-free once the buffers have grown to the
+// problem size; it must not be used from multiple goroutines concurrently.
+//
+// The zero value is ready to use.
+type Workspace struct {
+	// simplex buffers
+	tab   []float64
+	basis []int
+	x     []float64
+
+	// standardization buffers
+	a      []float64
+	b      []float64
+	c      []float64
+	varMap []stdVar
+	rels   []Rel
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// wsPool backs Problem.Solve so that callers who do not manage a Workspace
+// themselves still reuse buffers across solves.
+var wsPool = sync.Pool{New: func() any { return new(Workspace) }}
+
+// grow resizes *buf to n elements, reallocating only when capacity is
+// insufficient. Contents are unspecified.
+func grow[T any](buf *[]T, n int) []T {
+	if cap(*buf) < n {
+		*buf = make([]T, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// growZero is grow with the returned slice cleared.
+func growZero(buf *[]float64, n int) []float64 {
+	s := grow(buf, n)
+	clear(s)
+	return s
+}

@@ -24,7 +24,10 @@ package safearea
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/combin"
 	"repro/internal/geometry"
@@ -88,15 +91,23 @@ func validate(y *geometry.Multiset, f int) (int, error) {
 	return keep, nil
 }
 
-// groups materializes the point sets of all (|Y|−f)-subsets of Y.
+// groups collects the point sets of all (|Y|−f)-subsets of Y for the joint
+// hull-intersection LP. The subsets are streamed from combin.Combinations
+// into a single flat backing array (two allocations total instead of one per
+// subset); the vectors themselves are shared with y.
 func groups(y *geometry.Multiset, keep int) ([][]geometry.Vector, error) {
-	var out [][]geometry.Vector
+	count := combin.Binomial(y.Len(), keep)
+	if count <= 0 {
+		return nil, fmt.Errorf("safearea: no size-%d subsets of |Y| = %d", keep, y.Len())
+	}
+	flat := make([]geometry.Vector, 0, int(count)*keep)
+	out := make([][]geometry.Vector, 0, count)
 	err := combin.Combinations(y.Len(), keep, func(idx []int) bool {
-		pts := make([]geometry.Vector, len(idx))
-		for i, j := range idx {
-			pts[i] = y.At(j)
+		start := len(flat)
+		for _, j := range idx {
+			flat = append(flat, y.At(j))
 		}
-		out = append(out, pts)
+		out = append(out, flat[start:len(flat):len(flat)])
 		return true
 	})
 	if err != nil {
@@ -131,6 +142,18 @@ func IsEmpty(y *geometry.Multiset, f int) (bool, error) {
 // Contains reports whether z ∈ Γ(Y) within tolerance tol (hull.DefaultTol
 // if tol ≤ 0): z must lie in the hull of every (|Y|−f)-subset.
 func Contains(y *geometry.Multiset, f int, z geometry.Vector, tol float64) (bool, error) {
+	return ContainsParallel(y, f, z, tol, 1)
+}
+
+// ContainsParallel is Contains with the C(|Y|, f) independent hull-membership
+// LPs fanned across a bounded worker pool (workers ≤ 1 or a single subset
+// runs serially). Subsets are streamed by lexicographic rank — workers pull
+// ranks from a shared counter and reconstruct their subset with
+// combin.Unrank, so nothing is materialized — and the reduction is
+// deterministic: the verdict is the conjunction over all subsets, and when
+// several subsets fail (or error) the one with the lowest rank decides the
+// reported error, exactly as in serial order.
+func ContainsParallel(y *geometry.Multiset, f int, z geometry.Vector, tol float64, workers int) (bool, error) {
 	keep, err := validate(y, f)
 	if err != nil {
 		return false, err
@@ -138,31 +161,97 @@ func Contains(y *geometry.Multiset, f int, z geometry.Vector, tol float64) (bool
 	if z.Dim() != y.Dim() {
 		return false, fmt.Errorf("safearea: point dimension %d, multiset dimension %d", z.Dim(), y.Dim())
 	}
-	inside := true
-	var cerr error
-	err = combin.Combinations(y.Len(), keep, func(idx []int) bool {
-		pts := make([]geometry.Vector, len(idx))
-		for i, j := range idx {
-			pts[i] = y.At(j)
-		}
-		ok, err := hull.Contains(pts, z, tol)
+	total := combin.Binomial(y.Len(), keep)
+	if workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if int64(workers) > total {
+		workers = int(total)
+	}
+
+	if workers <= 1 {
+		inside := true
+		var cerr error
+		pts := make([]geometry.Vector, keep)
+		err = combin.Combinations(y.Len(), keep, func(idx []int) bool {
+			for i, j := range idx {
+				pts[i] = y.At(j)
+			}
+			ok, err := hull.Contains(pts, z, tol)
+			if err != nil {
+				cerr = err
+				return false
+			}
+			if !ok {
+				inside = false
+				return false
+			}
+			return true
+		})
 		if err != nil {
-			cerr = err
-			return false
+			return false, err
 		}
-		if !ok {
-			inside = false
-			return false
+		if cerr != nil {
+			return false, cerr
 		}
-		return true
-	})
-	if err != nil {
-		return false, err
+		return inside, nil
 	}
-	if cerr != nil {
-		return false, cerr
+
+	var (
+		next      atomic.Int64
+		eventRank atomic.Int64 // lowest rank that failed or errored
+		mu        sync.Mutex
+		eventErr  error
+		wg        sync.WaitGroup
+	)
+	eventRank.Store(total)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			idx := make([]int, keep)
+			pts := make([]geometry.Vector, keep)
+			for {
+				r := next.Add(1) - 1
+				if r >= total || r >= eventRank.Load() {
+					return // ranks past the decisive event cannot change the result
+				}
+				idx, err := combin.Unrank(y.Len(), keep, r, idx)
+				if err != nil {
+					recordEvent(&eventRank, &mu, &eventErr, r, err)
+					return
+				}
+				for i, j := range idx {
+					pts[i] = y.At(j)
+				}
+				ok, err := hull.Contains(pts, z, tol)
+				if err != nil || !ok {
+					recordEvent(&eventRank, &mu, &eventErr, r, err)
+				}
+			}
+		}()
 	}
-	return inside, nil
+	wg.Wait()
+	if eventRank.Load() < total {
+		mu.Lock()
+		defer mu.Unlock()
+		if eventErr != nil {
+			return false, eventErr
+		}
+		return false, nil
+	}
+	return true, nil
+}
+
+// recordEvent folds a failed/errored subset rank into the running minimum,
+// keeping the error of the lowest rank (serial semantics).
+func recordEvent(eventRank *atomic.Int64, mu *sync.Mutex, eventErr *error, r int64, err error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if r < eventRank.Load() {
+		eventRank.Store(r)
+		*eventErr = err
+	}
 }
 
 // Point returns a deterministic point of Γ(Y) using MethodAuto.

@@ -323,3 +323,45 @@ func TestProbabilitySimplexStaysInside(t *testing.T) {
 		t.Errorf("coordinates sum to %g, want 1 (point must stay on simplex)", sum)
 	}
 }
+
+func TestContainsParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 12; trial++ {
+		d := 1 + rng.Intn(3)
+		f := 1 + rng.Intn(2)
+		n := (d+1)*f + 1 + rng.Intn(3)
+		ms := geometry.NewMultiset(d)
+		for i := 0; i < n; i++ {
+			v := geometry.NewVector(d)
+			for l := range v {
+				v[l] = rng.Float64()
+			}
+			if err := ms.Add(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Probe points: one likely inside (a Γ point when it exists), one
+		// certainly outside the input box.
+		var probes []geometry.Vector
+		if pt, err := Point(ms, f); err == nil {
+			probes = append(probes, pt)
+		}
+		out := geometry.NewVector(d)
+		for l := range out {
+			out[l] = 5 + rng.Float64()
+		}
+		probes = append(probes, out)
+		for _, z := range probes {
+			want, werr := Contains(ms, f, z, 0)
+			for _, workers := range []int{2, 4} {
+				got, gerr := ContainsParallel(ms, f, z, 0, workers)
+				if (werr == nil) != (gerr == nil) {
+					t.Fatalf("trial %d workers %d: serial err=%v parallel err=%v", trial, workers, werr, gerr)
+				}
+				if got != want {
+					t.Fatalf("trial %d workers %d: serial=%v parallel=%v for z=%v", trial, workers, want, got, z)
+				}
+			}
+		}
+	}
+}

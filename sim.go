@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/adversary"
@@ -78,6 +79,65 @@ type SimOptions struct {
 	Seed int64
 	// Delay is the network delay model (asynchronous variants only).
 	Delay DelaySpec
+	// Workers bounds the number of concurrent Γ-point solves in the
+	// engine's per-candidate-set fan-out: 0 selects GOMAXPROCS, 1 forces
+	// serial execution. Every setting produces bit-identical decisions —
+	// solves are independent and the reduction is rank-ordered — so this is
+	// purely a performance knob.
+	Workers int
+	// DisableGammaCache turns off the Γ-point memoization that collapses
+	// identical candidate-set solves across the n simulated processes
+	// (exact by the paper's Observation 2: all correct processes compute
+	// the same zij). Disabling changes no results; it exists for
+	// measurement and memory-constrained runs.
+	DisableGammaCache bool
+}
+
+// engines caches one Γ-point engine per explicit (Workers,
+// DisableGammaCache) configuration, so a configured engine — like the
+// default — lives (and memoizes) for the whole process rather than per
+// Simulate call. Without this, flipping the worker count would silently
+// also shrink the cache lifetime and conflate the two effects.
+var (
+	enginesMu sync.Mutex
+	engines   = map[engineKey]*core.Engine{}
+)
+
+type engineKey struct {
+	workers      int
+	disableCache bool
+}
+
+// engine resolves the Γ-point engine for this run: nil (the process-wide
+// shared default — parallel and memoized) unless an explicit configuration
+// was requested.
+func (o SimOptions) engine() *core.Engine {
+	if o.Workers == 0 && !o.DisableGammaCache {
+		return nil
+	}
+	key := engineKey{workers: o.Workers, disableCache: o.DisableGammaCache}
+	enginesMu.Lock()
+	defer enginesMu.Unlock()
+	e, ok := engines[key]
+	if !ok {
+		e = core.NewEngine(o.Workers, !o.DisableGammaCache)
+		engines[key] = e
+	}
+	return e
+}
+
+// ResetEngineCaches drops every memoized Γ-point from the engines
+// simulations use — the process-wide default and any engines created for
+// explicit SimOptions configurations. Benchmarks call it between iterations
+// to measure cold-cache runs; production code never needs it (the caches
+// are bounded and exact).
+func ResetEngineCaches() {
+	core.DefaultEngine().Reset()
+	enginesMu.Lock()
+	defer enginesMu.Unlock()
+	for _, e := range engines {
+		e.Reset()
+	}
 }
 
 // Strategy names a Byzantine behaviour from the built-in library.
@@ -130,6 +190,7 @@ func simulateSyncEIG(cfg Config, inputs []Vector, byz []Byzantine, opts SimOptio
 	if err != nil {
 		return nil, err
 	}
+	params.Engine = opts.engine()
 	if len(inputs) != cfg.N {
 		return nil, fmt.Errorf("bvc: %d inputs for n=%d", len(inputs), cfg.N)
 	}
@@ -188,6 +249,7 @@ func SimulateRestrictedSync(cfg Config, inputs []Vector, byz []Byzantine, opts S
 	if err != nil {
 		return nil, err
 	}
+	params.Engine = opts.engine()
 	if len(inputs) != cfg.N {
 		return nil, fmt.Errorf("bvc: %d inputs for n=%d", len(inputs), cfg.N)
 	}
@@ -253,6 +315,7 @@ func SimulateApproxAsync(cfg Config, inputs []Vector, byz []Byzantine, opts SimO
 	if err != nil {
 		return nil, err
 	}
+	acfg.Engine = opts.engine()
 	if len(inputs) != cfg.N {
 		return nil, fmt.Errorf("bvc: %d inputs for n=%d", len(inputs), cfg.N)
 	}
@@ -309,6 +372,7 @@ func SimulateRestrictedAsync(cfg Config, inputs []Vector, byz []Byzantine, opts 
 	if err != nil {
 		return nil, err
 	}
+	params.Engine = opts.engine()
 	if len(inputs) != cfg.N {
 		return nil, fmt.Errorf("bvc: %d inputs for n=%d", len(inputs), cfg.N)
 	}
