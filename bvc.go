@@ -96,7 +96,8 @@ type PointMethod int
 // Γ-point strategies (see DESIGN.md §5 for the ablation).
 const (
 	// MethodAuto picks the cheapest applicable strategy: a closed form
-	// for d = 1, the Radon point for f = 1, else the lex-min LP.
+	// for d = 1, the Radon point for f = 1, the lifted Tverberg search
+	// for f ≥ 2 above the Lemma 1 threshold, else the lex-min LP.
 	MethodAuto PointMethod = iota + 1
 	// MethodLexMinLP always solves the paper's §2.2 linear program,
 	// returning the lexicographically minimal point of Γ(Y).
@@ -106,6 +107,11 @@ const (
 	// MethodTverbergSearch exhaustively searches for a Tverberg partition
 	// (small inputs only; mainly for validation).
 	MethodTverbergSearch
+	// MethodTverbergLift computes a Tverberg point via Sarkaria's lifted
+	// colorful-Carathéodory search — polynomial for any f, the strategy
+	// that makes d ≥ 2, f ≥ 2 grids practical. Verified geometrically,
+	// with the lex-min LP as deterministic fallback.
+	MethodTverbergLift
 )
 
 // Variant identifies one of the paper's algorithms.
@@ -186,6 +192,8 @@ func (c Config) method() (safearea.Method, error) {
 		return safearea.MethodRadon, nil
 	case MethodTverbergSearch:
 		return safearea.MethodTverbergSearch, nil
+	case MethodTverbergLift:
+		return safearea.MethodTverbergLift, nil
 	default:
 		return 0, fmt.Errorf("bvc: unknown point method %d", c.Method)
 	}

@@ -1,0 +1,178 @@
+// Command benchdiff compares two bvcbench -json trajectory files and fails
+// when any shared benchmark regressed beyond the threshold — the CI gate
+// that keeps the BENCH_*.json performance trajectory monotone.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_baseline.json -candidate BENCH_pr.json
+//	benchdiff ... -threshold 0.25       # fail on >25% ns/op regression
+//	benchdiff ... -calibration ""       # disable hardware normalization
+//
+// The files are JSON-lines records as emitted by `bvcbench -json`. Records
+// named by -calibration (default "calibrate") measure a fixed CPU workload;
+// when both files carry one, every per-benchmark ratio is divided by the
+// calibration ratio, so a baseline recorded on a fast laptop compares
+// fairly against a candidate recorded on a slow CI runner and vice versa.
+//
+// Exit status is non-zero when any benchmark regresses beyond the
+// threshold, a baseline benchmark is missing from the candidate, or a
+// candidate record reports pass=false.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+// record mirrors cmd/bvcbench's benchRecord (kept separate so the two
+// commands stay independently buildable).
+type record struct {
+	Benchmark   string  `json:"benchmark"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Pass        bool    `json:"pass"`
+	Seconds     float64 `json:"seconds"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	baselinePath := fs.String("baseline", "BENCH_baseline.json", "committed trajectory file")
+	candidatePath := fs.String("candidate", "BENCH_pr.json", "freshly measured trajectory file")
+	threshold := fs.Float64("threshold", 0.25, "maximum tolerated fractional ns/op regression")
+	calibration := fs.String("calibration", "calibrate", "benchmark name used to normalize hardware speed (empty disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *threshold <= 0 {
+		return fmt.Errorf("invalid threshold %g", *threshold)
+	}
+	base, err := readRecords(*baselinePath)
+	if err != nil {
+		return err
+	}
+	cand, err := readRecords(*candidatePath)
+	if err != nil {
+		return err
+	}
+	if len(base) == 0 {
+		return fmt.Errorf("%s holds no records", *baselinePath)
+	}
+
+	// Hardware normalization from the calibration pair. The calibration
+	// workload is single-threaded, so the scale captures per-core speed
+	// only; a core-count mismatch between the two machines shifts the
+	// parallel experiments independently of code changes — surface it.
+	scale := 1.0
+	if *calibration != "" {
+		b, bok := base[*calibration]
+		c, cok := cand[*calibration]
+		if bok && cok && b.NsPerOp > 0 {
+			scale = float64(c.NsPerOp) / float64(b.NsPerOp)
+			fmt.Fprintf(w, "calibration: %s %d → %d ns/op (hardware scale ×%.3f)\n",
+				*calibration, b.NsPerOp, c.NsPerOp, scale)
+			if b.GoMaxProcs > 0 && c.GoMaxProcs > 0 && b.GoMaxProcs != c.GoMaxProcs {
+				fmt.Fprintf(w, "warning: GOMAXPROCS %d (baseline) vs %d (candidate); parallel benchmarks shift by the core-count ratio on top of any code change\n",
+					b.GoMaxProcs, c.GoMaxProcs)
+			}
+		} else {
+			fmt.Fprintf(w, "calibration: %q missing on one side; comparing raw ns/op\n", *calibration)
+		}
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		if name != *calibration {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	var failures []string
+	fmt.Fprintf(w, "%-24s %14s %14s %9s\n", "benchmark", "baseline ns/op", "candidate ns/op", "delta")
+	for _, name := range names {
+		b := base[name]
+		c, ok := cand[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in baseline, missing from candidate (regenerate the baseline if it was removed on purpose)", name))
+			fmt.Fprintf(w, "%-24s %14d %14s %9s\n", name, b.NsPerOp, "-", "MISSING")
+			continue
+		}
+		if !c.Pass {
+			failures = append(failures, fmt.Sprintf("%s: candidate record reports pass=false", name))
+		}
+		if b.NsPerOp <= 0 {
+			fmt.Fprintf(w, "%-24s %14d %14d %9s\n", name, b.NsPerOp, c.NsPerOp, "SKIP")
+			continue
+		}
+		delta := float64(c.NsPerOp)/(float64(b.NsPerOp)*scale) - 1
+		verdict := fmt.Sprintf("%+.1f%%", delta*100)
+		if delta > *threshold {
+			verdict += " REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s: %.1f%% slower than baseline (threshold %.0f%%)",
+				name, delta*100, *threshold*100))
+		}
+		fmt.Fprintf(w, "%-24s %14d %14d %9s\n", name, b.NsPerOp, c.NsPerOp, verdict)
+	}
+	for name := range cand {
+		if name == *calibration {
+			continue
+		}
+		if _, ok := base[name]; !ok {
+			fmt.Fprintf(w, "%-24s %14s %14d %9s\n", name, "-", cand[name].NsPerOp, "NEW")
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d failure(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(w, "no regressions beyond %.0f%%\n", *threshold*100)
+	return nil
+}
+
+// readRecords parses a JSON-lines trajectory file into a by-name map; a
+// repeated name keeps the last record, matching "latest measurement wins".
+func readRecords(path string) (map[string]record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]record)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		if rec.Benchmark == "" {
+			return nil, fmt.Errorf("%s:%d: record without benchmark name", path, line)
+		}
+		out[rec.Benchmark] = rec
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}

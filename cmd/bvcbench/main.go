@@ -1,5 +1,5 @@
 // Command bvcbench regenerates the paper-reproduction experiment tables
-// E1–E9 and figure F1 (see DESIGN.md §3 and EXPERIMENTS.md).
+// E1–E10 and figures F1/F2 (see DESIGN.md §3 and EXPERIMENTS.md).
 //
 // Usage:
 //
@@ -10,13 +10,28 @@
 //	                             # records (ns/op, allocs/op, B/op) for the
 //	                             # BENCH_*.json perf trajectory
 //	bvcbench -workers 1 -gammacache=false   # serial, uncached Γ engine
+//	bvcbench -nodeworkers 1      # step simulated nodes serially (0 =
+//	                             # GOMAXPROCS; results are bit-identical,
+//	                             # only wall clock changes)
+//
+// BENCH workflow: `bvcbench -json > BENCH_baseline.json` is committed at
+// the repository root as the performance trajectory point for the current
+// code. CI regenerates the same records into a BENCH_pr.json artifact and
+// gates merges with cmd/benchdiff, which fails on >25% ns/op regression
+// after normalizing by the "calibrate" record (a fixed CPU workload that
+// absorbs hardware-speed differences between the baseline machine and the
+// CI runner). The e10 scale sweep is additionally measured with serial
+// node stepping ("e10/nodeworkers=1") so the trajectory records the
+// cross-node parallelism headroom.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -32,9 +47,13 @@ func main() {
 }
 
 // experimentOrder fixes the emission order of -json records and of "all".
-var experimentOrder = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "f1", "f2"}
+var experimentOrder = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "f1", "f2"}
 
-// benchRecord is one -json output line.
+// benchRecord is one -json output line. GoMaxProcs records the recording
+// machine's parallelism: the calibration workload is single-threaded, so
+// cmd/benchdiff can only normalize per-core speed and warns when the core
+// counts of two trajectories differ (parallel experiments then shift by
+// the core-count ratio, not by code changes).
 type benchRecord struct {
 	Benchmark   string  `json:"benchmark"`
 	Iterations  int     `json:"iterations"`
@@ -43,33 +62,36 @@ type benchRecord struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	Pass        bool    `json:"pass"`
 	Seconds     float64 `json:"seconds"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
 }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("bvcbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "experiment to run: all, e1…e9, f1, f2")
+	experiment := fs.String("experiment", "all", "experiment to run: all, e1…e10, f1, f2")
 	seed := fs.Int64("seed", 1, "master random seed")
 	trials := fs.Int("trials", 20, "trial count for statistical experiments (E3)")
 	jsonOut := fs.Bool("json", false, "benchmark each experiment and emit one JSON record per line (ns/op, allocs/op) instead of rendering tables")
 	workers := fs.Int("workers", 0, "Γ-point engine worker bound: 0 = GOMAXPROCS, 1 = serial")
 	gammaCache := fs.Bool("gammacache", true, "memoize Γ-points across processes and rounds")
+	nodeWorkers := fs.Int("nodeworkers", 0, "simulated-node stepping worker bound: 0 = GOMAXPROCS, 1 = serial")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	harness.SetEngineOptions(*workers, !*gammaCache)
+	harness.SetEngineOptions(*workers, !*gammaCache, *nodeWorkers)
 
 	runners := map[string]func() (*harness.Table, error){
-		"e1": func() (*harness.Table, error) { return harness.E1SyncNecessity(*seed) },
-		"e2": func() (*harness.Table, error) { return harness.E2ExactSufficiency(*seed) },
-		"e3": func() (*harness.Table, error) { return harness.E3TverbergLemma(*seed, *trials) },
-		"e4": harness.E4AsyncNecessity,
-		"e5": func() (*harness.Table, error) { return harness.E5AsyncConvergence(*seed) },
-		"e6": func() (*harness.Table, error) { return harness.E6RestrictedSync(*seed) },
-		"e7": func() (*harness.Table, error) { return harness.E7RestrictedAsync(*seed) },
-		"e8": func() (*harness.Table, error) { return harness.E8CoordinateWise(*seed) },
-		"e9": func() (*harness.Table, error) { return harness.E9WitnessAblation(*seed) },
-		"f1": harness.F1Heptagon,
-		"f2": func() (*harness.Table, error) { return harness.F2ConvergenceSeries(*seed) },
+		"e1":  func() (*harness.Table, error) { return harness.E1SyncNecessity(*seed) },
+		"e2":  func() (*harness.Table, error) { return harness.E2ExactSufficiency(*seed) },
+		"e3":  func() (*harness.Table, error) { return harness.E3TverbergLemma(*seed, *trials) },
+		"e4":  harness.E4AsyncNecessity,
+		"e5":  func() (*harness.Table, error) { return harness.E5AsyncConvergence(*seed) },
+		"e6":  func() (*harness.Table, error) { return harness.E6RestrictedSync(*seed) },
+		"e7":  func() (*harness.Table, error) { return harness.E7RestrictedAsync(*seed) },
+		"e8":  func() (*harness.Table, error) { return harness.E8CoordinateWise(*seed) },
+		"e9":  func() (*harness.Table, error) { return harness.E9WitnessAblation(*seed) },
+		"e10": func() (*harness.Table, error) { return harness.E10ScaleSweep(*seed) },
+		"f1":  harness.F1Heptagon,
+		"f2":  func() (*harness.Table, error) { return harness.F2ConvergenceSeries(*seed) },
 	}
 
 	// experimentOrder and runners must describe the same experiment set;
@@ -89,11 +111,32 @@ func run(args []string) error {
 		names := experimentOrder
 		if name != "all" {
 			if _, ok := runners[name]; !ok {
-				return fmt.Errorf("unknown experiment %q (want all, e1…e9, f1, f2)", name)
+				return fmt.Errorf("unknown experiment %q (want all, e1…e10, f1, f2)", name)
 			}
 			names = []string{name}
 		}
-		return benchJSON(os.Stdout, names, runners)
+		// The calibration record leads every trajectory: a fixed CPU
+		// workload whose ratio between two BENCH files estimates the
+		// hardware-speed delta, letting cmd/benchdiff compare files
+		// recorded on different machines.
+		targets := []benchTarget{{name: "calibrate", run: calibrateTable}}
+		for _, n := range names {
+			targets = append(targets, benchTarget{name: n, run: runners[n]})
+			if n == "e10" {
+				// The scale sweep is also measured with serial node
+				// stepping, so the trajectory records the speedup of
+				// SimOptions.NodeWorkers on the n = 13 grids.
+				targets = append(targets, benchTarget{
+					name: "e10/nodeworkers=1",
+					run: func() (*harness.Table, error) {
+						harness.SetEngineOptions(*workers, !*gammaCache, 1)
+						defer harness.SetEngineOptions(*workers, !*gammaCache, *nodeWorkers)
+						return harness.E10ScaleSweep(*seed)
+					},
+				})
+			}
+		}
+		return benchJSON(os.Stdout, targets)
 	}
 
 	if name == "all" {
@@ -119,7 +162,7 @@ func run(args []string) error {
 
 	r, ok := runners[name]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q (want all, e1…e9, f1, f2)", name)
+		return fmt.Errorf("unknown experiment %q (want all, e1…e10, f1, f2)", name)
 	}
 	tbl, err := r()
 	if err != nil {
@@ -134,17 +177,22 @@ func run(args []string) error {
 	return nil
 }
 
-// benchJSON measures each named experiment with the standard benchmark
-// machinery and writes one JSON record per line, so successive PRs can
-// archive comparable BENCH_*.json trajectory points. The Γ-point caches are
-// reset before every iteration so each measures a cold-cache experiment run
-// (within-run memoization still counts — that is product behavior); without
-// the reset, later iterations replay the process-wide memo table and ns/op
-// would shrink with iteration count instead of measuring the engine.
-func benchJSON(w *os.File, names []string, runners map[string]func() (*harness.Table, error)) error {
+// benchTarget is one measured entry of a BENCH_*.json trajectory.
+type benchTarget struct {
+	name string
+	run  func() (*harness.Table, error)
+}
+
+// benchJSON measures each target with the standard benchmark machinery and
+// writes one JSON record per line, so successive PRs can archive comparable
+// BENCH_*.json trajectory points. The Γ-point caches are reset before every
+// iteration so each measures a cold-cache experiment run (within-run
+// memoization still counts — that is product behavior); without the reset,
+// later iterations replay the process-wide memo table and ns/op would
+// shrink with iteration count instead of measuring the engine.
+func benchJSON(w *os.File, targets []benchTarget) error {
 	enc := json.NewEncoder(w)
-	for _, name := range names {
-		r := runners[name]
+	for _, target := range targets {
 		var (
 			tbl  *harness.Table
 			rerr error
@@ -153,30 +201,68 @@ func benchJSON(w *os.File, names []string, runners map[string]func() (*harness.T
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				bvc.ResetEngineCaches()
-				tbl, rerr = r()
+				tbl, rerr = target.run()
 				if rerr != nil {
-					b.Fatalf("%s: %v", name, rerr)
+					b.Fatalf("%s: %v", target.name, rerr)
 				}
 			}
 		})
 		if rerr != nil {
-			return fmt.Errorf("%s: %w", name, rerr)
+			return fmt.Errorf("%s: %w", target.name, rerr)
 		}
 		rec := benchRecord{
-			Benchmark:   name,
+			Benchmark:   target.name,
 			Iterations:  br.N,
 			NsPerOp:     br.NsPerOp(),
 			AllocsPerOp: br.AllocsPerOp(),
 			BytesPerOp:  br.AllocedBytesPerOp(),
 			Pass:        tbl != nil && tbl.Pass,
 			Seconds:     br.T.Seconds(),
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
 		}
 		if err := enc.Encode(rec); err != nil {
 			return err
 		}
 		if !rec.Pass {
-			return fmt.Errorf("experiment %s failed", strings.ToUpper(name))
+			return fmt.Errorf("experiment %s failed", strings.ToUpper(target.name))
 		}
 	}
 	return nil
+}
+
+// calibrateSink keeps the calibration kernel's result observable so the
+// compiler cannot elide the work.
+var calibrateSink float64
+
+// calibrateTable runs a fixed, deterministic CPU workload that is
+// deliberately INDEPENDENT of every product kernel: it must measure only
+// machine speed. Building it from the suite's own hot paths would be
+// self-defeating — a regression in those kernels would slow the
+// calibration record equally and benchdiff's normalization would cancel
+// the very signal the gate exists to catch. The mix (floating-point
+// arithmetic plus a pseudo-random walk over an L1/L2-sized buffer)
+// approximates the suite's compute/memory balance without sharing any of
+// its code.
+func calibrateTable() (*harness.Table, error) {
+	x, s := 1.1, 0.0
+	for i := 0; i < 4_000_000; i++ {
+		x = x*1.0000001 + 1e-9
+		if x > 2 {
+			x--
+		}
+		s += math.Sqrt(x)
+	}
+	buf := make([]float64, 1<<15)
+	for i := range buf {
+		buf[i] = float64(i%97) * 0.5
+	}
+	idx := 1
+	for iter := 0; iter < 150; iter++ {
+		for j := range buf {
+			idx = (idx*1103515245 + 12345) & (len(buf) - 1)
+			buf[j] = buf[idx]*0.9999 + float64(j&7)
+		}
+	}
+	calibrateSink = s + buf[0]
+	return &harness.Table{ID: "calibrate", Pass: true}, nil
 }

@@ -1,9 +1,12 @@
 package bvc_test
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro"
 )
@@ -17,6 +20,35 @@ func decisionsKey(t *testing.T, res *bvc.Result) []float64 {
 		out = append(out, p.Decision...)
 	}
 	return out
+}
+
+// fingerprint flattens everything observable about a run — message and
+// round counts, virtual time, and every process's decision and per-round
+// history — into one comparable vector. Two runs are "the same execution"
+// iff their fingerprints match bit-for-bit.
+func fingerprint(t *testing.T, res *bvc.Result) []float64 {
+	t.Helper()
+	out := []float64{float64(res.Messages), float64(res.VirtualTime)}
+	for _, p := range res.Processes {
+		out = append(out, float64(p.ID), float64(p.Rounds))
+		out = append(out, p.Decision...)
+		for _, h := range p.History {
+			out = append(out, h...)
+		}
+	}
+	return out
+}
+
+func requireSameFingerprint(t *testing.T, label string, want, got []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: fingerprint length %d, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: fingerprint[%d] = %x, want %x", label, i, got[i], want[i])
+		}
+	}
 }
 
 // TestSimulateDeterministicAcrossEngineOptions: end-to-end property — the
@@ -95,5 +127,145 @@ func TestSimulateDeterministicAcrossEngineOptions(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestSimulateDeterministicAcrossNodeWorkers: the tentpole property of the
+// sharded simulator — every protocol variant, under every delay kind and
+// adversary strategy, produces a bit-identical execution (decisions,
+// per-round histories, round counts, message counts, virtual time) for
+// NodeWorkers ∈ {1, 4, GOMAXPROCS}. Cross-node parallelism is purely a
+// wall-clock knob.
+func TestSimulateDeterministicAcrossNodeWorkers(t *testing.T) {
+	nodeWorkerSets := []int{1, 4, runtime.GOMAXPROCS(0)}
+	delayKinds := []struct {
+		name string
+		spec bvc.DelaySpec
+	}{
+		{"constant", bvc.DelaySpec{Kind: bvc.DelayConstant, Mean: time.Millisecond}},
+		{"uniform", bvc.DelaySpec{Kind: bvc.DelayUniform, Min: time.Millisecond, Max: 9 * time.Millisecond}},
+		{"exponential", bvc.DelaySpec{Kind: bvc.DelayExponential, Mean: 4 * time.Millisecond}},
+	}
+	adversaries := []struct {
+		name string
+		mk   func(n, d int) []bvc.Byzantine
+	}{
+		{"none", func(int, int) []bvc.Byzantine { return nil }},
+		{"silent", func(n, d int) []bvc.Byzantine {
+			return []bvc.Byzantine{{ID: n - 1, Strategy: bvc.StrategySilent}}
+		}},
+		{"crash", func(n, d int) []bvc.Byzantine {
+			return []bvc.Byzantine{{ID: n - 1, Strategy: bvc.StrategyCrash, CrashAfter: 1}}
+		}},
+		{"equivocate", func(n, d int) []bvc.Byzantine {
+			lo := make(bvc.Vector, d)
+			hi := make(bvc.Vector, d)
+			for i := range hi {
+				hi[i] = 1
+			}
+			return []bvc.Byzantine{{ID: n - 1, Strategy: bvc.StrategyEquivocate, Target: lo, Target2: hi}}
+		}},
+		{"random", func(n, d int) []bvc.Byzantine {
+			return []bvc.Byzantine{{ID: n - 1, Strategy: bvc.StrategyRandom}}
+		}},
+		{"lure", func(n, d int) []bvc.Byzantine {
+			hi := make(bvc.Vector, d)
+			for i := range hi {
+				hi[i] = 1
+			}
+			return []bvc.Byzantine{{ID: n - 1, Strategy: bvc.StrategyLure, Target: hi}}
+		}},
+	}
+
+	rng := rand.New(rand.NewSource(41))
+	mkInputs := func(n, d int, byz []bvc.Byzantine) []bvc.Vector {
+		out := make([]bvc.Vector, n)
+		for i := range out {
+			v := make(bvc.Vector, d)
+			for l := range v {
+				v[l] = rng.Float64()
+			}
+			out[i] = v
+		}
+		for _, b := range byz {
+			out[b.ID] = nil
+		}
+		return out
+	}
+
+	type variantCase struct {
+		name      string
+		d, f      int
+		usesDelay bool
+		run       func(cfg bvc.Config, inputs []bvc.Vector, byz []bvc.Byzantine, opts bvc.SimOptions) (*bvc.Result, error)
+		cfg       func(n, d, f int) bvc.Config
+	}
+	variants := []variantCase{
+		{
+			name: "exact", d: 2, f: 2, usesDelay: false,
+			run: bvc.SimulateExact,
+			cfg: func(n, d, f int) bvc.Config {
+				return bvc.Config{N: n, F: f, D: d, Lo: []float64{0}, Hi: []float64{1}}
+			},
+		},
+		{
+			name: "restricted_sync", d: 2, f: 1, usesDelay: false,
+			run: bvc.SimulateRestrictedSync,
+			cfg: func(n, d, f int) bvc.Config {
+				return bvc.Config{N: n, F: f, D: d, Epsilon: 0.2, Lo: []float64{0}, Hi: []float64{1}}
+			},
+		},
+		{
+			name: "approx_async", d: 1, f: 1, usesDelay: true,
+			run: bvc.SimulateApproxAsync,
+			cfg: func(n, d, f int) bvc.Config {
+				return bvc.Config{N: n, F: f, D: d, Epsilon: 0.1, Lo: []float64{0}, Hi: []float64{1}, MaxRounds: 3}
+			},
+		},
+		{
+			name: "restricted_async", d: 1, f: 1, usesDelay: true,
+			run: bvc.SimulateRestrictedAsync,
+			cfg: func(n, d, f int) bvc.Config {
+				return bvc.Config{N: n, F: f, D: d, Epsilon: 0.25, Lo: []float64{0}, Hi: []float64{1}}
+			},
+		},
+	}
+
+	for _, vc := range variants {
+		variant := map[string]bvc.Variant{
+			"exact": bvc.ExactSync, "restricted_sync": bvc.RestrictedSync,
+			"approx_async": bvc.ApproxAsync, "restricted_async": bvc.RestrictedAsync,
+		}[vc.name]
+		n := bvc.MinProcesses(variant, vc.d, vc.f)
+		cfg := vc.cfg(n, vc.d, vc.f)
+		delays := delayKinds
+		if !vc.usesDelay {
+			// The lock-step engines ignore the delay model; one delay row
+			// suffices and the grid stays affordable.
+			delays = delayKinds[:1]
+		}
+		for _, dk := range delays {
+			for _, adv := range adversaries {
+				byz := adv.mk(n, vc.d)
+				inputs := mkInputs(n, vc.d, byz)
+				t.Run(fmt.Sprintf("%s/%s/%s", vc.name, dk.name, adv.name), func(t *testing.T) {
+					var want []float64
+					for _, nw := range nodeWorkerSets {
+						res, err := vc.run(cfg, inputs, byz, bvc.SimOptions{
+							Seed: 7, Delay: dk.spec, NodeWorkers: nw,
+						})
+						if err != nil {
+							t.Fatalf("nodeworkers=%d: %v", nw, err)
+						}
+						got := fingerprint(t, res)
+						if want == nil {
+							want = got
+							continue
+						}
+						requireSameFingerprint(t, fmt.Sprintf("nodeworkers=%d", nw), want, got)
+					}
+				})
+			}
+		}
 	}
 }

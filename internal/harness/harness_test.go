@@ -27,8 +27,8 @@ func TestE2ExactSufficiency(t *testing.T) {
 	if !tbl.Pass {
 		t.Errorf("E2 failed:\n%s", tbl)
 	}
-	if len(tbl.Rows) != 4*6 { // 4 (d,f) pairs × 6 adversaries
-		t.Errorf("rows = %d, want 24", len(tbl.Rows))
+	if len(tbl.Rows) != 5*6 { // 5 (d,f) pairs × 6 adversaries
+		t.Errorf("rows = %d, want 30", len(tbl.Rows))
 	}
 }
 
@@ -105,6 +105,22 @@ func TestE9WitnessAblation(t *testing.T) {
 	}
 	if len(tbl.Rows) != 2 {
 		t.Errorf("rows = %d, want 2", len(tbl.Rows))
+	}
+}
+
+func TestE10ScaleSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=13 scale sweep in -short mode")
+	}
+	tbl, err := E10ScaleSweep(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Pass {
+		t.Errorf("E10 failed:\n%s", tbl)
+	}
+	if len(tbl.Rows) != 7 { // 3 exact grids × 2 adversary sets + 1 async row
+		t.Errorf("rows = %d, want 7", len(tbl.Rows))
 	}
 }
 
@@ -217,8 +233,8 @@ func TestAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 11 {
-		t.Fatalf("tables = %d, want 11", len(tables))
+	if len(tables) != 12 {
+		t.Fatalf("tables = %d, want 12", len(tables))
 	}
 	for _, tbl := range tables {
 		if !tbl.Pass {

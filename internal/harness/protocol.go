@@ -59,7 +59,7 @@ func E2ExactSufficiency(seed int64) (*Table, error) {
 			return []bvc.Byzantine{{ID: cfg.N - 1, Strategy: bvc.StrategyLure, Target: a}}
 		}},
 	}
-	for _, df := range [][2]int{{1, 1}, {2, 1}, {3, 1}, {2, 2}} {
+	for _, df := range [][2]int{{1, 1}, {2, 1}, {3, 1}, {2, 2}, {3, 2}} {
 		d, f := df[0], df[1]
 		n := bvc.MinProcesses(bvc.ExactSync, d, f)
 		cfg := bvc.Config{N: n, F: f, D: d, Lo: []float64{0}, Hi: []float64{1}}
@@ -597,6 +597,7 @@ func All(seed int64) ([]*Table, error) {
 		{"E7", func() (*Table, error) { return E7RestrictedAsync(seed) }},
 		{"E8", func() (*Table, error) { return E8CoordinateWise(seed) }},
 		{"E9", func() (*Table, error) { return E9WitnessAblation(seed) }},
+		{"E10", func() (*Table, error) { return E10ScaleSweep(seed) }},
 		{"F1", F1Heptagon},
 		{"F2", func() (*Table, error) { return F2ConvergenceSeries(seed) }},
 	}

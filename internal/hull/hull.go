@@ -169,8 +169,10 @@ func LexMinCommonPoint(groups [][]geometry.Vector) (geometry.Vector, bool, error
 		return nil, false, err
 	}
 	// The pinning slack keeps successive LPs feasible in floating point; it
-	// is deterministic, so all correct processes still agree exactly.
-	const pinSlack = 1e-9
+	// is deterministic, so all correct processes still agree exactly. It
+	// must dominate the solver's own tolerance (feasibility is checked to
+	// ~1e-7) or degenerate stages go infeasible after pinning.
+	const pinSlack = 1e-6
 	var last *lp.Solution
 	for l := 0; l < len(zvars); l++ {
 		if err := prob.SetObjective(lp.Minimize, []lp.Term{{Var: zvars[l], Coeff: 1}}); err != nil {

@@ -1,0 +1,65 @@
+package hull
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geometry"
+)
+
+// TestLexMinCommonPointD3Intersection exercises the joint LP on a d=3 safe
+// area at the Lemma 1 threshold (9 points, f=2 → 36 hull groups) — the
+// degenerate intersection shape that exposed reduced-cost drift in the
+// simplex. The intersection must be found non-empty and the lex-min point
+// must lie in every group hull.
+func TestLexMinCommonPointD3Intersection(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const d, k, f = 3, 9, 2
+	pts := make([]geometry.Vector, k)
+	for i := range pts {
+		v := geometry.NewVector(d)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		pts[i] = v
+	}
+	var groups [][]geometry.Vector
+	idx := make([]int, 0, k-f)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(idx) == k-f {
+			g := make([]geometry.Vector, 0, k-f)
+			for _, i := range idx {
+				g = append(g, pts[i])
+			}
+			groups = append(groups, g)
+			return
+		}
+		for i := start; i < k; i++ {
+			idx = append(idx, i)
+			rec(i + 1)
+			idx = idx[:len(idx)-1]
+		}
+	}
+	rec(0)
+	if len(groups) != 36 {
+		t.Fatalf("groups = %d, want C(9,7) = 36", len(groups))
+	}
+
+	if _, ok, err := CommonPoint(groups); err != nil || !ok {
+		t.Fatalf("CommonPoint: ok=%v err=%v (Lemma 1 guarantees non-empty)", ok, err)
+	}
+	pt, ok, err := LexMinCommonPoint(groups)
+	if err != nil || !ok {
+		t.Fatalf("LexMinCommonPoint: ok=%v err=%v", ok, err)
+	}
+	for g, grp := range groups {
+		in, err := Contains(grp, pt, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !in {
+			t.Fatalf("lex-min point %v outside hull of group %d", pt, g)
+		}
+	}
+}

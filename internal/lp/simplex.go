@@ -11,6 +11,7 @@ import (
 const (
 	pivotEps    = 1e-9  // minimum magnitude of a usable pivot element
 	reducedEps  = 1e-9  // reduced cost below −reducedEps means "improving"
+	phantomEps  = 1e-7  // larger magnitudes on a zero column mean unbounded
 	feasEps     = 1e-7  // phase-1 objective above feasEps means infeasible
 	maxItFactor = 200   // iteration cap: maxItFactor · (m + n) per phase
 	minIters    = 10000 // floor for the iteration cap on tiny problems
@@ -70,7 +71,12 @@ func (s *standard) solve(ws *Workspace) (Status, []float64, error) {
 		}
 		cost[width-1] -= row[width-1]
 	}
-	if err := simplexLoop(t, m, width, basis, n+m); err != nil {
+	// Phase-1 cost vector (1 per artificial) for the loop's re-pricing.
+	p1c := growZero(&ws.cvec, width)
+	for j := n; j < n+m; j++ {
+		p1c[j] = 1
+	}
+	if err := simplexLoop(t, m, width, basis, n+m, p1c); err != nil {
 		if errors.Is(err, errUnboundedPivot) {
 			// Phase 1 is bounded below by 0; an unbounded signal here is a
 			// numerical failure.
@@ -112,26 +118,12 @@ func (s *standard) solve(ws *Workspace) (Status, []float64, error) {
 	}
 
 	// Phase 2: original costs; artificial columns are barred (simplexLoop
-	// only considers columns < limit). Rebuild the reduced-cost row for the
-	// new cost vector: r_j = c_j − Σ_i c_{basis[i]}·t[i][j].
-	clear(cost)
-	copy(cost, s.c)
-	for i := 0; i < m; i++ {
-		cb := 0.0
-		if basis[i] < n {
-			cb = s.c[basis[i]]
-		}
-		if cb == 0 {
-			continue
-		}
-		row := t[i*width : i*width+width]
-		for j := 0; j < width; j++ {
-			if row[j] != 0 {
-				cost[j] -= cb * row[j]
-			}
-		}
-	}
-	if err := simplexLoop(t, m, width, basis, n); err != nil {
+	// only considers columns < limit). The reduced-cost row for the new
+	// cost vector is rebuilt by the loop's initial re-pricing.
+	p2c := growZero(&ws.cvec, width)
+	copy(p2c, s.c)
+	reprice(t, m, width, basis, p2c)
+	if err := simplexLoop(t, m, width, basis, n, p2c); err != nil {
 		if errors.Is(err, errUnboundedPivot) {
 			return Unbounded, nil, nil
 		}
@@ -160,7 +152,16 @@ var errUnboundedPivot = errors.New("lp: unbounded pivot direction")
 // switching back once progress resumes. This combination is fast on the
 // highly degenerate hull-intersection programs this repository generates
 // while remaining termination-safe.
-func simplexLoop(t []float64, m, width int, basis []int, limit int) error {
+//
+// The incrementally maintained reduced-cost row accumulates floating-point
+// drift over long degenerate pivot sequences — enough to make the loop
+// declare optimality early (phase 1 then wrongly reports infeasible) or
+// chase phantom improving columns until the iteration cap. phaseCost is the
+// phase's true cost vector (width entries, the rightmost 0); the loop
+// re-prices the cost row from it — r_j = c_j − Σ_i c_{basis[i]}·t[i][j] —
+// every repriceEvery pivots and before accepting any optimality claim, so
+// verdicts are always rendered on freshly priced costs.
+func simplexLoop(t []float64, m, width int, basis []int, limit int, phaseCost []float64) error {
 	if m == 0 {
 		return nil
 	}
@@ -168,10 +169,14 @@ func simplexLoop(t []float64, m, width int, basis []int, limit int) error {
 	if maxIters < minIters {
 		maxIters = minIters
 	}
-	const stallLimit = 30
+	const (
+		stallLimit   = 30
+		repriceEvery = 64
+	)
 
 	cost := t[m*width:]
 	stall := 0
+	sinceReprice := 0
 	lastObj := -cost[width-1]
 	for iter := 0; iter < maxIters; iter++ {
 		blandMode := stall >= stallLimit
@@ -193,7 +198,14 @@ func simplexLoop(t []float64, m, width int, basis []int, limit int) error {
 			}
 		}
 		if enter < 0 {
-			return nil // optimal for this phase
+			if sinceReprice == 0 {
+				return nil // optimal on freshly priced costs
+			}
+			// The claim rests on a drifted cost row; re-price and re-scan.
+			reprice(t, m, width, basis, phaseCost)
+			sinceReprice = 0
+			lastObj = -cost[width-1]
+			continue
 		}
 
 		// Ratio test; in Bland mode ties break toward the lowest basis
@@ -215,9 +227,24 @@ func simplexLoop(t []float64, m, width int, basis []int, limit int) error {
 			}
 		}
 		if leave < 0 {
+			// No entry of the column exceeds pivotEps. If the column's
+			// reduced cost is also within noise of zero, this is not a
+			// descent direction but a numerically zero column whose
+			// reduced cost drifted just past the improvement threshold
+			// (observed on degenerate hull-intersection programs):
+			// neutralize it and keep scanning. Only a decisively negative
+			// reduced cost signals a genuine unbounded ray.
+			if cost[enter] >= -phantomEps {
+				cost[enter] = 0
+				continue
+			}
 			return errUnboundedPivot
 		}
 		pivot(t, m, width, basis, leave, enter)
+		if sinceReprice++; sinceReprice >= repriceEvery {
+			reprice(t, m, width, basis, phaseCost)
+			sinceReprice = 0
+		}
 
 		obj := -cost[width-1]
 		if obj < lastObj-reducedEps {
@@ -228,6 +255,29 @@ func simplexLoop(t []float64, m, width int, basis []int, limit int) error {
 		}
 	}
 	return errIterationCap
+}
+
+// reprice rebuilds the reduced-cost row exactly from the phase cost vector
+// and the current basis: r_j = c_j − Σ_i c_{basis[i]}·t[i][j] (the
+// objective cell becomes −c_B·b̂). One O(m·width) pass — the price the
+// incremental maintenance avoids per iteration, paid back occasionally to
+// shed accumulated drift.
+func reprice(t []float64, m, width int, basis []int, phaseCost []float64) {
+	cost := t[m*width:]
+	copy(cost, phaseCost)
+	cost[width-1] = 0
+	for i := 0; i < m; i++ {
+		cb := phaseCost[basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := t[i*width : i*width+width]
+		for j := 0; j < width; j++ {
+			if row[j] != 0 {
+				cost[j] -= cb * row[j]
+			}
+		}
+	}
 }
 
 // pivot performs a Gauss-Jordan pivot on t[row][col] and updates the basis.

@@ -14,6 +14,7 @@ type Workspace struct {
 	tab   []float64
 	basis []int
 	x     []float64
+	cvec  []float64 // per-phase cost vector for re-pricing
 
 	// standardization buffers
 	a      []float64

@@ -14,6 +14,11 @@
 //     the lexicographically minimal point (deterministic across processes).
 //   - MethodRadon: for f = 1, the Radon point of the first d+2 members is a
 //     Tverberg point and therefore lies in Γ(Y); O(d³) instead of an LP.
+//   - MethodTverbergLift: for any f with |Y| ≥ (d+1)f+1, a Tverberg point
+//     of the first (d+1)f+1 members via Sarkaria's lifting — polynomial
+//     where the joint lex-min LP grows combinatorially, and the key to the
+//     d ≥ 2, f ≥ 2 grids. The partition is verified geometrically and the
+//     joint LP is the deterministic fallback.
 //   - MethodTverbergSearch: exhaustive Tverberg partition search (small
 //     inputs; used for validation).
 //
@@ -50,6 +55,11 @@ const (
 	// MethodTverbergSearch exhaustively searches for a Tverberg partition
 	// and returns its Tverberg point (small |Y| only).
 	MethodTverbergSearch
+	// MethodTverbergLift computes a Tverberg point of the first (d+1)f+1
+	// members via Sarkaria's lifted colorful-Carathéodory search (any f,
+	// polynomial), verifying the partition and falling back to the lex-min
+	// LP if verification fails.
+	MethodTverbergLift
 )
 
 func (m Method) String() string {
@@ -62,6 +72,8 @@ func (m Method) String() string {
 		return "radon"
 	case MethodTverbergSearch:
 		return "tverberg-search"
+	case MethodTverbergLift:
+		return "tverberg-lift"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
 	}
@@ -287,6 +299,12 @@ func PointWith(y *geometry.Multiset, f int, method Method) (geometry.Vector, err
 			return lexMinMember(y), nil
 		case f == 1 && y.Len() >= d+2:
 			method = MethodRadon
+		case y.Len() >= (d+1)*f+1:
+			// Above the Lemma 1 threshold the lifted Tverberg search is
+			// polynomial and numerically robust where the joint LP over
+			// C(|Y|, f) hulls is neither; every product candidate set
+			// (exact S, restricted and async Φ(C)) lands here.
+			method = MethodTverbergLift
 		default:
 			method = MethodLexMinLP
 		}
@@ -331,6 +349,23 @@ func PointWith(y *geometry.Multiset, f int, method Method) (geometry.Vector, err
 			return PointWith(y, f, MethodLexMinLP)
 		}
 		return part.Point, nil
+
+	case MethodTverbergLift:
+		if y.Len() < (d+1)*f+1 {
+			// Below the Tverberg number the lifting does not apply; the
+			// LP decides emptiness conclusively.
+			return PointWith(y, f, MethodLexMinLP)
+		}
+		part, err := tverberg.Lift(y, f+1)
+		if err == nil {
+			if verr := tverberg.Verify(y, part, hull.DefaultTol); verr == nil {
+				return part.Point, nil
+			}
+		}
+		// Numerical failure or unverifiable partition: both are
+		// deterministic outcomes, so every correct process takes the same
+		// fallback and the decision stays canonical.
+		return PointWith(y, f, MethodLexMinLP)
 
 	default:
 		return nil, fmt.Errorf("safearea: unknown method %v", method)

@@ -1,0 +1,45 @@
+package safearea
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geometry"
+)
+
+// TestPointAutoAtThreshold: MethodAuto must produce a verified Γ-point on
+// every random multiset at the Lemma 1 threshold |Y| = (d+1)f+1 for the
+// d ≥ 2, f ≥ 2 grids the scale experiments use. These sizes route through
+// the lifted Tverberg search; the joint lex-min LP alone fails a double-
+// digit percentage of such instances (numerically degenerate hull
+// intersections), which is exactly why the lift exists.
+func TestPointAutoAtThreshold(t *testing.T) {
+	cases := []struct{ d, f int }{{2, 2}, {3, 2}, {3, 3}, {4, 2}}
+	for _, c := range cases {
+		size := (c.d+1)*c.f + 1
+		for seed := int64(0); seed < 30; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			ms := geometry.NewMultiset(c.d)
+			for i := 0; i < size; i++ {
+				v := geometry.NewVector(c.d)
+				for j := range v {
+					v[j] = rng.Float64()
+				}
+				if err := ms.Add(v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			pt, err := PointWith(ms, c.f, MethodAuto)
+			if err != nil {
+				t.Fatalf("d=%d f=%d seed=%d: %v", c.d, c.f, seed, err)
+			}
+			in, err := Contains(ms, c.f, pt, 1e-6)
+			if err != nil {
+				t.Fatalf("d=%d f=%d seed=%d: verify: %v", c.d, c.f, seed, err)
+			}
+			if !in {
+				t.Fatalf("d=%d f=%d seed=%d: point %v outside Γ(Y)", c.d, c.f, seed, pt)
+			}
+		}
+	}
+}

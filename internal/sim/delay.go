@@ -8,6 +8,10 @@ import (
 // DelayModel decides the network delay of each message. Implementations
 // must be deterministic functions of their arguments and the provided PRNG
 // (which the engine seeds deterministically), so executions replay exactly.
+// Delay is only ever invoked from the engine goroutine — even when node
+// callbacks run on a worker pool, their emitted sends are enqueued (and
+// delays drawn) in a deterministic serial merge — so implementations need
+// not be safe for concurrent use.
 type DelayModel interface {
 	// Delay returns the link latency for a message from → to sent at the
 	// given virtual time.

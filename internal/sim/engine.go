@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 )
 
@@ -30,8 +31,18 @@ type Config struct {
 	// MaxTime, when positive, stops the run once virtual time passes it.
 	MaxTime time.Duration
 	// Observer, when non-nil, is invoked after each delivery (for tests
-	// and tracing). It must not retain msg.
+	// and tracing). It must not retain msg. Observers run on the engine
+	// goroutine in delivery order regardless of NodeWorkers.
 	Observer func(ev Delivery)
+	// NodeWorkers bounds how many nodes handle simultaneous events
+	// concurrently: 0 selects GOMAXPROCS, 1 forces the serial event loop.
+	// Parallelism never reorders an execution — only deliveries sharing
+	// one virtual timestamp run concurrently, deliveries to the same node
+	// stay in sequence order on one worker, and all messages emitted by a
+	// batch are enqueued afterwards in the order the serial loop would
+	// have produced (so delay-model PRNG draws, sequence numbers, and
+	// FIFO floors are bit-identical to NodeWorkers=1).
+	NodeWorkers int
 }
 
 // Delivery describes one delivered message (for observers).
@@ -74,6 +85,7 @@ type Engine struct {
 	lastArr [][]time.Duration // lastArr[from][to]: latest scheduled arrival
 	delay   DelayModel
 	rngNet  *rand.Rand
+	halted  atomic.Int64 // nodes that called Halt (atomic: see runBatch)
 
 	stats Stats
 }
@@ -130,20 +142,33 @@ func NewEngine(cfg Config, nodes []Node) (*Engine, error) {
 // Run initializes every node and delivers events until the queue drains,
 // every node halts, or a cap is hit. It returns the run statistics; the
 // only error is ErrMaxEvents (wrapped with context).
+//
+// With Config.NodeWorkers ≠ 1, deliveries that share a virtual timestamp
+// are fanned across a worker pool; the execution (deliveries, emitted
+// messages, statistics, observer sequence) is bit-identical to the serial
+// loop — see Config.NodeWorkers.
 func (e *Engine) Run() (Stats, error) {
 	for i, nd := range e.nodes {
 		nd.Init(e.ctxs[i])
 	}
+	workers := ResolveWorkers(e.cfg.NodeWorkers, len(e.nodes))
+	if workers <= 1 {
+		return e.runSerial()
+	}
+	return e.runParallel(workers)
+}
+
+// runSerial is the classic one-event-at-a-time loop.
+func (e *Engine) runSerial() (Stats, error) {
 	for {
-		if e.stats.Halted == len(e.nodes) {
+		if e.halted.Load() == int64(len(e.nodes)) {
 			break
 		}
 		if len(e.queue) == 0 {
 			break
 		}
 		if e.stats.Delivered+e.stats.Suppressed >= int64(e.cfg.MaxEvents) {
-			e.stats.FinalTime = e.now
-			return e.stats, fmt.Errorf("%w after %d deliveries", ErrMaxEvents, e.stats.Delivered)
+			return e.finish(), fmt.Errorf("%w after %d deliveries", ErrMaxEvents, e.stats.Delivered)
 		}
 		ev := heap.Pop(&e.queue).(event)
 		e.now = ev.at
@@ -161,14 +186,151 @@ func (e *Engine) Run() (Stats, error) {
 			e.cfg.Observer(Delivery{At: ev.at, From: ev.from, To: ev.to, Msg: ev.msg, Seq: ev.seq})
 		}
 	}
+	return e.finish(), nil
+}
+
+// pendingSend is one message emitted by a node while its delivery batch was
+// executing concurrently; it is enqueued during the deterministic merge.
+type pendingSend struct {
+	to  ProcID
+	msg Message
+}
+
+// runParallel drains the event queue in same-timestamp batches. All events
+// of a batch carry one virtual time, so none can causally precede another
+// except through FIFO order on a shared destination — which is preserved by
+// keeping each destination's events in sequence order on a single worker.
+// Sends performed inside OnMessage are buffered per event and enqueued in
+// the merge phase below, in originating-event sequence order, which
+// reproduces the serial loop's delay-PRNG draws, sequence numbers, and FIFO
+// floors exactly.
+func (e *Engine) runParallel(workers int) (Stats, error) {
+	var (
+		batch        []event
+		sends        [][]pendingSend
+		delivered    []bool
+		haltedDuring []bool
+		dests        []ProcID
+		byDest       = make([][]int, len(e.nodes)) // dest → batch indices
+	)
+	for {
+		if e.halted.Load() == int64(len(e.nodes)) {
+			break
+		}
+		if len(e.queue) == 0 {
+			break
+		}
+		remaining := int64(e.cfg.MaxEvents) - (e.stats.Delivered + e.stats.Suppressed)
+		if remaining <= 0 {
+			return e.finish(), fmt.Errorf("%w after %d deliveries", ErrMaxEvents, e.stats.Delivered)
+		}
+		t := e.queue[0].at
+		e.now = t
+		if e.cfg.MaxTime > 0 && t > e.cfg.MaxTime {
+			break
+		}
+
+		// Pop the batch: every queued event at time t (they emerge in
+		// sequence order), capped by the remaining event budget so the
+		// MaxEvents error fires at exactly the serial loop's delivery.
+		batch = batch[:0]
+		for len(e.queue) > 0 && e.queue[0].at == t && int64(len(batch)) < remaining {
+			batch = append(batch, heap.Pop(&e.queue).(event))
+		}
+
+		// Group by destination, preserving sequence order within a group.
+		dests = dests[:0]
+		for bi, ev := range batch {
+			if len(byDest[ev.to]) == 0 {
+				dests = append(dests, ev.to)
+			}
+			byDest[ev.to] = append(byDest[ev.to], bi)
+		}
+		for len(sends) < len(batch) {
+			sends = append(sends, nil)
+		}
+		for bi := range batch {
+			sends[bi] = sends[bi][:0]
+		}
+		delivered = growCleared(delivered, len(batch))
+		haltedDuring = growCleared(haltedDuring, len(batch))
+		haltedAtStart := int(e.halted.Load())
+
+		// Execute: destinations in parallel, each destination serial in
+		// sequence order. A node halting mid-batch suppresses its own
+		// later deliveries, exactly as the serial loop would.
+		parallelFor(workers, len(dests), func(gi int) {
+			dest := dests[gi]
+			api := e.ctxs[dest]
+			for _, bi := range byDest[dest] {
+				if api.halted {
+					continue
+				}
+				delivered[bi] = true
+				api.buf = &sends[bi]
+				e.nodes[dest].OnMessage(api, batch[bi].from, batch[bi].msg)
+				api.buf = nil
+				haltedDuring[bi] = api.halted
+			}
+		})
+
+		// Deterministic merge in batch (sequence) order: update statistics,
+		// enqueue the buffered sends, and run observers — the same
+		// per-event order the serial loop interleaves. The serial loop
+		// stops dead the moment the last node halts, so the merge replays
+		// halt transitions and abandons the tail of the batch at that
+		// point (those events were skipped by their halted destinations —
+		// they carry no sends and no counts).
+		haltedNow := haltedAtStart
+		for bi, ev := range batch {
+			if haltedNow == len(e.nodes) {
+				break
+			}
+			if !delivered[bi] {
+				e.stats.Suppressed++
+				continue
+			}
+			e.stats.Delivered++
+			for _, ps := range sends[bi] {
+				e.send(ev.to, ps.to, ps.msg)
+			}
+			if e.cfg.Observer != nil {
+				e.cfg.Observer(Delivery{At: ev.at, From: ev.from, To: ev.to, Msg: ev.msg, Seq: ev.seq})
+			}
+			if haltedDuring[bi] {
+				haltedNow++
+			}
+		}
+		for _, dest := range dests {
+			byDest[dest] = byDest[dest][:0]
+		}
+	}
+	return e.finish(), nil
+}
+
+// growCleared resizes buf to n entries, all false, reusing its backing
+// array once grown (no steady-state allocation in the batch loop).
+func growCleared(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// finish stamps the final wall state into the statistics.
+func (e *Engine) finish() Stats {
 	e.stats.FinalTime = e.now
-	return e.stats, nil
+	e.stats.Halted = int(e.halted.Load())
+	return e.stats
 }
 
 // Stats returns a snapshot of the statistics so far.
 func (e *Engine) Stats() Stats {
 	s := e.stats
 	s.FinalTime = e.now
+	s.Halted = int(e.halted.Load())
 	return s
 }
 
@@ -199,6 +361,11 @@ type engineAPI struct {
 	id     ProcID
 	rng    *rand.Rand
 	halted bool
+	// buf, when non-nil, redirects Send into the current delivery's
+	// pending-send buffer (set only while this process's callback runs on
+	// a batch worker; the engine enqueues the buffer deterministically
+	// afterwards).
+	buf *[]pendingSend
 }
 
 var _ API = (*engineAPI)(nil)
@@ -207,18 +374,24 @@ func (a *engineAPI) ID() ProcID { return a.id }
 
 func (a *engineAPI) N() int { return len(a.engine.nodes) }
 
-func (a *engineAPI) Send(to ProcID, msg Message) { a.engine.send(a.id, to, msg) }
+func (a *engineAPI) Send(to ProcID, msg Message) {
+	if a.buf != nil {
+		*a.buf = append(*a.buf, pendingSend{to: to, msg: msg})
+		return
+	}
+	a.engine.send(a.id, to, msg)
+}
 
 func (a *engineAPI) Broadcast(msg Message) {
 	for to := 0; to < len(a.engine.nodes); to++ {
-		a.engine.send(a.id, ProcID(to), msg)
+		a.Send(ProcID(to), msg)
 	}
 }
 
 func (a *engineAPI) Halt() {
 	if !a.halted {
 		a.halted = true
-		a.engine.stats.Halted++
+		a.engine.halted.Add(1)
 	}
 }
 

@@ -433,3 +433,154 @@ type nodeFunc func(api API)
 
 func (f nodeFunc) Init(api API)                   { f(api) }
 func (f nodeFunc) OnMessage(API, ProcID, Message) {}
+
+// gossipNode exercises every determinism-sensitive engine facility at once:
+// it broadcasts rng-perturbed payloads, replies to a subset of senders, and
+// halts after a fixed number of deliveries — so executions cover same-time
+// batches, mid-batch halts, and per-process PRNG streams.
+type gossipNode struct {
+	rounds    int
+	delivered int
+	haltAfter int
+}
+
+func (g *gossipNode) Init(api API) {
+	for r := 0; r < g.rounds; r++ {
+		api.Broadcast(int(api.Rand().Int63n(1000)) + r)
+	}
+}
+
+func (g *gossipNode) OnMessage(api API, from ProcID, msg Message) {
+	g.delivered++
+	if g.delivered == g.haltAfter {
+		api.Halt()
+		return
+	}
+	if v := msg.(int); v%3 == 0 && g.delivered < 3*g.haltAfter {
+		api.Send(from, v+int(api.Rand().Int63n(7)))
+	}
+}
+
+// traceOf runs a gossip execution and returns the full delivery trace plus
+// statistics.
+func traceOf(t *testing.T, n, nodeWorkers int, delay DelayModel) ([]Delivery, Stats) {
+	t.Helper()
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = &gossipNode{rounds: 3, delivered: 0, haltAfter: 5 + i}
+	}
+	var trace []Delivery
+	eng, err := NewEngine(Config{
+		N: n, Seed: 99, Delay: delay, NodeWorkers: nodeWorkers,
+		Observer: func(ev Delivery) { trace = append(trace, ev) },
+	}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace, stats
+}
+
+// TestEngineNodeWorkersDeterministic: the delivery trace (time, sender,
+// receiver, sequence number, payload) and statistics of an execution must
+// be identical for every NodeWorkers setting, under constant delays (large
+// same-time batches), randomized delays (mostly singleton batches), and an
+// adversarial starvation schedule.
+func TestEngineNodeWorkersDeterministic(t *testing.T) {
+	delays := map[string]DelayModel{
+		"constant":    ConstantDelay{D: time.Millisecond},
+		"uniform":     UniformDelay{Min: time.Millisecond, Max: 5 * time.Millisecond},
+		"exponential": ExponentialDelay{Mean: 2 * time.Millisecond},
+		"starve": StarveSenders{
+			Inner: ConstantDelay{D: time.Millisecond},
+			Slow:  map[ProcID]bool{0: true},
+			Extra: 40 * time.Millisecond,
+		},
+	}
+	for name, delay := range delays {
+		t.Run(name, func(t *testing.T) {
+			wantTrace, wantStats := traceOf(t, 6, 1, delay)
+			if len(wantTrace) == 0 {
+				t.Fatal("empty reference trace")
+			}
+			for _, nw := range []int{0, 2, 4, 16} {
+				trace, stats := traceOf(t, 6, nw, delay)
+				if stats != wantStats {
+					t.Fatalf("nodeworkers=%d: stats %+v, want %+v", nw, stats, wantStats)
+				}
+				if len(trace) != len(wantTrace) {
+					t.Fatalf("nodeworkers=%d: %d deliveries, want %d", nw, len(trace), len(wantTrace))
+				}
+				for i := range trace {
+					if trace[i] != wantTrace[i] {
+						t.Fatalf("nodeworkers=%d: delivery %d = %+v, want %+v", nw, i, trace[i], wantTrace[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEngineNodeWorkersMaxEvents: the MaxEvents cap must trip at exactly
+// the same delivery count — with the same error — regardless of batching.
+func TestEngineNodeWorkersMaxEvents(t *testing.T) {
+	run := func(nodeWorkers int) (Stats, error) {
+		nodes := make([]Node, 4)
+		for i := range nodes {
+			nodes[i] = &gossipNode{rounds: 50, haltAfter: 1 << 30}
+		}
+		eng, err := NewEngine(Config{
+			N: 4, Seed: 3, MaxEvents: 100, NodeWorkers: nodeWorkers,
+			Delay: ConstantDelay{D: time.Millisecond},
+		}, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng.Run()
+	}
+	wantStats, wantErr := run(1)
+	if !errors.Is(wantErr, ErrMaxEvents) {
+		t.Fatalf("serial run: expected ErrMaxEvents, got %v", wantErr)
+	}
+	for _, nw := range []int{0, 3} {
+		stats, err := run(nw)
+		if !errors.Is(err, ErrMaxEvents) {
+			t.Fatalf("nodeworkers=%d: expected ErrMaxEvents, got %v", nw, err)
+		}
+		if stats != wantStats {
+			t.Fatalf("nodeworkers=%d: stats %+v, want %+v", nw, stats, wantStats)
+		}
+	}
+}
+
+// TestEngineNodeWorkersMaxTime: the MaxTime cutoff must stop parallel and
+// serial executions at the identical virtual instant and statistics.
+func TestEngineNodeWorkersMaxTime(t *testing.T) {
+	run := func(nodeWorkers int) Stats {
+		nodes := make([]Node, 4)
+		for i := range nodes {
+			nodes[i] = &gossipNode{rounds: 10, haltAfter: 1 << 30}
+		}
+		eng, err := NewEngine(Config{
+			N: 4, Seed: 5, MaxTime: 3 * time.Millisecond, NodeWorkers: nodeWorkers,
+			Delay: UniformDelay{Min: time.Millisecond, Max: 2 * time.Millisecond},
+		}, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	want := run(1)
+	for _, nw := range []int{0, 2} {
+		if got := run(nw); got != want {
+			t.Fatalf("nodeworkers=%d: stats %+v, want %+v", nw, got, want)
+		}
+	}
+}

@@ -51,9 +51,17 @@ type API interface {
 }
 
 // Node is an asynchronous, event-driven process.
+//
+// Concurrency contract: the engine may run callbacks of *distinct* nodes
+// concurrently (deliveries that share a virtual timestamp are fanned across
+// a worker pool), but a single node's callbacks are never concurrent with
+// each other and always observe its own prior effects. A Node must
+// therefore not share unsynchronized mutable state with other nodes; state
+// behind it (the Γ-point engine's memo table, for instance) must be
+// thread-safe and produce schedule-independent results.
 type Node interface {
 	// Init runs once before any delivery; protocols typically send their
-	// first messages here.
+	// first messages here. Init calls are serial, in process-id order.
 	Init(api API)
 	// OnMessage handles one delivered message.
 	OnMessage(api API, from ProcID, msg Message)
@@ -61,6 +69,12 @@ type Node interface {
 
 // SyncNode is a lock-step synchronous process: in every round it first
 // produces an outbox, then receives the round's inbox.
+//
+// Concurrency contract: within each phase of a round the engine may call
+// distinct nodes' methods concurrently (see SyncOptions.Workers); one
+// node's methods are never concurrent with each other, and Deliver always
+// happens after every node's Outbox for that round. Nodes must not share
+// unsynchronized mutable state.
 type SyncNode interface {
 	// Outbox returns the messages this node sends in round r (1-based),
 	// keyed by recipient. A nil map sends nothing. Byzantine nodes may

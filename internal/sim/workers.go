@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ResolveWorkers maps a worker-count knob to a concrete pool size: zero (or
+// negative) selects GOMAXPROCS, and the result is capped at jobs so no
+// worker ever idles from the start.
+func ResolveWorkers(workers, jobs int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// parallelFor runs fn(i) for every i in [0, jobs) across at most workers
+// goroutines and returns when all invocations have completed. Invocations
+// for distinct i may run concurrently and in any order, so fn must only
+// touch state owned by its own index; workers ≤ 1 degenerates to a plain
+// loop on the calling goroutine.
+func parallelFor(workers, jobs int, fn func(i int)) {
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers <= 1 || jobs <= 1 {
+		for i := 0; i < jobs; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= jobs {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

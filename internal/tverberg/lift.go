@@ -1,0 +1,173 @@
+package tverberg
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/geometry"
+)
+
+// liftTol is the residual norm at which the lifted colorful-Carathéodory
+// search accepts a selection as containing the origin. Intermediate
+// selections have min-norms bounded well away from zero, and the final one
+// contains the origin exactly, so the observed residual collapses to
+// floating-point noise at termination; 1e-7 separates the two regimes with
+// orders of magnitude to spare. The derived Tverberg point lies in every
+// block hull to within the same scale, which callers re-check geometrically
+// (Verify) before trusting the partition.
+const liftTol = 1e-7
+
+// liftMaxPivots caps Bárány pivot steps. Each step strictly shrinks the
+// minimum norm, so the search terminates on its own; the cap is a guard
+// against numerical stagnation on adversarially degenerate inputs.
+const liftMaxPivots = 2000
+
+// Lift computes a Tverberg partition of y into r parts by Sarkaria's tensor
+// construction — polynomial where Search is exponential, and for any r
+// where Radon is limited to r = 2.
+//
+// The first N+1 members of y (N = (d+1)(r−1), the Tverberg number minus
+// one) are lifted to N-dimensional color classes C_i = {v_j ⊗ x̄_i : j < r},
+// where x̄_i = (x_i, 1) and v_0 … v_{r−1} ∈ R^{r−1} sum to zero (the
+// standard basis plus −1). Every class averages to the origin, so by the
+// colorful Carathéodory theorem some rainbow selection j(i) captures 0 in
+// its convex hull; Bárány's pivoting scheme finds one: repeatedly take the
+// minimum-norm point x of the current selection's hull (Wolfe's algorithm)
+// and, while ‖x‖ > 0, swap a positive-weight class to its member with the
+// most negative inner product against x, which strictly decreases the norm.
+// The selection's zero combination Σ λ_i·v_{j(i)} ⊗ x̄_i = 0 forces the
+// per-block weighted means Σ_{j(i)=j} λ_i x̄_i to coincide across blocks —
+// that common value is a Tverberg point of the blocks {i : j(i) = j}.
+//
+// Members beyond the first N+1 are appended to the last block, which only
+// grows its hull (exactly as RadonOfFirst does for r = 2). The computation
+// is deterministic: all ties break toward the lowest index.
+func Lift(y *geometry.Multiset, r int) (*Partition, error) {
+	if r < 2 {
+		return nil, fmt.Errorf("tverberg: Lift needs r ≥ 2 parts, got %d", r)
+	}
+	d := y.Dim()
+	dim := (d + 1) * (r - 1) // lifted dimension N
+	k := dim + 1             // number of color classes
+	if y.Len() < k {
+		return nil, fmt.Errorf("tverberg: Lift needs at least (d+1)(r−1)+1 = %d points, got %d", k, y.Len())
+	}
+
+	// Lifted classes: lifted[i][j] is v_j ⊗ x̄_i flattened row-major, i.e.
+	// block a ∈ [0, r−1) holds v_j[a]·x̄_i. With v_a = e_a (a < r−1) and
+	// v_{r−1} = −𝟙, member j < r−1 places x̄_i in block j; member r−1
+	// places −x̄_i in every block.
+	lifted := make([][][]float64, k)
+	for i := 0; i < k; i++ {
+		xi := y.At(i)
+		bar := make([]float64, d+1)
+		copy(bar, xi)
+		bar[d] = 1
+		lifted[i] = make([][]float64, r)
+		for j := 0; j < r; j++ {
+			w := make([]float64, dim)
+			if j < r-1 {
+				copy(w[j*(d+1):(j+1)*(d+1)], bar)
+			} else {
+				for a := 0; a < r-1; a++ {
+					for b := 0; b <= d; b++ {
+						w[a*(d+1)+b] = -bar[b]
+					}
+				}
+			}
+			lifted[i][j] = w
+		}
+	}
+
+	// Initial rainbow selection: spread classes across members round-robin.
+	sel := make([]int, k)
+	for i := range sel {
+		sel[i] = i % r
+	}
+	rows := make([][]float64, k)
+	for i := range rows {
+		rows[i] = lifted[i][sel[i]]
+	}
+
+	var mn *minNormResult
+	for pivots := 0; ; pivots++ {
+		if pivots >= liftMaxPivots {
+			return nil, errors.New("tverberg: lifted search exceeded pivot cap")
+		}
+		var err error
+		mn, err = minNorm(rows)
+		if err != nil {
+			return nil, err
+		}
+		if mn.norm2 <= liftTol*liftTol {
+			break
+		}
+		// Bárány pivot. A nonzero min-norm point is supported by at most N
+		// affinely independent members, so at least one of the N+1 classes
+		// carries zero weight; swapping THAT class keeps x inside the new
+		// hull. The class averages to the origin while its current member
+		// satisfies ⟨s_i, x⟩ ≳ ‖x‖² (Wolfe's termination condition), so its
+		// best member has ⟨w, x⟩ ≤ −‖x‖²/(r−1) — the segment [x, w] then
+		// dips strictly below ‖x‖, the minimum norm decreases, and no
+		// selection ever repeats (the search terminates combinatorially).
+		// The margin is relative to ‖x‖²; an absolute one would open a
+		// stall window at small norms.
+		swapped := false
+		for i := 0; i < k && !swapped; i++ {
+			if mn.lambda[i] > mnWeightEps {
+				continue // support class: swapping it would discard x itself
+			}
+			bestJ, bestDot := sel[i], dot(lifted[i][sel[i]], mn.x)
+			for j := 0; j < r; j++ {
+				if j == sel[i] {
+					continue
+				}
+				if dp := dot(lifted[i][j], mn.x); dp < bestDot {
+					bestJ, bestDot = j, dp
+				}
+			}
+			if bestJ != sel[i] && bestDot < mn.norm2*(1-1e-9) {
+				sel[i] = bestJ
+				rows[i] = lifted[i][bestJ]
+				swapped = true
+			}
+		}
+		if !swapped {
+			return nil, errors.New("tverberg: lifted search stalled above tolerance")
+		}
+	}
+
+	// Decode: blocks by selected member, Tverberg point as the global
+	// weighted mean Σ λ_i x_i (the per-block means all equal it when the
+	// lifted combination is zero; block weights are each 1/r).
+	blocks := make([][]int, r)
+	pt := geometry.NewVector(d)
+	var wsum float64
+	for i := 0; i < k; i++ {
+		blocks[sel[i]] = append(blocks[sel[i]], i)
+		if l := mn.lambda[i]; l > 0 {
+			xi := y.At(i)
+			for c := 0; c < d; c++ {
+				pt[c] += l * xi[c]
+			}
+			wsum += l
+		}
+	}
+	if wsum <= 0 {
+		return nil, errors.New("tverberg: lifted search produced no weight mass")
+	}
+	for c := 0; c < d; c++ {
+		pt[c] /= wsum
+	}
+	for b := range blocks {
+		if len(blocks[b]) == 0 {
+			// A zero-residual selection gives every block weight 1/r, so
+			// an empty block means the residual tolerance was too loose.
+			return nil, fmt.Errorf("tverberg: lifted search left block %d empty", b)
+		}
+	}
+	for i := k; i < y.Len(); i++ {
+		blocks[r-1] = append(blocks[r-1], i)
+	}
+	return &Partition{Blocks: blocks, Point: pt}, nil
+}

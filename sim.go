@@ -85,6 +85,16 @@ type SimOptions struct {
 	// solves are independent and the reduction is rank-ordered — so this is
 	// purely a performance knob.
 	Workers int
+	// NodeWorkers bounds how many simulated processes are stepped
+	// concurrently by the simulation engines: 0 selects GOMAXPROCS, 1
+	// forces serial stepping. In the synchronous engine each round's
+	// Outbox and Deliver phases fan across the pool; in the discrete-event
+	// engine deliveries sharing a virtual timestamp do. Executions are
+	// bit-identical for every setting (the engines merge emitted messages
+	// deterministically and every process owns an independent seeded PRNG
+	// stream), so this knob composes freely with Workers: NodeWorkers
+	// parallelizes across nodes, Workers within one node's Zi fan-out.
+	NodeWorkers int
 	// DisableGammaCache turns off the Γ-point memoization that collapses
 	// identical candidate-set solves across the n simulated processes
 	// (exact by the paper's Observation 2: all correct processes compute
@@ -220,7 +230,7 @@ func simulateSyncEIG(cfg Config, inputs []Vector, byz []Byzantine, opts SimOptio
 
 	for i := 0; i < cfg.N; i++ {
 		if b, ok := byzMap[i]; ok {
-			nd, err := syncEIGAdversary(cfg, b, rounds, mkCorrect)
+			nd, err := syncEIGAdversary(cfg, b, rounds, opts.Seed, mkCorrect)
 			if err != nil {
 				return nil, err
 			}
@@ -235,7 +245,7 @@ func simulateSyncEIG(cfg Config, inputs []Vector, byz []Byzantine, opts SimOptio
 		decide[i] = dec
 	}
 
-	stats, err := sim.RunSync(nodes, rounds+1)
+	stats, err := sim.RunSyncWith(nodes, sim.SyncOptions{MaxRounds: rounds + 1, Workers: opts.NodeWorkers})
 	if err != nil && !errors.Is(err, sim.ErrRoundCap) {
 		return nil, err
 	}
@@ -276,14 +286,14 @@ func SimulateRestrictedSync(cfg Config, inputs []Vector, byz []Byzantine, opts S
 	}
 	for i := 0; i < cfg.N; i++ {
 		if b, ok := byzMap[i]; ok {
-			nd, err := restrictedSyncAdversary(cfg, b, rounds)
+			nd, err := restrictedSyncAdversary(cfg, b, rounds, opts.Seed)
 			if err != nil {
 				return nil, err
 			}
 			nodes[i] = nd
 		}
 	}
-	stats, err := sim.RunSync(nodes, rounds+1)
+	stats, err := sim.RunSyncWith(nodes, sim.SyncOptions{MaxRounds: rounds + 1, Workers: opts.NodeWorkers})
 	if err != nil && !errors.Is(err, sim.ErrRoundCap) {
 		return nil, err
 	}
@@ -424,9 +434,10 @@ func SimulateRestrictedAsync(cfg Config, inputs []Vector, byz []Byzantine, opts 
 
 func runAsyncEngine(cfg Config, opts SimOptions, nodes []sim.Node) (sim.Stats, error) {
 	eng, err := sim.NewEngine(sim.Config{
-		N:     cfg.N,
-		Seed:  opts.Seed,
-		Delay: opts.Delay.model(),
+		N:           cfg.N,
+		Seed:        opts.Seed,
+		Delay:       opts.Delay.model(),
+		NodeWorkers: opts.NodeWorkers,
 	}, nodes)
 	if err != nil {
 		return sim.Stats{}, err
@@ -496,7 +507,7 @@ func collectAsync(variant Variant, cfg Config, inputs []Vector, byzMap map[int]B
 }
 
 // syncEIGAdversary maps a Byzantine spec to an EIG-protocol adversary.
-func syncEIGAdversary(cfg Config, b Byzantine, rounds int,
+func syncEIGAdversary(cfg Config, b Byzantine, rounds int, seed int64,
 	mkCorrect func(i int, input Vector) (sim.SyncNode, func() (geometry.Vector, error), error)) (sim.SyncNode, error) {
 	switch b.Strategy {
 	case StrategySilent:
@@ -527,7 +538,7 @@ func syncEIGAdversary(cfg Config, b Byzantine, rounds int,
 		if err != nil {
 			return nil, err
 		}
-		return adversary.NewEIGRandom(cfg.N, cfg.D, rounds, box, seededRand(b.ID)), nil
+		return adversary.NewEIGRandom(cfg.N, cfg.D, rounds, box, seededRand(seed, b.ID)), nil
 	case StrategyLure:
 		if len(b.Target) != cfg.D {
 			return nil, fmt.Errorf("bvc: lure target dimension %d, want %d", len(b.Target), cfg.D)
@@ -544,7 +555,7 @@ func syncEIGAdversary(cfg Config, b Byzantine, rounds int,
 	}
 }
 
-func restrictedSyncAdversary(cfg Config, b Byzantine, rounds int) (sim.SyncNode, error) {
+func restrictedSyncAdversary(cfg Config, b Byzantine, rounds int, seed int64) (sim.SyncNode, error) {
 	switch b.Strategy {
 	case StrategySilent:
 		return adversary.SilentSync{}, nil
@@ -574,7 +585,7 @@ func restrictedSyncAdversary(cfg Config, b Byzantine, rounds int) (sim.SyncNode,
 		if err != nil {
 			return nil, err
 		}
-		return adversary.NewStateRandom(cfg.N, rounds, box, seededRand(b.ID)), nil
+		return adversary.NewStateRandom(cfg.N, rounds, box, seededRand(seed, b.ID)), nil
 	case StrategyLure:
 		if len(b.Target) != cfg.D {
 			return nil, fmt.Errorf("bvc: lure target dimension %d, want %d", len(b.Target), cfg.D)
@@ -701,4 +712,11 @@ func orZero(v Vector, d int) Vector {
 	return make(Vector, d)
 }
 
-func seededRand(id int) *rand.Rand { return rand.New(rand.NewSource(int64(id+1) * 7919)) }
+// seededRand derives an independent PRNG stream for adversary id from the
+// run's master seed. Every simulated process and adversary owns its own
+// stream — no *rand.Rand is ever reachable from two nodes, which is what
+// lets NodeWorkers step them concurrently — and distinct master seeds yield
+// distinct adversary behaviour (the stream mixes both inputs).
+func seededRand(seed int64, id int) *rand.Rand {
+	return rand.New(rand.NewSource((seed+1)*0x9e3779b9 ^ int64(id+1)*7919))
+}
