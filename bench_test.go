@@ -1,6 +1,6 @@
-// Benchmarks: one per reproduced table/figure (E1–E9, F1; see DESIGN.md §3
-// and EXPERIMENTS.md) plus micro-benchmarks for the ablations DESIGN.md §5
-// calls out (Γ-point strategies, Zi construction, broadcast substrate).
+// Benchmarks: one per reproduced table/figure (E1–E9, F1; the README's
+// experiment table summarizes each) plus micro-benchmarks for the ablations
+// (Γ-point strategies, Zi construction, broadcast substrate).
 //
 // Run with: go test -bench=. -benchmem .
 package bvc_test
@@ -200,7 +200,7 @@ func BenchmarkRestrictedAsync(b *testing.B) {
 	}
 }
 
-// --- Geometry ablation benchmarks (DESIGN.md §5) ---
+// --- Geometry ablation benchmarks (Γ-point strategy ladder) ---
 
 func BenchmarkSafePoint(b *testing.B) {
 	pointsF1 := benchInputs(6, 2, 5) // f=1, |Y|=6, d=2

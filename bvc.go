@@ -81,8 +81,13 @@ type Config struct {
 	// (|Zi| ≤ n, contraction weight γ = 1/n²) for the asynchronous
 	// algorithm.
 	WitnessOptimization bool
-	// MaxRounds overrides the analytic termination round bound of the
-	// approximate asynchronous algorithm when positive.
+	// MaxRounds, when positive, overrides the analytic termination round
+	// bound of the approximate variants (§3.2 asynchronous and both §4
+	// restricted algorithms) with a fixed horizon. The analytic bound grows
+	// like 1/γ, and γ decays combinatorially in n for the restricted
+	// variants, so large-n runs use a γ-aware horizon and are judged by
+	// per-round contraction plus validity instead of full ε-termination
+	// (see internal/harness.GammaBudget and experiment E10).
 	MaxRounds int
 	// Method selects how the deterministic point of a safe area Γ(Y) is
 	// computed; MethodAuto (the zero value's replacement) picks closed
@@ -93,7 +98,8 @@ type Config struct {
 // PointMethod selects the Γ-point computation strategy.
 type PointMethod int
 
-// Γ-point strategies (see DESIGN.md §5 for the ablation).
+// Γ-point strategies (docs/ARCHITECTURE.md describes the method ladder;
+// experiment E3 and the bench_test.go ablation benchmarks compare them).
 const (
 	// MethodAuto picks the cheapest applicable strategy: a closed form
 	// for d = 1, the Radon point for f = 1, the lifted Tverberg search
@@ -171,8 +177,9 @@ func (c Config) params() (core.Params, error) {
 	}
 	p := core.Params{
 		N: c.N, F: c.F, D: c.D,
-		Epsilon: c.Epsilon,
-		Method:  method,
+		Epsilon:   c.Epsilon,
+		Method:    method,
+		MaxRounds: c.MaxRounds,
 	}
 	box, err := c.box()
 	if err != nil {

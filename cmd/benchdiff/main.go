@@ -1,18 +1,29 @@
 // Command benchdiff compares two bvcbench -json trajectory files and fails
 // when any shared benchmark regressed beyond the threshold — the CI gate
-// that keeps the BENCH_*.json performance trajectory monotone.
+// that keeps the BENCH_*.json performance trajectory monotone. Its merge
+// subcommand joins cmd/bvcsweep shard files into one gateable trajectory.
 //
 // Usage:
 //
 //	benchdiff -baseline BENCH_baseline.json -candidate BENCH_pr.json
 //	benchdiff ... -threshold 0.25       # fail on >25% ns/op regression
 //	benchdiff ... -calibration ""       # disable hardware normalization
+//	benchdiff merge -out merged.json sweepdir/shard-*.jsonl
 //
-// The files are JSON-lines records as emitted by `bvcbench -json`. Records
-// named by -calibration (default "calibrate") measure a fixed CPU workload;
-// when both files carry one, every per-benchmark ratio is divided by the
-// calibration ratio, so a baseline recorded on a fast laptop compares
-// fairly against a candidate recorded on a slow CI runner and vice versa.
+// The files are JSON-lines records as emitted by `bvcbench -json` or by
+// cmd/bvcsweep workers; the record schema (including the calibration
+// semantics, hardware-normalization rules and the shard-merge fields) is
+// documented in docs/BENCH_FORMAT.md. Records named by -calibration
+// (default "calibrate") measure a fixed CPU workload; when both files
+// carry one, every per-benchmark ratio is divided by the calibration
+// ratio, so a baseline recorded on a fast laptop compares fairly against
+// a candidate recorded on a slow CI runner and vice versa.
+//
+// `benchdiff merge` reconciles the per-shard calibration records of a
+// sweep — every shard's ns/op is rescaled into the reference (first)
+// shard's hardware units, host and GOMAXPROCS metadata are preserved per
+// record — and emits a single trajectory that this command's compare mode
+// accepts against a committed baseline.
 //
 // Exit status is non-zero when any benchmark regresses beyond the
 // threshold, a baseline benchmark is missing from the candidate, or a
@@ -31,7 +42,14 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	args := os.Args[1:]
+	var err error
+	if len(args) > 0 && args[0] == "merge" {
+		err = runMerge(args[1:], os.Stdout, os.Stderr)
+	} else {
+		err = run(args, os.Stdout)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
 	}
@@ -52,6 +70,12 @@ type record struct {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: benchdiff [flags]                      compare a candidate trajectory against a baseline")
+		fmt.Fprintln(fs.Output(), "       benchdiff merge [flags] shard.jsonl…  join bvcsweep shard files into one trajectory")
+		fmt.Fprintln(fs.Output(), "record schema, calibration semantics and shard-merge rules: docs/BENCH_FORMAT.md")
+		fs.PrintDefaults()
+	}
 	baselinePath := fs.String("baseline", "BENCH_baseline.json", "committed trajectory file")
 	candidatePath := fs.String("candidate", "BENCH_pr.json", "freshly measured trajectory file")
 	threshold := fs.Float64("threshold", 0.25, "maximum tolerated fractional ns/op regression")

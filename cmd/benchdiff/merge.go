@@ -1,0 +1,243 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// mergeRecord is one shard record as merge handles it: the few fields
+// merge interprets (name, the gated ns/op, the calibration linkage),
+// plus the full decoded object. Keeping the whole object — numbers as
+// json.Number, so int64s survive — means fields merge does not know
+// about (host, shard, the grid-cell unit payload, anything future
+// workers add) pass through instead of being silently dropped. The
+// full schema lives in docs/BENCH_FORMAT.md.
+type mergeRecord struct {
+	benchmark string
+	nsPerOp   int64
+	fields    map[string]any
+}
+
+// runMerge implements `benchdiff merge`: join bvcsweep shard files into
+// one BENCH trajectory. Each shard leads with its own calibration record
+// (measured on the shard's host, under the shard's contention); records
+// from shard s are rescaled by calibration(reference)/calibration(s), so
+// the merged file reads as if every record had been measured on the
+// reference shard's hardware. The merged trajectory leads with the
+// reference calibration record and is gateable with plain benchdiff
+// against a committed baseline. All other record fields (host,
+// gomaxprocs, unit payloads, …) pass through unchanged; the applied
+// factor is stamped as "calib_scale". Records stream to -out (or stdout);
+// diagnostics go to stderr.
+func runMerge(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff merge", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: benchdiff merge [flags] shard-*.jsonl")
+		fmt.Fprintln(fs.Output(), "record schema and shard-merge rules: docs/BENCH_FORMAT.md")
+		fs.PrintDefaults()
+	}
+	outPath := fs.String("out", "", "merged trajectory output file (default stdout)")
+	calibration := fs.String("calibration", "calibrate", "benchmark name of the per-shard calibration record (empty disables reconciliation)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		return fmt.Errorf("merge: no shard files given (usage: benchdiff merge -out merged.json shard-*.jsonl)")
+	}
+
+	type shard struct {
+		path    string
+		records []mergeRecord // per-name last-wins, first-seen order
+		calib   *mergeRecord
+	}
+	var shards []shard
+	for _, path := range paths {
+		recs, err := readMergeRecords(path)
+		if err != nil {
+			return err
+		}
+		s := shard{path: path, records: recs}
+		if *calibration != "" {
+			for i := range recs {
+				if recs[i].benchmark == *calibration {
+					s.calib = &recs[i]
+				}
+			}
+			if s.calib == nil {
+				fmt.Fprintf(stderr, "warning: %s carries no %q record; its records merge unscaled\n", path, *calibration)
+			} else if s.calib.nsPerOp <= 0 {
+				return fmt.Errorf("%s: calibration record has ns_per_op %d", path, s.calib.nsPerOp)
+			}
+		}
+		shards = append(shards, s)
+	}
+
+	// The first shard with a calibration record is the reference: every
+	// other shard's records are expressed in its hardware units.
+	var ref *mergeRecord
+	for i := range shards {
+		if shards[i].calib != nil {
+			ref = shards[i].calib
+			break
+		}
+	}
+
+	merged := make([]mergeRecord, 0, 64)
+	index := make(map[string]int)
+	emit := func(rec mergeRecord) {
+		if i, ok := index[rec.benchmark]; ok {
+			fmt.Fprintf(stderr, "warning: duplicate record %q; keeping the later one\n", rec.benchmark)
+			merged[i] = rec
+			return
+		}
+		index[rec.benchmark] = len(merged)
+		merged = append(merged, rec)
+	}
+	if ref != nil {
+		r := *ref
+		r.fields = cloneFields(ref.fields)
+		r.fields["calib_scale"] = 1.0
+		emit(r)
+	}
+	for _, s := range shards {
+		scale := 1.0
+		if ref != nil && s.calib != nil {
+			scale = float64(ref.nsPerOp) / float64(s.calib.nsPerOp)
+		}
+		for _, rec := range s.records {
+			if rec.benchmark == *calibration && *calibration != "" {
+				continue // reconciled into the single reference record
+			}
+			rec.fields = cloneFields(rec.fields)
+			rec.fields["ns_per_op"] = int64(float64(rec.nsPerOp)*scale + 0.5)
+			rec.fields["calib_scale"] = scale
+			emit(rec)
+		}
+	}
+
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	bw := bufio.NewWriter(out)
+	for _, rec := range merged {
+		line, err := marshalSorted(rec.fields)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(append(line, '\n')); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "merged %d record(s) from %d shard file(s)\n", len(merged), len(shards))
+	return nil
+}
+
+func cloneFields(m map[string]any) map[string]any {
+	out := make(map[string]any, len(m)+1)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// marshalSorted encodes a record object with deterministic (sorted) key
+// order and without HTML escaping, so merged trajectories are
+// byte-stable inputs for golden tests and diffs.
+func marshalSorted(m map[string]any) ([]byte, error) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		kj, err := json.Marshal(k)
+		if err != nil {
+			return nil, err
+		}
+		b.Write(kj)
+		b.WriteByte(':')
+		vj, err := json.Marshal(m[k])
+		if err != nil {
+			return nil, err
+		}
+		b.Write(vj)
+	}
+	b.WriteByte('}')
+	return []byte(b.String()), nil
+}
+
+// readMergeRecords parses one shard file, applying per-name last-wins in
+// first-seen order (a resumed sweep appends re-run records after failed
+// ones; the retry is the valid measurement). Numbers are decoded as
+// json.Number so untouched fields round-trip exactly.
+func readMergeRecords(path string) ([]mergeRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var (
+		out   []mergeRecord
+		index = make(map[string]int)
+	)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		dec := json.NewDecoder(strings.NewReader(text))
+		dec.UseNumber()
+		fields := make(map[string]any)
+		if err := dec.Decode(&fields); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		rec := mergeRecord{fields: fields}
+		if name, ok := fields["benchmark"].(string); ok {
+			rec.benchmark = name
+		}
+		if rec.benchmark == "" {
+			return nil, fmt.Errorf("%s:%d: record without benchmark name", path, line)
+		}
+		if ns, ok := fields["ns_per_op"].(json.Number); ok {
+			if v, err := ns.Int64(); err == nil {
+				rec.nsPerOp = v
+			}
+		}
+		if i, ok := index[rec.benchmark]; ok {
+			out[i] = rec
+			continue
+		}
+		index[rec.benchmark] = len(out)
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}

@@ -1,0 +1,213 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mergeFiles(t *testing.T, outPath string, inputs ...string) (stdout, stderr string) {
+	t.Helper()
+	var so, se strings.Builder
+	args := []string{}
+	if outPath != "" {
+		args = append(args, "-out", outPath)
+	}
+	args = append(args, inputs...)
+	if err := runMerge(args, &so, &se); err != nil {
+		t.Fatalf("merge: %v\n%s", err, se.String())
+	}
+	return so.String(), se.String()
+}
+
+// TestMergeGolden pins the full merge behaviour against committed shard
+// fixtures: calibration reconciliation (slowbox's calibrate is 2× the
+// reference, so its records halve), last-wins retry handling within a
+// shard file, metadata preservation (host, gomaxprocs, unit payload) and
+// the calib_scale stamp.
+func TestMergeGolden(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "merged.jsonl")
+	mergeFiles(t, outPath,
+		filepath.Join("testdata", "shard_a.jsonl"),
+		filepath.Join("testdata", "shard_b.jsonl"))
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "merged_golden.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("merged output diverges from testdata/merged_golden.jsonl\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestMergeStdoutStaysCleanJSONL: with -out unset the records stream to
+// stdout and every diagnostic (including warnings) goes to stderr, so
+// `benchdiff merge shard-*.jsonl > merged.json` always produces a
+// parseable trajectory.
+func TestMergeStdoutStaysCleanJSONL(t *testing.T) {
+	dir := t.TempDir()
+	bare := write(t, dir, "bare.jsonl", `{"benchmark":"e9","ns_per_op":5000,"pass":true}
+`)
+	stdout, stderr := mergeFiles(t, "",
+		filepath.Join("testdata", "shard_a.jsonl"), bare)
+	if !strings.Contains(stderr, "no \"calibrate\" record") {
+		t.Errorf("warning missing from stderr:\n%s", stderr)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(stdout), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("stdout line is not JSON: %q: %v", line, err)
+		}
+	}
+}
+
+// TestMergeNormalizesNsPerOp spells out the arithmetic the golden file
+// encodes: a record measured on hardware whose calibration is 2× the
+// reference merges at half its raw ns/op, and fields merge does not
+// interpret pass through unchanged.
+func TestMergeNormalizesNsPerOp(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "merged.jsonl")
+	mergeFiles(t, outPath,
+		filepath.Join("testdata", "shard_a.jsonl"),
+		filepath.Join("testdata", "shard_b.jsonl"))
+	recs := readMerged(t, outPath)
+	if got := num(t, recs["e2"]["ns_per_op"]); got != 200000 {
+		t.Errorf("e2 ns/op = %g, want 200000 (400000 raw × 0.5 calibration scale)", got)
+	}
+	if got := num(t, recs["e2"]["calib_scale"]); got != 0.5 {
+		t.Errorf("e2 calib_scale = %g, want 0.5", got)
+	}
+	if got := num(t, recs["e1"]["ns_per_op"]); got != 100000 {
+		t.Errorf("e1 ns/op = %g, want 100000 (reference shard, unscaled)", got)
+	}
+	if recs["e2"]["host"] != "slowbox" || num(t, recs["e2"]["gomaxprocs"]) != 2 {
+		t.Errorf("e2 provenance not preserved: %v", recs["e2"])
+	}
+	if rec, ok := recs["sweep/rsync/n5d2f1/none/none/s1"]; !ok || rec["pass"] != true {
+		t.Errorf("retried record should keep the later, passing measurement: %+v", rec)
+	} else if got := num(t, rec["ns_per_op"]); got != 40000 {
+		t.Errorf("retried record ns/op = %g, want 40000 (80000 raw × 0.5)", got)
+	}
+	if recs["sweep/exact/n4d2f1/none/none/s1"]["unit"] == nil {
+		t.Errorf("unit payload dropped by merge")
+	}
+}
+
+// TestMergePreservesUnknownFields: the worker record schema is
+// forward-extensible — a field merge has never heard of must survive
+// into the merged trajectory.
+func TestMergePreservesUnknownFields(t *testing.T) {
+	dir := t.TempDir()
+	shard := write(t, dir, "future.jsonl", `{"benchmark":"calibrate","ns_per_op":1000,"pass":true}
+{"benchmark":"e1","ns_per_op":2000,"pass":true,"repetitions":5,"recorded_at":"2026-07-29T00:00:00Z"}
+`)
+	outPath := filepath.Join(dir, "merged.jsonl")
+	mergeFiles(t, outPath, shard)
+	recs := readMerged(t, outPath)
+	if got := num(t, recs["e1"]["repetitions"]); got != 5 {
+		t.Errorf("unknown numeric field dropped or mangled: %v", recs["e1"])
+	}
+	if recs["e1"]["recorded_at"] != "2026-07-29T00:00:00Z" {
+		t.Errorf("unknown string field dropped: %v", recs["e1"])
+	}
+}
+
+// TestMergeThenCompare closes the loop the sweep workflow relies on: a
+// merged shard trajectory must be accepted by the plain benchdiff compare
+// mode against a baseline that covers its experiment records, with the
+// sweep-only records surfacing as NEW rather than failing.
+func TestMergeThenCompare(t *testing.T) {
+	dir := t.TempDir()
+	merged := filepath.Join(dir, "merged.jsonl")
+	mergeFiles(t, merged,
+		filepath.Join("testdata", "shard_a.jsonl"),
+		filepath.Join("testdata", "shard_b.jsonl"))
+	base := write(t, dir, "base.json", `{"benchmark":"calibrate","ns_per_op":1000,"pass":true}
+{"benchmark":"e1","ns_per_op":100000,"pass":true}
+{"benchmark":"e2","ns_per_op":190000,"pass":true}
+`)
+	var sb strings.Builder
+	if err := run([]string{"-baseline", base, "-candidate", merged}, &sb); err != nil {
+		t.Fatalf("compare rejected merged trajectory: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "NEW") {
+		t.Errorf("sweep-only records should report as NEW:\n%s", sb.String())
+	}
+}
+
+// TestMergeWithoutCalibration still merges, unscaled, with a warning on
+// stderr.
+func TestMergeWithoutCalibration(t *testing.T) {
+	dir := t.TempDir()
+	shard := write(t, dir, "bare.jsonl", `{"benchmark":"e9","ns_per_op":5000,"pass":true}
+`)
+	outPath := filepath.Join(dir, "merged.jsonl")
+	_, stderr := mergeFiles(t, outPath, shard)
+	if !strings.Contains(stderr, "no \"calibrate\" record") {
+		t.Errorf("expected missing-calibration warning, got:\n%s", stderr)
+	}
+	recs := readMerged(t, outPath)
+	if got := num(t, recs["e9"]["ns_per_op"]); got != 5000 {
+		t.Errorf("uncalibrated record rescaled: ns/op = %g, want 5000", got)
+	}
+}
+
+// TestMergeDuplicateAcrossShards keeps the later record and warns — the
+// situation arises only when shard files from different assignments are
+// mixed, which the bvcsweep manifest refuses, but merge must stay total.
+func TestMergeDuplicateAcrossShards(t *testing.T) {
+	dir := t.TempDir()
+	a := write(t, dir, "a.jsonl", `{"benchmark":"calibrate","ns_per_op":1000,"pass":true}
+{"benchmark":"e5","ns_per_op":100,"pass":true}
+`)
+	b := write(t, dir, "b.jsonl", `{"benchmark":"calibrate","ns_per_op":1000,"pass":true}
+{"benchmark":"e5","ns_per_op":300,"pass":true}
+`)
+	outPath := filepath.Join(dir, "merged.jsonl")
+	_, stderr := mergeFiles(t, outPath, a, b)
+	if !strings.Contains(stderr, "duplicate record") {
+		t.Errorf("expected duplicate warning, got:\n%s", stderr)
+	}
+	if got := num(t, readMerged(t, outPath)["e5"]["ns_per_op"]); got != 300 {
+		t.Errorf("duplicate resolution kept ns/op %g, want 300 (later wins)", got)
+	}
+}
+
+func TestMergeNoInputs(t *testing.T) {
+	var so, se strings.Builder
+	if err := runMerge(nil, &so, &se); err == nil {
+		t.Fatal("expected an error for merge without shard files")
+	}
+}
+
+func readMerged(t *testing.T, path string) map[string]map[string]any {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]map[string]any)
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("%s: %v", line, err)
+		}
+		name, _ := rec["benchmark"].(string)
+		out[name] = rec
+	}
+	return out
+}
+
+func num(t *testing.T, v any) float64 {
+	t.Helper()
+	f, ok := v.(float64)
+	if !ok {
+		t.Fatalf("value %v (%T) is not a number", v, v)
+	}
+	return f
+}

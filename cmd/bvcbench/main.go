@@ -1,5 +1,6 @@
 // Command bvcbench regenerates the paper-reproduction experiment tables
-// E1–E10 and figures F1/F2 (see DESIGN.md §3 and EXPERIMENTS.md).
+// E1–E10 and figures F1/F2 (the README's experiment table summarizes what
+// each demonstrates).
 //
 // Usage:
 //
@@ -29,13 +30,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"math"
 	"os"
 	"runtime"
 	"strings"
-	"testing"
 
-	"repro"
 	"repro/internal/harness"
 )
 
@@ -46,14 +44,12 @@ func main() {
 	}
 }
 
-// experimentOrder fixes the emission order of -json records and of "all".
-var experimentOrder = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "f1", "f2"}
-
-// benchRecord is one -json output line. GoMaxProcs records the recording
-// machine's parallelism: the calibration workload is single-threaded, so
-// cmd/benchdiff can only normalize per-core speed and warns when the core
-// counts of two trajectories differ (parallel experiments then shift by
-// the core-count ratio, not by code changes).
+// benchRecord is one -json output line (see docs/BENCH_FORMAT.md for the
+// full schema). GoMaxProcs records the recording machine's parallelism:
+// the calibration workload is single-threaded, so cmd/benchdiff can only
+// normalize per-core speed and warns when the core counts of two
+// trajectories differ (parallel experiments then shift by the core-count
+// ratio, not by code changes).
 type benchRecord struct {
 	Benchmark   string  `json:"benchmark"`
 	Iterations  int     `json:"iterations"`
@@ -79,36 +75,23 @@ func run(args []string) error {
 	}
 	harness.SetEngineOptions(*workers, !*gammaCache, *nodeWorkers)
 
-	runners := map[string]func() (*harness.Table, error){
-		"e1":  func() (*harness.Table, error) { return harness.E1SyncNecessity(*seed) },
-		"e2":  func() (*harness.Table, error) { return harness.E2ExactSufficiency(*seed) },
-		"e3":  func() (*harness.Table, error) { return harness.E3TverbergLemma(*seed, *trials) },
-		"e4":  harness.E4AsyncNecessity,
-		"e5":  func() (*harness.Table, error) { return harness.E5AsyncConvergence(*seed) },
-		"e6":  func() (*harness.Table, error) { return harness.E6RestrictedSync(*seed) },
-		"e7":  func() (*harness.Table, error) { return harness.E7RestrictedAsync(*seed) },
-		"e8":  func() (*harness.Table, error) { return harness.E8CoordinateWise(*seed) },
-		"e9":  func() (*harness.Table, error) { return harness.E9WitnessAblation(*seed) },
-		"e10": func() (*harness.Table, error) { return harness.E10ScaleSweep(*seed) },
-		"f1":  harness.F1Heptagon,
-		"f2":  func() (*harness.Table, error) { return harness.F2ConvergenceSeries(*seed) },
-	}
+	runners := harness.Runners(*seed, *trials)
 
-	// experimentOrder and runners must describe the same experiment set;
+	// ExperimentOrder and Runners must describe the same experiment set;
 	// catching a drift here beats silently dropping an experiment from the
 	// -json trajectory (or calling a nil runner).
-	if len(experimentOrder) != len(runners) {
-		return fmt.Errorf("internal: experimentOrder lists %d experiments, runners %d", len(experimentOrder), len(runners))
+	if len(harness.ExperimentOrder) != len(runners) {
+		return fmt.Errorf("internal: ExperimentOrder lists %d experiments, Runners %d", len(harness.ExperimentOrder), len(runners))
 	}
-	for _, n := range experimentOrder {
+	for _, n := range harness.ExperimentOrder {
 		if _, ok := runners[n]; !ok {
-			return fmt.Errorf("internal: experimentOrder entry %q has no runner", n)
+			return fmt.Errorf("internal: ExperimentOrder entry %q has no runner", n)
 		}
 	}
 
 	name := strings.ToLower(*experiment)
 	if *jsonOut {
-		names := experimentOrder
+		names := harness.ExperimentOrder
 		if name != "all" {
 			if _, ok := runners[name]; !ok {
 				return fmt.Errorf("unknown experiment %q (want all, e1…e10, f1, f2)", name)
@@ -119,7 +102,7 @@ func run(args []string) error {
 		// workload whose ratio between two BENCH files estimates the
 		// hardware-speed delta, letting cmd/benchdiff compare files
 		// recorded on different machines.
-		targets := []benchTarget{{name: "calibrate", run: calibrateTable}}
+		targets := []benchTarget{{name: "calibrate", run: harness.Calibrate}}
 		for _, n := range names {
 			targets = append(targets, benchTarget{name: n, run: runners[n]})
 			if n == "e10" {
@@ -129,9 +112,7 @@ func run(args []string) error {
 				targets = append(targets, benchTarget{
 					name: "e10/nodeworkers=1",
 					run: func() (*harness.Table, error) {
-						harness.SetEngineOptions(*workers, !*gammaCache, 1)
-						defer harness.SetEngineOptions(*workers, !*gammaCache, *nodeWorkers)
-						return harness.E10ScaleSweep(*seed)
+						return harness.RunSerialNodes(runners["e10"])
 					},
 				})
 			}
@@ -183,30 +164,15 @@ type benchTarget struct {
 	run  func() (*harness.Table, error)
 }
 
-// benchJSON measures each target with the standard benchmark machinery and
-// writes one JSON record per line, so successive PRs can archive comparable
-// BENCH_*.json trajectory points. The Γ-point caches are reset before every
-// iteration so each measures a cold-cache experiment run (within-run
-// memoization still counts — that is product behavior); without the reset,
-// later iterations replay the process-wide memo table and ns/op would
-// shrink with iteration count instead of measuring the engine.
+// benchJSON measures each target with harness.MeasureTable — the shared
+// cold-cache benchmark protocol, also used by cmd/bvcsweep workers, which
+// is what keeps bvcbench- and bvcsweep-recorded ns/op comparable — and
+// writes one JSON record per line, so successive PRs can archive
+// comparable BENCH_*.json trajectory points.
 func benchJSON(w *os.File, targets []benchTarget) error {
 	enc := json.NewEncoder(w)
 	for _, target := range targets {
-		var (
-			tbl  *harness.Table
-			rerr error
-		)
-		br := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				bvc.ResetEngineCaches()
-				tbl, rerr = target.run()
-				if rerr != nil {
-					b.Fatalf("%s: %v", target.name, rerr)
-				}
-			}
-		})
+		tbl, br, rerr := harness.MeasureTable(target.run)
 		if rerr != nil {
 			return fmt.Errorf("%s: %w", target.name, rerr)
 		}
@@ -228,41 +194,4 @@ func benchJSON(w *os.File, targets []benchTarget) error {
 		}
 	}
 	return nil
-}
-
-// calibrateSink keeps the calibration kernel's result observable so the
-// compiler cannot elide the work.
-var calibrateSink float64
-
-// calibrateTable runs a fixed, deterministic CPU workload that is
-// deliberately INDEPENDENT of every product kernel: it must measure only
-// machine speed. Building it from the suite's own hot paths would be
-// self-defeating — a regression in those kernels would slow the
-// calibration record equally and benchdiff's normalization would cancel
-// the very signal the gate exists to catch. The mix (floating-point
-// arithmetic plus a pseudo-random walk over an L1/L2-sized buffer)
-// approximates the suite's compute/memory balance without sharing any of
-// its code.
-func calibrateTable() (*harness.Table, error) {
-	x, s := 1.1, 0.0
-	for i := 0; i < 4_000_000; i++ {
-		x = x*1.0000001 + 1e-9
-		if x > 2 {
-			x--
-		}
-		s += math.Sqrt(x)
-	}
-	buf := make([]float64, 1<<15)
-	for i := range buf {
-		buf[i] = float64(i%97) * 0.5
-	}
-	idx := 1
-	for iter := 0; iter < 150; iter++ {
-		for j := range buf {
-			idx = (idx*1103515245 + 12345) & (len(buf) - 1)
-			buf[j] = buf[idx]*0.9999 + float64(j&7)
-		}
-	}
-	calibrateSink = s + buf[0]
-	return &harness.Table{ID: "calibrate", Pass: true}, nil
 }

@@ -1,0 +1,436 @@
+// Command bvcsweep expands a declarative sweep spec — ranges over
+// (variant, n, d, f, adversary, delay, seed), plus optional bvcbench
+// experiment units — into work units and shards them across worker
+// processes, locally and/or over SSH. Each shard streams bvcbench-style
+// JSON records (one line per unit, led by a per-shard hardware-calibration
+// record) into its own shard file; `benchdiff merge` joins shard files
+// into a single BENCH trajectory that gates against a committed baseline.
+//
+// Usage:
+//
+//	bvcsweep -spec sweep.json -out sweepdir -procs 4
+//	bvcsweep -spec sweep.json -out sweepdir -procs 4        # again: resumes
+//	bvcsweep -spec sweep.json -out sweepdir -procs 4 -hosts h1,h2 \
+//	    -remote-cmd /usr/local/bin/bvcsweep                 # SSH fan-out
+//	benchdiff merge -out merged.json sweepdir/shard-*.jsonl
+//	benchdiff -baseline BENCH_baseline.json -candidate merged.json
+//
+// Sharding is deterministic: the unit list is a pure function of the spec
+// (workers re-expand it rather than receiving a work list), and unit i
+// belongs to shard i mod the shard count. A manifest in the output
+// directory records the spec fingerprint; re-running with the same spec
+// resumes — units whose records already sit in shard files are skipped,
+// records with pass=false are re-run. Changing the spec against a
+// half-filled output directory is refused, since it would silently change
+// the unit↔shard assignment under the existing records.
+//
+// In SSH mode each worker process runs `ssh <host> <remote-cmd> -worker`
+// with the work order on stdin and records streamed back on stdout, so the
+// remote end needs only the binary — no spec file, no shared filesystem.
+// The grid scales past what one machine sustains: γ-aware round budgets
+// (internal/harness.GammaBudget) keep restricted/async cells at n ≥ 15
+// from the combinatorial blowup of their analytic termination bounds.
+//
+// The spec schema is documented on the Spec type and docs/BENCH_FORMAT.md;
+// small example specs live in cmd/bvcsweep/testdata/.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:]))
+}
+
+func realMain(args []string) int {
+	if err := run(args, os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "bvcsweep:", err)
+		return 1
+	}
+	return 0
+}
+
+// engineOptions mirrors bvcbench's engine flags; the coordinator forwards
+// them to every worker.
+type engineOptions struct {
+	workers     int
+	nodeWorkers int
+	gammaCache  bool
+}
+
+// workOrder is the stdin payload of a worker process: everything needed to
+// recompute the unit list, pick this shard's units, and skip completed
+// ones. Self-contained so SSH workers need no files on the remote side.
+type workOrder struct {
+	Spec   Spec     `json:"spec"`
+	Shard  int      `json:"shard"`
+	Shards int      `json:"shards"`
+	Skip   []string `json:"skip,omitempty"`
+
+	Workers     int  `json:"workers"`
+	NodeWorkers int  `json:"nodeworkers"`
+	GammaCache  bool `json:"gammacache"`
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bvcsweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		specPath  = fs.String("spec", "", "sweep spec file (JSON; see docs/BENCH_FORMAT.md)")
+		outDir    = fs.String("out", "sweepout", "output directory for shard files and the manifest")
+		procs     = fs.Int("procs", 2, "worker process count = shard count")
+		hosts     = fs.String("hosts", "", "comma-separated SSH hosts; workers are distributed round-robin (empty = all local)")
+		remoteCmd = fs.String("remote-cmd", "bvcsweep", "bvcsweep invocation on remote hosts (whitespace-split, no quoting)")
+		sshCmd    = fs.String("ssh", "ssh", "ssh-like transport command for -hosts mode")
+		worker    = fs.Bool("worker", false, "run as a shard worker: read a work order from stdin, stream records to stdout")
+		expand    = fs.Bool("expand", false, "print the expanded unit list (name and shard) and exit without running anything")
+
+		engineWorkers = fs.Int("workers", 0, "Γ-point engine worker bound per worker process: 0 = GOMAXPROCS, 1 = serial")
+		nodeWorkers   = fs.Int("nodeworkers", 0, "simulated-node stepping worker bound: 0 = GOMAXPROCS, 1 = serial")
+		gammaCache    = fs.Bool("gammacache", true, "memoize Γ-points across processes and rounds")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *worker {
+		return runWorker(stdin, stdout, stderr)
+	}
+	if *specPath == "" {
+		return fmt.Errorf("-spec is required (see cmd/bvcsweep/testdata for examples)")
+	}
+	spec, err := readSpec(*specPath)
+	if err != nil {
+		return err
+	}
+	units, err := spec.Expand()
+	if err != nil {
+		return err
+	}
+	if *procs < 1 {
+		return fmt.Errorf("-procs %d: need at least one worker", *procs)
+	}
+	if *expand {
+		for _, u := range units {
+			fmt.Fprintf(stdout, "%4d  shard %d  %s\n", u.Index, u.Index%*procs, u.Name)
+		}
+		return nil
+	}
+	eo := engineOptions{workers: *engineWorkers, nodeWorkers: *nodeWorkers, gammaCache: *gammaCache}
+	c := coordinator{
+		spec: spec, units: units, outDir: *outDir, shards: *procs,
+		hosts: splitHosts(*hosts), remoteCmd: *remoteCmd, sshCmd: *sshCmd,
+		eo: eo, stderr: stderr,
+	}
+	return c.run(stdout)
+}
+
+func splitHosts(s string) []string {
+	var out []string
+	for _, h := range strings.Split(s, ",") {
+		if h = strings.TrimSpace(h); h != "" {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// coordinator owns one sweep invocation: manifest handling, resume
+// bookkeeping, worker process lifecycle, and shard-file writing.
+type coordinator struct {
+	spec      *Spec
+	units     []Unit
+	outDir    string
+	shards    int
+	hosts     []string
+	remoteCmd string
+	sshCmd    string
+	eo        engineOptions
+	stderr    io.Writer
+}
+
+func shardFile(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d.jsonl", shard))
+}
+
+func (c *coordinator) run(stdout io.Writer) error {
+	if err := os.MkdirAll(c.outDir, 0o755); err != nil {
+		return err
+	}
+	if err := c.checkManifest(); err != nil {
+		return err
+	}
+
+	// Resume bookkeeping: a unit is done when any shard file already holds
+	// a passing record for it. Failed (pass=false) records are re-run —
+	// re-execution appends a fresh record and "last wins" at merge time.
+	done, err := completedUnits(c.outDir, c.shards)
+	if err != nil {
+		return err
+	}
+	var pending int
+	skip := make(map[int][]string)          // shard → completed unit names
+	pendingByShard := make([]int, c.shards) // shard → units still to run
+	for shard := 0; shard < c.shards; shard++ {
+		if done[calibrateKey(shard)] {
+			// The worker-side skip entry for an already-measured per-shard
+			// calibration record is the plain benchmark name.
+			skip[shard] = append(skip[shard], "calibrate")
+		}
+	}
+	for _, u := range c.units {
+		s := u.Index % c.shards
+		if done[u.Name] {
+			skip[s] = append(skip[s], u.Name)
+		} else {
+			pending++
+			pendingByShard[s]++
+		}
+	}
+	fmt.Fprintf(c.stderr, "bvcsweep: %d units (%d already recorded, %d to run) across %d shard(s)\n",
+		len(c.units), len(c.units)-pending, pending, c.shards)
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		failed   []string
+	)
+	for shard := 0; shard < c.shards; shard++ {
+		if pendingByShard[shard] == 0 {
+			// A fully-recorded shard needs no worker — on a resume this
+			// avoids a useless process spawn (or SSH round trip).
+			continue
+		}
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			fails, err := c.runShard(shard, skip[shard])
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("shard %d: %w", shard, err)
+			}
+			failed = append(failed, fails...)
+		}(shard)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("%d unit(s) failed verification: %s", len(failed), strings.Join(failed, ", "))
+	}
+	fmt.Fprintf(stdout, "bvcsweep: complete; merge with\n  benchdiff merge -out merged.json %s\n",
+		filepath.Join(c.outDir, "shard-*.jsonl"))
+	return nil
+}
+
+// runShard spawns one worker process (local or SSH), feeds it its work
+// order, and appends every record line it emits to the shard file. It
+// returns the names of units whose records came back pass=false.
+func (c *coordinator) runShard(shard int, skip []string) ([]string, error) {
+	order := workOrder{
+		Spec: *c.spec, Shard: shard, Shards: c.shards, Skip: skip,
+		Workers: c.eo.workers, NodeWorkers: c.eo.nodeWorkers, GammaCache: c.eo.gammaCache,
+	}
+	payload, err := json.Marshal(order)
+	if err != nil {
+		return nil, err
+	}
+
+	cmd, err := c.workerCommand(shard)
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stdin = bytes.NewReader(payload)
+	cmd.Stderr = prefixWriter(c.stderr, fmt.Sprintf("[shard %d] ", shard))
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+
+	f, err := os.OpenFile(shardFile(c.outDir, shard), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+		return nil, err
+	}
+	defer f.Close()
+
+	var failed []string
+	sc := bufio.NewScanner(out)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+			return nil, fmt.Errorf("malformed record from worker: %v (%q)", err, line)
+		}
+		// Records are durable the moment the line lands: each is written
+		// and flushed individually so an interrupted sweep resumes from
+		// the last completed unit.
+		if _, err := f.Write(append([]byte(line), '\n')); err != nil {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+			return nil, err
+		}
+		if !rec.Pass {
+			failed = append(failed, rec.Benchmark)
+		}
+		fmt.Fprintf(c.stderr, "[shard %d] %s: %.3fs pass=%v\n", shard, rec.Benchmark, rec.Seconds, rec.Pass)
+	}
+	if err := sc.Err(); err != nil {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+		return nil, err
+	}
+	if err := cmd.Wait(); err != nil {
+		return failed, fmt.Errorf("worker: %w", err)
+	}
+	return failed, nil
+}
+
+// workerCommand builds the worker process invocation: a re-exec of this
+// binary for local shards, or `ssh host remote-cmd -worker` when the
+// shard's round-robin host is remote.
+func (c *coordinator) workerCommand(shard int) (*exec.Cmd, error) {
+	if len(c.hosts) > 0 {
+		host := c.hosts[shard%len(c.hosts)]
+		parts := strings.Fields(c.remoteCmd)
+		if len(parts) == 0 {
+			return nil, fmt.Errorf("-remote-cmd is empty")
+		}
+		sshParts := strings.Fields(c.sshCmd)
+		if len(sshParts) == 0 {
+			return nil, fmt.Errorf("-ssh is empty")
+		}
+		argv := append(sshParts[1:], host)
+		argv = append(argv, parts...)
+		argv = append(argv, "-worker")
+		return exec.Command(sshParts[0], argv...), nil
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command(exe, "-worker")
+	// BVCSWEEP_WORKER_PROC reroutes the test binary into realMain when the
+	// integration tests act as the worker executable; the production
+	// binary ignores it.
+	cmd.Env = append(os.Environ(), "BVCSWEEP_WORKER_PROC=1")
+	return cmd, nil
+}
+
+// runWorker is the -worker entry point: read the work order, re-expand the
+// spec, execute this shard's pending units in index order, and stream one
+// record per line. The calibration record leads unless every assigned unit
+// is already recorded (a resumed shard must not distort its existing
+// calibration context).
+func runWorker(stdin io.Reader, stdout, stderr io.Writer) error {
+	raw, err := io.ReadAll(stdin)
+	if err != nil {
+		return err
+	}
+	var order workOrder
+	if err := json.Unmarshal(raw, &order); err != nil {
+		return fmt.Errorf("work order: %w", err)
+	}
+	if order.Shards < 1 || order.Shard < 0 || order.Shard >= order.Shards {
+		return fmt.Errorf("work order: shard %d of %d invalid", order.Shard, order.Shards)
+	}
+	units, err := order.Spec.Expand()
+	if err != nil {
+		return err
+	}
+	skip := make(map[string]bool, len(order.Skip))
+	for _, name := range order.Skip {
+		skip[name] = true
+	}
+	var mine []Unit
+	for _, u := range units {
+		if u.Index%order.Shards == order.Shard && !skip[u.Name] {
+			mine = append(mine, u)
+		}
+	}
+	harness.SetEngineOptions(order.Workers, !order.GammaCache, order.NodeWorkers)
+	host, _ := os.Hostname()
+
+	enc := json.NewEncoder(stdout)
+	if len(mine) > 0 && !skip["calibrate"] {
+		cal, err := calibrateRecord(host, order.Shard)
+		if err != nil {
+			return err
+		}
+		if err := enc.Encode(cal); err != nil {
+			return err
+		}
+	}
+	for _, u := range mine {
+		rec, err := runUnit(u, &order.Spec, host, order.Shard)
+		if err != nil {
+			// A unit that cannot execute at all (as opposed to failing
+			// verification) is recorded pass=false with the error on
+			// stderr, so one broken cell doesn't strand the rest of the
+			// shard — and resume retries it.
+			fmt.Fprintf(stderr, "unit %s: %v\n", u.Name, err)
+			rec.Pass = false
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// prefixWriter returns a writer that prefixes each line, keeping worker
+// stderr streams readable when several shards interleave.
+func prefixWriter(w io.Writer, prefix string) io.Writer {
+	return &lineWriter{w: w, prefix: prefix}
+}
+
+type lineWriter struct {
+	w      io.Writer
+	prefix string
+	buf    []byte
+}
+
+func (lw *lineWriter) Write(p []byte) (int, error) {
+	lw.buf = append(lw.buf, p...)
+	for {
+		i := bytes.IndexByte(lw.buf, '\n')
+		if i < 0 {
+			return len(p), nil
+		}
+		line := lw.buf[:i+1]
+		if _, err := fmt.Fprintf(lw.w, "%s%s", lw.prefix, line); err != nil {
+			return len(p), err
+		}
+		lw.buf = lw.buf[i+1:]
+	}
+}

@@ -1,0 +1,406 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the coordinator's worker processes re-exec this test
+// binary as if it were the bvcsweep binary: the coordinator always sets
+// BVCSWEEP_WORKER_PROC=1 on spawned workers (the production binary
+// ignores it), and here it reroutes into realMain before the test
+// framework takes over.
+func TestMain(m *testing.M) {
+	if os.Getenv("BVCSWEEP_WORKER_PROC") == "1" {
+		os.Exit(realMain(os.Args[1:]))
+	}
+	os.Exit(m.Run())
+}
+
+func tinySpec() Spec {
+	return Spec{
+		Name:        "tiny",
+		Variants:    []string{"exact", "rsync"},
+		Dims:        []int{2},
+		Faults:      []int{1},
+		Adversaries: []string{"none", "equivocate"},
+		Seeds:       []int64{1, 2},
+	}
+}
+
+func writeSpec(t *testing.T, dir string, s Spec) string {
+	t.Helper()
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestExpandDeterministic(t *testing.T) {
+	s1, s2 := tinySpec(), tinySpec()
+	u1, err := s1.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := s2.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(u1, u2) {
+		t.Fatal("two expansions of the same spec differ")
+	}
+	want := []string{
+		"sweep/exact/n4d2f1/none/none/s1",
+		"sweep/exact/n4d2f1/none/none/s2",
+		"sweep/exact/n4d2f1/equivocate/none/s1",
+		"sweep/exact/n4d2f1/equivocate/none/s2",
+		"sweep/rsync/n5d2f1/none/none/s1",
+		"sweep/rsync/n5d2f1/none/none/s2",
+		"sweep/rsync/n5d2f1/equivocate/none/s1",
+		"sweep/rsync/n5d2f1/equivocate/none/s2",
+	}
+	if len(u1) != len(want) {
+		t.Fatalf("expanded to %d units, want %d", len(u1), len(want))
+	}
+	for i, u := range u1 {
+		if u.Name != want[i] || u.Index != i {
+			t.Errorf("unit %d = %q (index %d), want %q", i, u.Name, u.Index, want[i])
+		}
+	}
+}
+
+// TestExpandCanonicalizes: synchronous variants collapse the delay axis
+// and explicit Procs repeating the tight bound deduplicate, so a spec
+// carrying redundant axes expands to the same canonical unit set.
+func TestExpandCanonicalizes(t *testing.T) {
+	s := tinySpec()
+	s.Delays = []string{"constant", "exponential"} // sync variants ignore it
+	s.Procs = []int{4, 5}                          // 4 = exact tight bound, 5 = rsync's
+	units, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, u := range units {
+		if seen[u.Name] {
+			t.Errorf("duplicate unit %q", u.Name)
+		}
+		seen[u.Name] = true
+	}
+	// exact at n=4 and n=5, rsync at n=5 only (n=4 is below its bound):
+	// 3 (variant, n) pairs × 2 adversaries × 2 seeds.
+	if len(units) != 12 {
+		t.Errorf("expanded to %d units, want 12", len(units))
+	}
+}
+
+func TestExpandExperimentsAndSlack(t *testing.T) {
+	s := Spec{
+		Variants:    []string{"exact"},
+		Dims:        []int{2},
+		Faults:      []int{1},
+		Procs:       []int{4, 5, 6, 11},
+		MaxSlack:    2,
+		Experiments: []string{"e1", "e10"},
+	}
+	units, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, u := range units {
+		names = append(names, u.Name)
+	}
+	want := []string{
+		"e1", "e10", "e10/nodeworkers=1", // experiments lead, e10 brings its serial companion
+		"sweep/exact/n4d2f1/none/none/s1",
+		"sweep/exact/n5d2f1/none/none/s1",
+		"sweep/exact/n6d2f1/none/none/s1", // n=11 dropped: slack 7 > 2
+	}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("expansion = %v, want %v", names, want)
+	}
+	for _, u := range units {
+		if u.Kind == UnitExperiment && u.Name == "e10/nodeworkers=1" && !u.SerialNodes {
+			t.Errorf("e10/nodeworkers=1 should carry SerialNodes")
+		}
+	}
+}
+
+// TestExpandSkipsFragileCells: restricted f ≥ 2 cells in the Γ-solver's
+// fragile regime (harness.SweepCell.FragileGamma) are excluded unless the
+// spec opts in.
+func TestExpandSkipsFragileCells(t *testing.T) {
+	s := Spec{
+		Variants: []string{"rsync", "rasync"},
+		Dims:     []int{3},
+		Faults:   []int{2},
+		Procs:    []int{11, 13, 15},
+	}
+	units, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, u := range units {
+		names = append(names, u.Name)
+	}
+	// rsync tight bound n=11 is at the Lemma-1 threshold (fragile); n=13
+	// and n=15 are above it. rasync f=2 is fragile throughout.
+	want := []string{
+		"sweep/rsync/n13d3f2/none/none/s1",
+		"sweep/rsync/n15d3f2/none/none/s1",
+	}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("expansion = %v, want %v", names, want)
+	}
+
+	s.IncludeFragile = true
+	units, err = s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 rsync (n ∈ {11, 13, 15}) + 1 rasync (its d=3, f=2 tight bound is
+	// n = 15; 11 and 13 are below it).
+	if len(units) != 4 {
+		t.Errorf("include_fragile expansion has %d units, want 4", len(units))
+	}
+}
+
+func TestExpandRejectsUnknownAxes(t *testing.T) {
+	for _, s := range []Spec{
+		{Variants: []string{"warp"}},
+		{Adversaries: []string{"polite"}},
+		{Delays: []string{"sometimes"}},
+		{Experiments: []string{"e99"}},
+	} {
+		if _, err := s.Expand(); err == nil {
+			t.Errorf("spec %+v expanded without error", s)
+		}
+	}
+}
+
+func TestFingerprintStableUnderNormalization(t *testing.T) {
+	s1 := tinySpec()
+	s2 := tinySpec()
+	if err := s2.normalize(); err != nil { // pre-normalized vs raw must agree
+		t.Fatal(err)
+	}
+	if s1.Fingerprint() != s2.Fingerprint() {
+		t.Error("fingerprint changes under normalization")
+	}
+	s3 := tinySpec()
+	s3.Seeds = []int64{1, 3}
+	if s1.Fingerprint() == s3.Fingerprint() {
+		t.Error("different specs share a fingerprint")
+	}
+}
+
+// TestWorkerShardAssignment runs a worker in-process and checks it
+// executes exactly its own shard's units, in index order, calibration
+// first.
+func TestWorkerShardAssignment(t *testing.T) {
+	spec := tinySpec()
+	units, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 3
+	order := workOrder{Spec: spec, Shard: 1, Shards: shards, GammaCache: true}
+	payload, _ := json.Marshal(order)
+	var stdout, stderr bytes.Buffer
+	if err := runWorker(bytes.NewReader(payload), &stdout, &stderr); err != nil {
+		t.Fatalf("worker: %v\n%s", err, stderr.String())
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if lines[0] == "" {
+		t.Fatal("worker emitted nothing")
+	}
+	var names []string
+	for _, line := range lines {
+		var rec record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("%s: %v", line, err)
+		}
+		if !rec.Pass {
+			t.Errorf("unit %s failed", rec.Benchmark)
+		}
+		names = append(names, rec.Benchmark)
+	}
+	var want []string
+	want = append(want, "calibrate")
+	for _, u := range units {
+		if u.Index%shards == 1 {
+			want = append(want, u.Name)
+		}
+	}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("worker ran %v, want %v", names, want)
+	}
+}
+
+// TestCoordinatorEndToEnd is the subprocess integration test: a real
+// coordinator run sharding a grid across two worker processes, then a
+// no-op resume, then a resume after losing a record, then the manifest
+// guards. Worker processes are this test binary rerouted via TestMain.
+func TestCoordinatorEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses and calibrates each shard")
+	}
+	dir := t.TempDir()
+	specPath := writeSpec(t, dir, tinySpec())
+	outDir := filepath.Join(dir, "out")
+
+	sweep := func(extra ...string) (string, error) {
+		var stdout, stderr bytes.Buffer
+		args := append([]string{"-spec", specPath, "-out", outDir, "-procs", "2"}, extra...)
+		err := run(args, strings.NewReader(""), &stdout, &stderr)
+		return stdout.String() + stderr.String(), err
+	}
+
+	out, err := sweep()
+	if err != nil {
+		t.Fatalf("first run: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "8 units (0 already recorded, 8 to run) across 2 shard(s)") {
+		t.Errorf("unexpected first-run summary:\n%s", out)
+	}
+	counts := shardLineCounts(t, outDir, 2)
+	if counts[0] != 5 || counts[1] != 5 { // 4 units + calibrate each
+		t.Fatalf("shard record counts = %v, want [5 5]", counts)
+	}
+
+	// Resume with everything recorded: no new work, no new records.
+	out, err = sweep()
+	if err != nil {
+		t.Fatalf("resume run: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "(8 already recorded, 0 to run)") {
+		t.Errorf("resume should find all units recorded:\n%s", out)
+	}
+	if again := shardLineCounts(t, outDir, 2); !reflect.DeepEqual(again, counts) {
+		t.Errorf("no-op resume appended records: %v -> %v", counts, again)
+	}
+
+	// Drop the last record of shard 0 and resume: exactly that unit
+	// re-runs (calibration is already on disk and is not re-measured).
+	path := shardFile(outDir, 0)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	lost := lines[len(lines)-1]
+	if err := os.WriteFile(path, []byte(strings.Join(lines[:len(lines)-1], "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = sweep()
+	if err != nil {
+		t.Fatalf("partial resume: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "(7 already recorded, 1 to run)") {
+		t.Errorf("partial resume should re-run one unit:\n%s", out)
+	}
+	var lostRec record
+	if err := json.Unmarshal([]byte(lost), &lostRec); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), lostRec.Benchmark) {
+		t.Errorf("re-run did not restore a record for %s", lostRec.Benchmark)
+	}
+	if got := shardLineCounts(t, outDir, 2)[0]; got != 5 {
+		t.Errorf("shard 0 records = %d, want 5 after re-run", got)
+	}
+
+	// Manifest guards: different shard count, then different spec.
+	if out, err = sweep("-procs", "3"); err == nil || !strings.Contains(err.Error(), "shard assignment would change") {
+		t.Errorf("procs change not refused: %v\n%s", err, out)
+	}
+	changed := tinySpec()
+	changed.Seeds = []int64{1, 2, 3}
+	specPath = writeSpec(t, dir, changed)
+	if out, err = sweep(); err == nil || !strings.Contains(err.Error(), "different spec") {
+		t.Errorf("spec change not refused: %v\n%s", err, out)
+	}
+}
+
+// TestCoordinatorMergeGate closes the acceptance loop in miniature: sweep
+// across two processes, merge the shards with benchdiff's merge logic
+// duplicated here at the file level (the real merge lives in
+// cmd/benchdiff; this test only asserts the shard files are well-formed
+// JSONL with exactly one calibration record each and no duplicate units).
+func TestCoordinatorMergeGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	dir := t.TempDir()
+	spec := tinySpec()
+	spec.Seeds = []int64{7}
+	specPath := writeSpec(t, dir, spec)
+	outDir := filepath.Join(dir, "out")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-spec", specPath, "-out", outDir, "-procs", "2"},
+		strings.NewReader(""), &stdout, &stderr); err != nil {
+		t.Fatalf("%v\n%s", err, stderr.String())
+	}
+	seen := make(map[string]int)
+	for shard := 0; shard < 2; shard++ {
+		raw, err := os.ReadFile(shardFile(outDir, shard))
+		if err != nil {
+			t.Fatal(err)
+		}
+		calibrations := 0
+		for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+			var rec record
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				t.Fatalf("shard %d: %v", shard, err)
+			}
+			if rec.Shard == nil || *rec.Shard != shard {
+				t.Errorf("record %s carries shard %v, want %d", rec.Benchmark, rec.Shard, shard)
+			}
+			if rec.Benchmark == "calibrate" {
+				calibrations++
+				continue
+			}
+			seen[rec.Benchmark]++
+			if rec.Unit == nil {
+				t.Errorf("grid record %s has no unit payload", rec.Benchmark)
+			}
+		}
+		if calibrations != 1 {
+			t.Errorf("shard %d has %d calibration records, want 1", shard, calibrations)
+		}
+	}
+	for name, n := range seen {
+		if n != 1 {
+			t.Errorf("unit %s recorded %d times", name, n)
+		}
+	}
+}
+
+func shardLineCounts(t *testing.T, dir string, shards int) []int {
+	t.Helper()
+	out := make([]int, shards)
+	for s := 0; s < shards; s++ {
+		raw, err := os.ReadFile(shardFile(dir, s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[s] = len(strings.Split(strings.TrimSpace(string(raw)), "\n"))
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// manifest pins a sweep output directory to one spec and shard layout. The
+// unit list (and with it the unit↔shard assignment) is a pure function of
+// (spec, shard count); resuming with a different spec or -procs would
+// reassign units under the records already on disk, so both are part of
+// the identity and a mismatch is refused.
+type manifest struct {
+	Name        string `json:"name"`
+	Fingerprint string `json:"spec_fingerprint"`
+	Shards      int    `json:"shards"`
+	Units       int    `json:"units"`
+	Hosts       string `json:"hosts,omitempty"`
+}
+
+const manifestName = "manifest.json"
+
+// checkManifest writes the manifest on first use of an output directory
+// and verifies it on every subsequent (resuming) run.
+func (c *coordinator) checkManifest() error {
+	path := filepath.Join(c.outDir, manifestName)
+	want := manifest{
+		Name:        c.spec.Name,
+		Fingerprint: c.spec.Fingerprint(),
+		Shards:      c.shards,
+		Units:       len(c.units),
+		Hosts:       strings.Join(c.hosts, ","),
+	}
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		out, err := json.MarshalIndent(want, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, append(out, '\n'), 0o644)
+	}
+	if err != nil {
+		return err
+	}
+	var have manifest
+	if err := json.Unmarshal(raw, &have); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if have.Fingerprint != want.Fingerprint {
+		return fmt.Errorf("%s was recorded for a different spec (fingerprint %.12s, this spec %.12s); use a fresh -out directory",
+			path, have.Fingerprint, want.Fingerprint)
+	}
+	if have.Shards != want.Shards {
+		return fmt.Errorf("%s was recorded with -procs %d, now %d; shard assignment would change — use a fresh -out directory or the original -procs",
+			path, have.Shards, want.Shards)
+	}
+	// Hosts may legitimately change between resume runs (a machine came or
+	// went); assignment is by shard index, not by host, so only note it.
+	if have.Hosts != want.Hosts {
+		fmt.Fprintf(c.stderr, "bvcsweep: note: resuming with hosts %q (manifest had %q)\n", want.Hosts, have.Hosts)
+	}
+	return nil
+}
+
+// completedUnits scans the shard files of an output directory and reports
+// which units already carry a passing record (globally — a unit's record
+// only ever lands in its own shard's file) and which shards have already
+// measured their calibration record.
+func completedUnits(dir string, shards int) (map[string]bool, error) {
+	done := make(map[string]bool)
+	for shard := 0; shard < shards; shard++ {
+		f, err := os.Open(shardFile(dir, shard))
+		if errors.Is(err, fs.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		line := 0
+		for sc.Scan() {
+			line++
+			text := strings.TrimSpace(sc.Text())
+			if text == "" {
+				continue
+			}
+			var rec record
+			if err := json.Unmarshal([]byte(text), &rec); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("%s:%d: %w (truncate the bad line to resume)", shardFile(dir, shard), line, err)
+			}
+			if rec.Pass {
+				if rec.Benchmark == "calibrate" {
+					done[calibrateKey(shard)] = true
+				} else {
+					done[rec.Benchmark] = true
+				}
+			}
+		}
+		if err := sc.Err(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.Close()
+	}
+	return done, nil
+}
+
+// calibrateKey namespaces the per-shard calibration record in the
+// completed-unit set (each shard calibrates independently).
+func calibrateKey(shard int) string {
+	return fmt.Sprintf("calibrate@shard%d", shard)
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"runtime"
+	"time"
+
+	"repro"
+	"repro/internal/harness"
+)
+
+// record is one JSONL output line of a sweep shard — the bvcbench
+// benchRecord schema extended with shard provenance and grid-cell
+// metadata. cmd/benchdiff understands the common prefix, so merged shard
+// trajectories gate exactly like bvcbench trajectories; the extensions are
+// documented in docs/BENCH_FORMAT.md.
+type record struct {
+	Benchmark   string  `json:"benchmark"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Pass        bool    `json:"pass"`
+	Seconds     float64 `json:"seconds"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+
+	// Host and Shard are shard provenance: which machine measured the
+	// record and which shard of the sweep it belongs to. benchdiff merge
+	// preserves them and reconciles cross-host speed differences by the
+	// per-shard calibration records.
+	Host  string `json:"host,omitempty"`
+	Shard *int   `json:"shard,omitempty"`
+	// Unit carries grid-cell results (UnitCell records only).
+	Unit *unitResult `json:"unit,omitempty"`
+}
+
+// unitResult is the grid-cell payload of a sweep record.
+type unitResult struct {
+	Variant   string  `json:"variant"`
+	N         int     `json:"n"`
+	D         int     `json:"d"`
+	F         int     `json:"f"`
+	Adversary string  `json:"adversary"`
+	Delay     string  `json:"delay"`
+	Seed      int64   `json:"seed"`
+	Epsilon   float64 `json:"epsilon"`
+	// Budget is "full" (analytic termination, judged by ε-agreement or
+	// exact agreement) or "horizon" (γ-aware fixed horizon, judged by
+	// contraction + validity); BudgetRounds is the executed horizon.
+	Budget       string  `json:"budget"`
+	BudgetRounds int     `json:"budget_rounds"`
+	Gamma        float64 `json:"gamma,omitempty"`
+	Rounds       int     `json:"rounds"`
+	Messages     int64   `json:"messages"`
+	VerifyMode   string  `json:"verify_mode"`
+	SpreadStart  float64 `json:"spread_start,omitempty"`
+	SpreadEnd    float64 `json:"spread_end,omitempty"`
+}
+
+// runUnit executes one work unit and returns its record. Grid cells run
+// once, cold-cache, and report wall time (iterations = 1); experiment
+// units run under the standard benchmark machinery exactly like
+// bvcbench -json, so their ns/op stays comparable with bvcbench-recorded
+// baselines.
+func runUnit(u Unit, spec *Spec, host string, shard int) (record, error) {
+	rec := record{
+		Benchmark:  u.Name,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Host:       host,
+		Shard:      &shard,
+	}
+	switch u.Kind {
+	case UnitCell:
+		bvc.ResetEngineCaches()
+		start := time.Now()
+		out, err := harness.RunSweepCell(u.Cell)
+		elapsed := time.Since(start)
+		if err != nil {
+			return rec, err
+		}
+		rec.Iterations = 1
+		rec.NsPerOp = elapsed.Nanoseconds()
+		rec.Seconds = elapsed.Seconds()
+		rec.Pass = out.Verified
+		rec.Unit = &unitResult{
+			Variant: out.Cell.Variant, N: out.Cell.N, D: out.Cell.D, F: out.Cell.F,
+			Adversary: out.Cell.Adversary, Delay: out.Cell.Delay,
+			Seed: out.Cell.Seed, Epsilon: out.Cell.Epsilon,
+			Budget: out.Budget.Mode(), BudgetRounds: out.Budget.Rounds, Gamma: out.Budget.Gamma,
+			Rounds: out.Rounds, Messages: out.Messages, VerifyMode: out.VerifyMode,
+			SpreadStart: out.SpreadStart, SpreadEnd: out.SpreadEnd,
+		}
+		return rec, nil
+
+	case UnitExperiment:
+		run := harness.Runners(spec.ExperimentSeed, spec.Trials)[u.Experiment]
+		if u.SerialNodes {
+			inner := run
+			run = func() (*harness.Table, error) { return harness.RunSerialNodes(inner) }
+		}
+		tbl, br, err := harness.MeasureTable(run)
+		if err != nil {
+			return rec, err
+		}
+		rec.Iterations = br.N
+		rec.NsPerOp = br.NsPerOp()
+		rec.AllocsPerOp = br.AllocsPerOp()
+		rec.BytesPerOp = br.AllocedBytesPerOp()
+		rec.Seconds = br.T.Seconds()
+		rec.Pass = tbl != nil && tbl.Pass
+		return rec, nil
+	}
+	rec.Pass = false
+	return rec, nil
+}
+
+// calibrateRecord measures the shared calibration kernel for this shard.
+func calibrateRecord(host string, shard int) (record, error) {
+	tbl, br, err := harness.MeasureTable(harness.Calibrate)
+	if err != nil {
+		return record{}, err
+	}
+	s := shard
+	return record{
+		Benchmark:   "calibrate",
+		Iterations:  br.N,
+		NsPerOp:     br.NsPerOp(),
+		AllocsPerOp: br.AllocsPerOp(),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+		Pass:        tbl.Pass,
+		Seconds:     br.T.Seconds(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Host:        host,
+		Shard:       &s,
+	}, nil
+}

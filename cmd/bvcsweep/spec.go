@@ -1,0 +1,279 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/harness"
+)
+
+// Spec is the declarative description of a sweep: ranges over the grid
+// axes, plus an optional list of bvcbench experiments to measure alongside
+// the grid (so a merged shard trajectory contains every record a committed
+// BENCH_baseline.json expects). See docs/BENCH_FORMAT.md and the examples
+// under cmd/bvcsweep/testdata/.
+type Spec struct {
+	// Name labels the sweep in the manifest.
+	Name string `json:"name"`
+	// Variants are harness.SweepVariants entries ("exact", "approx",
+	// "rsync", "rasync"). Empty selects all four.
+	Variants []string `json:"variants"`
+	// Dims and Faults are the d and f axes. Empty defaults to [2] and [1].
+	Dims   []int `json:"dims"`
+	Faults []int `json:"faults"`
+	// Procs is the n axis. Empty selects the paper's tight bound for each
+	// (variant, d, f) cell. Explicit values keep only cells with
+	// n ≥ MinProcesses (and, when MaxSlack > 0, n − MinProcesses ≤ MaxSlack
+	// — large slack makes low-(d, f) cells trivially over-provisioned).
+	Procs []int `json:"procs"`
+	// MaxSlack bounds n − MinProcesses for explicit Procs; 0 means
+	// unlimited.
+	MaxSlack int `json:"max_slack"`
+	// Adversaries are harness.SweepAdversaries entries. Empty defaults to
+	// ["none"].
+	Adversaries []string `json:"adversaries"`
+	// Delays are harness.SweepDelays entries, applied to asynchronous
+	// variants only (synchronous cells canonicalize to "none"). Empty
+	// defaults to ["constant"].
+	Delays []string `json:"delays"`
+	// Seeds drives grid-cell randomness. Empty defaults to [1].
+	Seeds []int64 `json:"seeds"`
+	// Epsilon is the ε of ε-agreement for grid cells (0 → 0.05).
+	Epsilon float64 `json:"epsilon"`
+	// Experiments lists bvcbench experiments to measure as sweep units
+	// ("e1" … "e10", "f1", "f2", or the single entry "all"). "e10" also
+	// expands the serial-stepping companion record "e10/nodeworkers=1",
+	// mirroring bvcbench -json, so merged trajectories carry every record
+	// a bvcbench-recorded baseline holds.
+	Experiments []string `json:"experiments"`
+	// IncludeFragile keeps grid cells in the Γ-solver's known fragile
+	// regime (harness.SweepCell.FragileGamma: restricted cells with f ≥ 2
+	// at or — for rasync — above the Lemma-1 threshold). They are skipped
+	// by default so a grid sweep doesn't wedge on the solver limitation
+	// ROADMAP tracks under "Simplex robustness".
+	IncludeFragile bool `json:"include_fragile"`
+	// ExperimentSeed is the master seed of the experiment units (0 → 1,
+	// bvcbench's default; it must match the seed the baseline trajectory
+	// was recorded with for ns/op comparisons to measure the same work).
+	ExperimentSeed int64 `json:"experiment_seed"`
+	// Trials is the E3 trial count (0 → 20, bvcbench's default).
+	Trials int `json:"trials"`
+}
+
+// UnitKind distinguishes grid cells from experiment units.
+type UnitKind string
+
+// Unit kinds.
+const (
+	UnitCell       UnitKind = "cell"
+	UnitExperiment UnitKind = "experiment"
+)
+
+// Unit is one schedulable work item of a sweep. Units are produced in a
+// deterministic order by Expand; a unit's shard is Index mod the shard
+// count, so every process (and every machine) computes the identical
+// assignment from the spec alone.
+type Unit struct {
+	Index int      `json:"index"`
+	Name  string   `json:"name"`
+	Kind  UnitKind `json:"kind"`
+	// Cell is set for UnitCell units.
+	Cell harness.SweepCell `json:"cell,omitempty"`
+	// Experiment is set for UnitExperiment units ("e1" … "f2");
+	// SerialNodes marks the "e10/nodeworkers=1" companion measurement.
+	Experiment  string `json:"experiment,omitempty"`
+	SerialNodes bool   `json:"serial_nodes,omitempty"`
+}
+
+// normalize fills Spec defaults in place and validates enum fields.
+func (s *Spec) normalize() error {
+	if len(s.Variants) == 0 {
+		s.Variants = append([]string(nil), harness.SweepVariants...)
+	}
+	if len(s.Dims) == 0 {
+		s.Dims = []int{2}
+	}
+	if len(s.Faults) == 0 {
+		s.Faults = []int{1}
+	}
+	if len(s.Adversaries) == 0 {
+		s.Adversaries = []string{"none"}
+	}
+	if len(s.Delays) == 0 {
+		s.Delays = []string{"constant"}
+	}
+	if len(s.Seeds) == 0 {
+		s.Seeds = []int64{1}
+	}
+	if s.Epsilon == 0 {
+		s.Epsilon = 0.05
+	}
+	if s.ExperimentSeed == 0 {
+		s.ExperimentSeed = 1
+	}
+	if s.Trials == 0 {
+		s.Trials = 20
+	}
+	if len(s.Experiments) == 1 && s.Experiments[0] == "all" {
+		s.Experiments = append([]string(nil), harness.ExperimentOrder...)
+	}
+	known := harness.Runners(0, 1)
+	for _, e := range s.Experiments {
+		if _, ok := known[e]; !ok {
+			return fmt.Errorf("spec: unknown experiment %q", e)
+		}
+	}
+	member := func(kind, v string, allowed []string) error {
+		for _, a := range allowed {
+			if v == a {
+				return nil
+			}
+		}
+		return fmt.Errorf("spec: unknown %s %q (want one of %v)", kind, v, allowed)
+	}
+	for _, v := range s.Variants {
+		if err := member("variant", v, harness.SweepVariants); err != nil {
+			return err
+		}
+	}
+	for _, a := range s.Adversaries {
+		if err := member("adversary", a, harness.SweepAdversaries); err != nil {
+			return err
+		}
+	}
+	for _, d := range s.Delays {
+		if err := member("delay", d, harness.SweepDelays); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Expand produces the deterministic unit list of the spec: experiment
+// units first (in harness.ExperimentOrder), then grid cells in
+// variants × dims × faults × procs × adversaries × delays × seeds order.
+// Cells below the paper's resilience bound are skipped; cells that
+// canonicalize identically (synchronous variants ignore the delay axis,
+// explicit Procs may repeat the tight bound) are deduplicated, first
+// occurrence wins. The expansion is a pure function of the spec — workers
+// on other machines recompute it instead of receiving a work list.
+func (s *Spec) Expand() ([]Unit, error) {
+	if err := s.normalize(); err != nil {
+		return nil, err
+	}
+	var units []Unit
+	seen := make(map[string]bool)
+	add := func(u Unit) {
+		if seen[u.Name] {
+			return
+		}
+		seen[u.Name] = true
+		u.Index = len(units)
+		units = append(units, u)
+	}
+	for _, name := range harness.ExperimentOrder {
+		for _, e := range s.Experiments {
+			if e != name {
+				continue
+			}
+			add(Unit{Name: name, Kind: UnitExperiment, Experiment: name})
+			if name == "e10" {
+				add(Unit{Name: "e10/nodeworkers=1", Kind: UnitExperiment, Experiment: "e10", SerialNodes: true})
+			}
+		}
+	}
+	procs := s.Procs
+	tight := len(procs) == 0
+	if tight {
+		procs = []int{0} // 0 → tight bound, resolved by Normalize
+	}
+	for _, variant := range s.Variants {
+		for _, d := range s.Dims {
+			for _, f := range s.Faults {
+				for _, n := range procs {
+					for _, adv := range s.Adversaries {
+						for _, delay := range s.Delays {
+							for _, seed := range s.Seeds {
+								if !tight {
+									// An explicit n below the bound (or past
+									// the slack window) for this
+									// (variant, d, f) is not an error — the
+									// grid simply has no such cell.
+									min := bvc.MinProcesses(variantOf(variant), d, f)
+									if n < min || (s.MaxSlack > 0 && n-min > s.MaxSlack) {
+										continue
+									}
+								}
+								cell := harness.SweepCell{
+									Variant: variant, N: n, D: d, F: f,
+									Adversary: adv, Delay: delay,
+									Seed: seed, Epsilon: s.Epsilon,
+								}
+								norm, err := cell.Normalize()
+								if err != nil {
+									return nil, fmt.Errorf("spec: %w", err)
+								}
+								if norm.FragileGamma() && !s.IncludeFragile {
+									continue
+								}
+								add(Unit{Name: norm.Name(), Kind: UnitCell, Cell: norm})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(units) == 0 {
+		return nil, fmt.Errorf("spec: expands to zero units")
+	}
+	return units, nil
+}
+
+// variantOf maps a SweepCell variant name to the public Variant (names are
+// pre-validated by Normalize).
+func variantOf(name string) bvc.Variant {
+	switch name {
+	case "exact":
+		return bvc.ExactSync
+	case "approx":
+		return bvc.ApproxAsync
+	case "rsync":
+		return bvc.RestrictedSync
+	default:
+		return bvc.RestrictedAsync
+	}
+}
+
+// readSpec loads and normalizes a spec file.
+func readSpec(path string) (*Spec, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Spec
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := s.normalize(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// Fingerprint is the canonical identity of a normalized spec: the SHA-256
+// of its canonical JSON encoding. The manifest records it; resuming into
+// an output directory whose manifest carries a different fingerprint is
+// refused (the unit list, and with it the shard assignment, would change
+// under the records already on disk).
+func (s *Spec) Fingerprint() string {
+	clone := *s
+	_ = clone.normalize()
+	raw, _ := json.Marshal(clone)
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}

@@ -105,6 +105,13 @@ type Params struct {
 	// Method selects the Γ-point computation (safearea.MethodAuto when
 	// zero-valued is not allowed; set explicitly or use Defaults).
 	Method safearea.Method
+	// MaxRounds, when positive, caps the round horizon of the restricted
+	// variants below the analytic termination bound. The analytic bound
+	// grows like 1/γ and γ decays combinatorially in n, so large grids run
+	// on a fixed horizon instead and are judged by per-round contraction
+	// plus validity (see internal/harness.GammaBudget). Exact BVC ignores
+	// it; the §3.2 asynchronous algorithm has its own AsyncConfig.MaxRounds.
+	MaxRounds int
 	// Engine computes the Γ-points (worker pool + memoization). Nil selects
 	// the process-wide DefaultEngine; results are bit-identical for every
 	// engine configuration, so this is purely a performance/resource knob.

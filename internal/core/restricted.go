@@ -7,6 +7,18 @@ import (
 	"repro/internal/sim"
 )
 
+// roundHorizon resolves the executed round count of a restricted node: the
+// analytic termination bound, capped by Params.MaxRounds when set. The cap
+// never raises the horizon — running longer than the analytic bound is
+// wasted work.
+func roundHorizon(gamma float64, params Params) int {
+	rounds := RoundBound(gamma, params.Bounds.MaxRange(), params.Epsilon)
+	if params.MaxRounds > 0 && params.MaxRounds < rounds {
+		rounds = params.MaxRounds
+	}
+	return rounds
+}
+
 // RestrictedSyncNode runs the §4 synchronous algorithm with the restricted
 // round structure: each round is a single state exchange (send vi[t−1] to
 // all, receive from all, missing senders defaulting to the all-0 vector),
@@ -44,7 +56,7 @@ func NewRestrictedSyncNode(params Params, self sim.ProcID, input geometry.Vector
 		params:  params,
 		self:    self,
 		v:       input.Clone(),
-		rounds:  RoundBound(gamma, params.Bounds.MaxRange(), params.Epsilon),
+		rounds:  roundHorizon(gamma, params),
 		history: []geometry.Vector{input.Clone()},
 	}, nil
 }
@@ -158,7 +170,7 @@ func NewRestrictedAsyncNode(params Params, self sim.ProcID, input geometry.Vecto
 		params:  params,
 		self:    self,
 		v:       input.Clone(),
-		rounds:  RoundBound(gamma, params.Bounds.MaxRange(), params.Epsilon),
+		rounds:  roundHorizon(gamma, params),
 		pending: make(map[int][]tuple),
 		seen:    make(map[int]map[sim.ProcID]bool),
 		history: []geometry.Vector{input.Clone()},

@@ -350,3 +350,42 @@ func TestRestrictedAsyncHistoryContracts(t *testing.T) {
 		t.Errorf("final spread %g > ε = %g", s, params.Epsilon)
 	}
 }
+
+// TestRestrictedMaxRoundsCap: Params.MaxRounds caps the analytic horizon
+// (the γ-aware budget path of large sweeps) but never raises it.
+func TestRestrictedMaxRoundsCap(t *testing.T) {
+	params := restrictedParams(5, 1, 2, 0.1)
+	analytic, err := core.NewRestrictedSyncNode(params, 0, geometry.Vector{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params.MaxRounds = 4
+	capped, err := core.NewRestrictedSyncNode(params, 0, geometry.Vector{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Rounds() != 4 {
+		t.Errorf("capped rounds = %d, want 4", capped.Rounds())
+	}
+	if analytic.Rounds() <= 4 {
+		t.Fatalf("test premise broken: analytic bound %d not above the cap", analytic.Rounds())
+	}
+	params.MaxRounds = analytic.Rounds() + 100
+	loose, err := core.NewRestrictedSyncNode(params, 0, geometry.Vector{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Rounds() != analytic.Rounds() {
+		t.Errorf("MaxRounds above the analytic bound changed the horizon: %d vs %d", loose.Rounds(), analytic.Rounds())
+	}
+
+	aParams := restrictedParams(7, 1, 2, 0.1)
+	aParams.MaxRounds = 3
+	async, err := core.NewRestrictedAsyncNode(aParams, 0, geometry.Vector{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if async.Rounds() != 3 {
+		t.Errorf("async capped rounds = %d, want 3", async.Rounds())
+	}
+}

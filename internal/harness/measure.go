@@ -1,0 +1,45 @@
+package harness
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// MeasureTable measures one experiment runner (or the calibration
+// kernel) with the standard benchmark machinery — the single measurement
+// protocol behind every BENCH record, shared by cmd/bvcbench and
+// cmd/bvcsweep so their ns/op stay comparable. The Γ-point caches are
+// reset before every iteration so each measures a cold-cache run
+// (within-run memoization still counts — that is product behavior);
+// without the reset, later iterations would replay the process-wide memo
+// table and ns/op would shrink with iteration count instead of measuring
+// the engine.
+func MeasureTable(run func() (*Table, error)) (*Table, testing.BenchmarkResult, error) {
+	var (
+		tbl  *Table
+		rerr error
+	)
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bvc.ResetEngineCaches()
+			tbl, rerr = run()
+			if rerr != nil {
+				b.Fatalf("%v", rerr)
+			}
+		}
+	})
+	return tbl, br, rerr
+}
+
+// RunSerialNodes runs fn with simulated-node stepping forced serial
+// (NodeWorkers = 1), restoring the configured engine options afterwards —
+// the "e10/nodeworkers=1" companion measurement, which records the
+// cross-node parallelism headroom in BENCH trajectories.
+func RunSerialNodes(fn func() (*Table, error)) (*Table, error) {
+	saved := engineOptions
+	SetEngineOptions(saved.workers, saved.disableCache, 1)
+	defer SetEngineOptions(saved.workers, saved.disableCache, saved.nodeWorkers)
+	return fn()
+}

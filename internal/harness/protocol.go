@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"time"
 
 	"repro"
@@ -581,31 +582,14 @@ func sum(v bvc.Vector) float64 {
 	return s
 }
 
-// All runs every experiment and returns the tables in order.
+// All runs every experiment in ExperimentOrder and returns the tables.
 func All(seed int64) ([]*Table, error) {
-	type exp struct {
-		name string
-		run  func() (*Table, error)
-	}
-	exps := []exp{
-		{"E1", func() (*Table, error) { return E1SyncNecessity(seed) }},
-		{"E2", func() (*Table, error) { return E2ExactSufficiency(seed) }},
-		{"E3", func() (*Table, error) { return E3TverbergLemma(seed, 20) }},
-		{"E4", E4AsyncNecessity},
-		{"E5", func() (*Table, error) { return E5AsyncConvergence(seed) }},
-		{"E6", func() (*Table, error) { return E6RestrictedSync(seed) }},
-		{"E7", func() (*Table, error) { return E7RestrictedAsync(seed) }},
-		{"E8", func() (*Table, error) { return E8CoordinateWise(seed) }},
-		{"E9", func() (*Table, error) { return E9WitnessAblation(seed) }},
-		{"E10", func() (*Table, error) { return E10ScaleSweep(seed) }},
-		{"F1", F1Heptagon},
-		{"F2", func() (*Table, error) { return F2ConvergenceSeries(seed) }},
-	}
-	out := make([]*Table, 0, len(exps))
-	for _, e := range exps {
-		tbl, err := e.run()
+	runners := Runners(seed, 20)
+	out := make([]*Table, 0, len(ExperimentOrder))
+	for _, name := range ExperimentOrder {
+		tbl, err := runners[name]()
 		if err != nil {
-			return nil, fmt.Errorf("experiment %s: %w", e.name, err)
+			return nil, fmt.Errorf("experiment %s: %w", strings.ToUpper(name), err)
 		}
 		out = append(out, tbl)
 	}

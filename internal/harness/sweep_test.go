@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"math"
+	"testing"
+
+	"repro"
+)
+
+func TestGammaBudgetExact(t *testing.T) {
+	b := GammaBudget(bvc.ExactSync, 9, 2, 1, 0.05, false)
+	if !b.Full || b.Rounds != 3 {
+		t.Errorf("exact budget = %+v, want full with f+1 = 3 rounds", b)
+	}
+}
+
+func TestGammaBudgetFullWhenAffordable(t *testing.T) {
+	// Witness-optimized async at n = 5, f = 1: γ = 1/25, analytic bound
+	// 75 — over the cap, so even small sweeps run the horizon. A coarse ε
+	// brings the bound under the cap and the budget must stay analytic.
+	b := GammaBudget(bvc.ApproxAsync, 5, 1, 1, 0.5, true)
+	gamma := bvc.Gamma(bvc.ApproxAsync, 5, 1, true)
+	if want := bvc.RoundBound(gamma, 1, 0.5); !b.Full || b.Rounds != want {
+		t.Errorf("budget = %+v, want full analytic bound %d", b, want)
+	}
+}
+
+func TestGammaBudgetHorizonScalesWithGamma(t *testing.T) {
+	// Restricted async at n = 15, f = 2: γ = 1/(15·C(13,9)) ≈ 9.3·10⁻⁵,
+	// analytic bound ≈ 3.2·10⁴ rounds. The γ-aware horizon must be
+	// ⌈log₂(1/γ)⌉, clamped into [4, 24].
+	b := GammaBudget(bvc.RestrictedAsync, 15, 2, 1, 0.05, false)
+	if b.Full {
+		t.Fatalf("budget = %+v, want horizon mode", b)
+	}
+	gamma := bvc.Gamma(bvc.RestrictedAsync, 15, 2, false)
+	want := int(math.Ceil(math.Log2(1 / gamma)))
+	if want > 24 {
+		want = 24
+	}
+	if b.Rounds != want {
+		t.Errorf("horizon = %d, want ⌈log₂(1/γ)⌉ = %d", b.Rounds, want)
+	}
+	if analytic := bvc.RoundBound(gamma, 1, 0.05); analytic < 1000 {
+		t.Errorf("test premise broken: analytic bound %d is not blown up", analytic)
+	}
+	// The horizon grows only polynomially in n while the analytic bound
+	// explodes combinatorially.
+	b17 := GammaBudget(bvc.RestrictedAsync, 17, 2, 1, 0.05, false)
+	if b17.Full || b17.Rounds > 24 {
+		t.Errorf("n=17 budget = %+v, want clamped horizon", b17)
+	}
+}
+
+func TestSweepCellNormalize(t *testing.T) {
+	c, err := SweepCell{Variant: "rsync", D: 2, F: 1, Adversary: "none", Delay: "uniform"}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N != bvc.MinProcesses(bvc.RestrictedSync, 2, 1) {
+		t.Errorf("tight bound n = %d", c.N)
+	}
+	if c.Delay != "none" {
+		t.Errorf("synchronous cell kept delay %q", c.Delay)
+	}
+	if c.Epsilon != 0.05 {
+		t.Errorf("default ε = %g", c.Epsilon)
+	}
+	if _, err := (SweepCell{Variant: "exact", D: 2, F: 2, N: 5, Adversary: "none"}).Normalize(); err == nil {
+		t.Error("below-bound cell normalized without error")
+	}
+	if _, err := (SweepCell{Variant: "warp", D: 2, F: 1, Adversary: "none"}).Normalize(); err == nil {
+		t.Error("unknown variant normalized without error")
+	}
+}
+
+func TestFragileGamma(t *testing.T) {
+	cases := []struct {
+		cell SweepCell
+		want bool
+	}{
+		// Restricted sync at the tight bound: candidate size n−f equals the
+		// Lemma-1 threshold (d+1)f+1 — fragile for f ≥ 2.
+		{SweepCell{Variant: "rsync", N: 11, D: 3, F: 2}, true},
+		{SweepCell{Variant: "rsync", N: 13, D: 3, F: 2}, false}, // above threshold
+		{SweepCell{Variant: "rsync", N: 5, D: 2, F: 1}, false},  // f = 1: Radon path
+		{SweepCell{Variant: "rasync", N: 13, D: 2, F: 2}, true}, // rasync f ≥ 2: always
+		{SweepCell{Variant: "rasync", N: 15, D: 2, F: 2}, true},
+		{SweepCell{Variant: "rasync", N: 9, D: 2, F: 1}, false},
+		{SweepCell{Variant: "exact", N: 9, D: 2, F: 2}, false},
+		{SweepCell{Variant: "approx", N: 9, D: 2, F: 2}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.cell.FragileGamma(); got != tc.want {
+			t.Errorf("FragileGamma(%+v) = %v, want %v", tc.cell, got, tc.want)
+		}
+	}
+}
+
+// TestRunSweepCellFullBudget: an exact cell runs to termination and
+// verifies under the full regime.
+func TestRunSweepCellFullBudget(t *testing.T) {
+	out, err := RunSweepCell(SweepCell{Variant: "exact", D: 2, F: 1, Adversary: "equivocate", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Verified || out.VerifyMode != "exact" || !out.Budget.Full {
+		t.Errorf("outcome %+v, want verified full-budget exact run", out)
+	}
+	if out.Rounds != out.Cell.F+1 {
+		t.Errorf("rounds = %d, want f+1 = %d", out.Rounds, out.Cell.F+1)
+	}
+}
+
+// TestRunSweepCellHorizonBudget: a restricted cell over the cap runs the
+// γ-horizon and is judged by contraction + validity.
+func TestRunSweepCellHorizonBudget(t *testing.T) {
+	out, err := RunSweepCell(SweepCell{Variant: "rsync", D: 2, F: 1, Adversary: "lure", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Budget.Full {
+		t.Fatalf("budget %+v, want horizon mode", out.Budget)
+	}
+	if out.Rounds != out.Budget.Rounds {
+		t.Errorf("executed %d rounds, budget %d", out.Rounds, out.Budget.Rounds)
+	}
+	if !out.Verified || out.VerifyMode != "contraction+validity" || !out.Contracted || !out.ValidOK {
+		t.Errorf("outcome %+v, want contracted and valid", out)
+	}
+	if !(out.SpreadEnd < out.SpreadStart) {
+		t.Errorf("range did not contract: %g → %g", out.SpreadStart, out.SpreadEnd)
+	}
+}
+
+// TestRunSweepCellDeterministic: identical cells produce identical
+// measured outcomes (the property resume and shard merging rely on).
+func TestRunSweepCellDeterministic(t *testing.T) {
+	cell := SweepCell{Variant: "approx", D: 2, F: 1, Adversary: "mixed", Delay: "exponential", Seed: 11}
+	a, err := RunSweepCell(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSweepCell(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Messages != b.Messages || a.Rounds != b.Rounds ||
+		a.SpreadStart != b.SpreadStart || a.SpreadEnd != b.SpreadEnd || a.Verified != b.Verified {
+		t.Errorf("re-run diverged:\n%+v\n%+v", a, b)
+	}
+}

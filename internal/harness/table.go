@@ -1,8 +1,12 @@
 // Package harness turns the paper's claims into runnable experiments: each
-// experiment E1–E9/F1 (see DESIGN.md §3) executes workloads on the
-// simulator, measures outcomes, and renders a table comparing the paper's
-// claim with the measured result. cmd/bvcbench regenerates all of them; the
-// test suite asserts their pass/fail verdicts.
+// experiment E1–E10 and figure F1/F2 executes workloads on the simulator,
+// measures outcomes, and renders a table comparing the paper's claim with
+// the measured result (the README's experiment table summarizes them).
+// cmd/bvcbench regenerates all of them; the test suite asserts their
+// pass/fail verdicts. The package also provides the shared experiment
+// registry (Runners, ExperimentOrder), the BENCH hardware-calibration
+// kernel (Calibrate), and the sweep-cell substrate cmd/bvcsweep executes
+// grids with (SweepCell, RunSweepCell, GammaBudget).
 package harness
 
 import (

@@ -8,7 +8,8 @@
 // approximate algorithms collect points of Γ(Φ(C)) per round.
 //
 // Three point-selection strategies are provided and benchmarked as an
-// ablation (DESIGN.md §5):
+// ablation (BenchmarkSafePoint in the root package; docs/ARCHITECTURE.md
+// describes the auto-selection ladder):
 //
 //   - MethodLexMinLP: the paper's §2.2 linear program, extended to return
 //     the lexicographically minimal point (deterministic across processes).

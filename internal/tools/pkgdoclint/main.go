@@ -1,0 +1,184 @@
+// Command pkgdoclint enforces the repository's documentation floor, as a
+// CI lint step next to gofmt/vet/staticcheck:
+//
+//   - every package (including every internal/* package and every command)
+//     must carry a package doc comment, and
+//   - every exported top-level declaration of the public library package
+//     (the module root: sim.go, bvc.go, geometry.go, live.go) must carry a
+//     doc comment.
+//
+// Usage: go run ./internal/tools/pkgdoclint [dir]  (dir defaults to ".")
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	problems, err := lint(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pkgdoclint:", err)
+		os.Exit(1)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		fmt.Fprintf(os.Stderr, "pkgdoclint: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// pkgFiles is one package's parsed (non-test) files.
+type pkgFiles struct {
+	dir   string
+	name  string
+	files []*ast.File
+	fset  *token.FileSet
+}
+
+func lint(root string) ([]string, error) {
+	byDir := map[string][]string{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			byDir[dir] = append(byDir[dir], path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	for d := range byDir {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+
+	var problems []string
+	for _, dir := range dirs {
+		sort.Strings(byDir[dir])
+		pkgs := map[string]*pkgFiles{}
+		fset := token.NewFileSet()
+		for _, path := range byDir[dir] {
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+			name := f.Name.Name
+			p := pkgs[name]
+			if p == nil {
+				p = &pkgFiles{dir: dir, name: name, fset: fset}
+				pkgs[name] = p
+			}
+			p.files = append(p.files, f)
+		}
+		var names []string
+		for name := range pkgs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			p := pkgs[name]
+			hasDoc := false
+			for _, f := range p.files {
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					hasDoc = true
+				}
+			}
+			if !hasDoc {
+				problems = append(problems, fmt.Sprintf("%s: package %s has no package doc comment", dir, name))
+			}
+			// The public library package documents every exported
+			// declaration; internal packages and commands only need the
+			// package comment (their exported docs are encouraged, not
+			// gated, to keep the lint actionable).
+			if name != "main" && !strings.Contains(dir, "internal") && !strings.Contains(dir, "examples") {
+				problems = append(problems, checkExported(p)...)
+			}
+		}
+	}
+	return problems, nil
+}
+
+// checkExported reports exported top-level declarations without doc
+// comments. Grouped specs (var/const blocks, multi-name specs) count as
+// documented when the enclosing GenDecl carries the comment, matching
+// godoc's rendering.
+func checkExported(p *pkgFiles) []string {
+	var problems []string
+	report := func(pos token.Pos, kind, name string) {
+		pp := p.fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", pp.Filename, pp.Line, kind, name))
+	}
+	for _, f := range p.files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil {
+					name := d.Name.Name
+					if d.Recv != nil {
+						name = recvName(d.Recv) + "." + name
+					}
+					report(d.Pos(), "function", name)
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE && d.Tok != token.VAR && d.Tok != token.CONST {
+					continue
+				}
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && s.Doc == nil && d.Doc == nil {
+							report(s.Pos(), "type", s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, n := range s.Names {
+							if n.IsExported() && s.Doc == nil && d.Doc == nil && s.Comment == nil {
+								report(n.Pos(), d.Tok.String(), n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+func recvName(fl *ast.FieldList) string {
+	if len(fl.List) == 0 {
+		return "?"
+	}
+	switch t := fl.List[0].Type.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return "?"
+}
