@@ -44,9 +44,12 @@ import (
 func main() {
 	args := os.Args[1:]
 	var err error
-	if len(args) > 0 && args[0] == "merge" {
+	switch {
+	case len(args) > 0 && args[0] == "merge":
 		err = runMerge(args[1:], os.Stdout, os.Stderr)
-	} else {
+	case len(args) > 0 && args[0] == "reuse":
+		err = runReuse(args[1:], os.Stdout)
+	default:
 		err = run(args, os.Stdout)
 	}
 	if err != nil {
@@ -66,6 +69,14 @@ type record struct {
 	Pass        bool    `json:"pass"`
 	Seconds     float64 `json:"seconds"`
 	GoMaxProcs  int     `json:"gomaxprocs"`
+
+	// Γ-engine reuse counters (docs/BENCH_FORMAT.md); consumed by the
+	// `benchdiff reuse` report and gate.
+	GammaSolves     int64   `json:"gamma_solves"`
+	GammaCacheHits  int64   `json:"gamma_cache_hits"`
+	GammaPrefixHits int64   `json:"gamma_prefix_hits"`
+	GammaRoundHits  int64   `json:"gamma_round_hits"`
+	GammaReuseRate  float64 `json:"gamma_reuse_rate"`
 }
 
 func run(args []string, w io.Writer) error {
@@ -102,7 +113,18 @@ func run(args []string, w io.Writer) error {
 	// workload is single-threaded, so the scale captures per-core speed
 	// only; a core-count mismatch between the two machines shifts the
 	// parallel experiments independently of code changes — surface it.
+	// Allocation counts get their own scale from the calibration record's
+	// allocs/op: allocation behavior is essentially hardware-independent,
+	// so the scale is ~1 unless the runtime or measurement protocol
+	// changed between the recordings — which is exactly the delta it
+	// absorbs. The ratio is only meaningful when the calibration's own
+	// count is large enough that ±1-alloc jitter cannot move it by the
+	// gate threshold (the fixed kernel allocates a handful per op, where a
+	// single-alloc wobble is a 25–33% ratio swing); below the floor the
+	// scale stays 1.
+	const minCalibAllocs = 64 // ±1 alloc shifts the ratio < 1.6%, ≪ the 25% gate
 	scale := 1.0
+	allocScale := 1.0
 	if *calibration != "" {
 		b, bok := base[*calibration]
 		c, cok := cand[*calibration]
@@ -110,6 +132,9 @@ func run(args []string, w io.Writer) error {
 			scale = float64(c.NsPerOp) / float64(b.NsPerOp)
 			fmt.Fprintf(w, "calibration: %s %d → %d ns/op (hardware scale ×%.3f)\n",
 				*calibration, b.NsPerOp, c.NsPerOp, scale)
+			if b.AllocsPerOp >= minCalibAllocs && c.AllocsPerOp >= minCalibAllocs {
+				allocScale = float64(c.AllocsPerOp) / float64(b.AllocsPerOp)
+			}
 			if b.GoMaxProcs > 0 && c.GoMaxProcs > 0 && b.GoMaxProcs != c.GoMaxProcs {
 				fmt.Fprintf(w, "warning: GOMAXPROCS %d (baseline) vs %d (candidate); parallel benchmarks shift by the core-count ratio on top of any code change\n",
 					b.GoMaxProcs, c.GoMaxProcs)
@@ -128,20 +153,33 @@ func run(args []string, w io.Writer) error {
 	sort.Strings(names)
 
 	var failures []string
-	fmt.Fprintf(w, "%-24s %14s %14s %9s\n", "benchmark", "baseline ns/op", "candidate ns/op", "delta")
+	fmt.Fprintf(w, "%-24s %14s %14s %9s %11s\n", "benchmark", "baseline ns/op", "candidate ns/op", "delta", "allocs Δ")
 	for _, name := range names {
 		b := base[name]
 		c, ok := cand[name]
 		if !ok {
 			failures = append(failures, fmt.Sprintf("%s: present in baseline, missing from candidate (regenerate the baseline if it was removed on purpose)", name))
-			fmt.Fprintf(w, "%-24s %14d %14s %9s\n", name, b.NsPerOp, "-", "MISSING")
+			fmt.Fprintf(w, "%-24s %14d %14s %9s %11s\n", name, b.NsPerOp, "-", "MISSING", "-")
 			continue
 		}
 		if !c.Pass {
 			failures = append(failures, fmt.Sprintf("%s: candidate record reports pass=false", name))
 		}
+		// Allocation gate: same threshold, calibration-normalized. Records
+		// without allocation instrumentation on either side (single-run
+		// grid cells report 0) are not gated.
+		allocVerdict := "-"
+		if b.AllocsPerOp > 0 && c.AllocsPerOp > 0 {
+			allocDelta := float64(c.AllocsPerOp)/(float64(b.AllocsPerOp)*allocScale) - 1
+			allocVerdict = fmt.Sprintf("%+.1f%%", allocDelta*100)
+			if allocDelta > *threshold {
+				allocVerdict += "!"
+				failures = append(failures, fmt.Sprintf("%s: allocs/op %.1f%% above baseline (threshold %.0f%%)",
+					name, allocDelta*100, *threshold*100))
+			}
+		}
 		if b.NsPerOp <= 0 {
-			fmt.Fprintf(w, "%-24s %14d %14d %9s\n", name, b.NsPerOp, c.NsPerOp, "SKIP")
+			fmt.Fprintf(w, "%-24s %14d %14d %9s %11s\n", name, b.NsPerOp, c.NsPerOp, "SKIP", allocVerdict)
 			continue
 		}
 		delta := float64(c.NsPerOp)/(float64(b.NsPerOp)*scale) - 1
@@ -151,14 +189,14 @@ func run(args []string, w io.Writer) error {
 			failures = append(failures, fmt.Sprintf("%s: %.1f%% slower than baseline (threshold %.0f%%)",
 				name, delta*100, *threshold*100))
 		}
-		fmt.Fprintf(w, "%-24s %14d %14d %9s\n", name, b.NsPerOp, c.NsPerOp, verdict)
+		fmt.Fprintf(w, "%-24s %14d %14d %9s %11s\n", name, b.NsPerOp, c.NsPerOp, verdict, allocVerdict)
 	}
 	for name := range cand {
 		if name == *calibration {
 			continue
 		}
 		if _, ok := base[name]; !ok {
-			fmt.Fprintf(w, "%-24s %14s %14d %9s\n", name, "-", cand[name].NsPerOp, "NEW")
+			fmt.Fprintf(w, "%-24s %14s %14d %9s %11s\n", name, "-", cand[name].NsPerOp, "NEW", "-")
 		}
 	}
 	if len(failures) > 0 {

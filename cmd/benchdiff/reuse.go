@@ -1,0 +1,87 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// runReuse implements `benchdiff reuse`: a benchstat-style summary of the
+// Γ-engine reuse counters carried by a BENCH trajectory (gamma_solves,
+// gamma_cache_hits, gamma_prefix_hits, gamma_round_hits, gamma_reuse_rate —
+// see docs/BENCH_FORMAT.md). CI uploads the summary as a build artifact.
+//
+// With -require <prefix>[,<prefix>…], every record whose name starts with a
+// listed prefix must show a nonzero reuse counter (cache, prefix or round
+// hits); an all-zero record fails the command. This is the guard against the
+// incremental Γ path silently regressing to from-scratch solves: the e10
+// rows always re-solve identical candidate sets across processes, so a zero
+// counter there means the memo keys stopped matching, not that there was
+// nothing to reuse.
+func runReuse(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff reuse", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: benchdiff reuse [flags] trajectory.json")
+		fmt.Fprintln(fs.Output(), "counter semantics: docs/BENCH_FORMAT.md")
+		fs.PrintDefaults()
+	}
+	require := fs.String("require", "", "comma-separated record-name prefixes that must show nonzero Γ reuse")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("reuse: exactly one trajectory file expected, got %d", fs.NArg())
+	}
+	recs, err := readRecords(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(recs))
+	for name := range recs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var prefixes []string
+	for _, p := range strings.Split(*require, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			prefixes = append(prefixes, p)
+		}
+	}
+
+	var failures []string
+	matched := make(map[string]bool)
+	fmt.Fprintf(w, "%-24s %12s %12s %12s %12s %8s\n",
+		"benchmark", "solves/op", "cache hits", "prefix hits", "round hits", "reuse")
+	for _, name := range names {
+		r := recs[name]
+		reused := r.GammaCacheHits + r.GammaPrefixHits + r.GammaRoundHits
+		if r.GammaSolves == 0 && reused == 0 {
+			continue // Γ-free record (calibrate, closed-form experiments)
+		}
+		fmt.Fprintf(w, "%-24s %12d %12d %12d %12d %7.1f%%\n",
+			name, r.GammaSolves, r.GammaCacheHits, r.GammaPrefixHits, r.GammaRoundHits,
+			r.GammaReuseRate*100)
+		for _, p := range prefixes {
+			if strings.HasPrefix(name, p) {
+				matched[p] = true
+				if reused == 0 {
+					failures = append(failures, fmt.Sprintf(
+						"%s: incremental Γ path shows zero reuse (cache/prefix/round hits all 0) — the fast path regressed to from-scratch solves", name))
+				}
+			}
+		}
+	}
+	for _, p := range prefixes {
+		if !matched[p] {
+			failures = append(failures, fmt.Sprintf("required prefix %q matches no record with Γ activity", p))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d reuse failure(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	return nil
+}

@@ -59,6 +59,16 @@ type benchRecord struct {
 	Pass        bool    `json:"pass"`
 	Seconds     float64 `json:"seconds"`
 	GoMaxProcs  int     `json:"gomaxprocs"`
+
+	// Γ-engine reuse counters (per-op: measured deltas divided by the
+	// iteration count) and the derived reuse rate; see
+	// docs/BENCH_FORMAT.md. Zero-valued fields are omitted so records of
+	// Γ-free targets (calibrate) stay unchanged.
+	GammaSolves     int64   `json:"gamma_solves,omitempty"`
+	GammaCacheHits  int64   `json:"gamma_cache_hits,omitempty"`
+	GammaPrefixHits int64   `json:"gamma_prefix_hits,omitempty"`
+	GammaRoundHits  int64   `json:"gamma_round_hits,omitempty"`
+	GammaReuseRate  float64 `json:"gamma_reuse_rate,omitempty"`
 }
 
 func run(args []string) error {
@@ -108,13 +118,21 @@ func run(args []string) error {
 			if n == "e10" {
 				// The scale sweep is also measured with serial node
 				// stepping, so the trajectory records the speedup of
-				// SimOptions.NodeWorkers on the n = 13 grids.
+				// SimOptions.NodeWorkers on the n = 13 grids — and its
+				// restricted/async n = 15 rows are measured individually,
+				// tracking the incremental Γ engine's hot path per row.
 				targets = append(targets, benchTarget{
 					name: "e10/nodeworkers=1",
 					run: func() (*harness.Table, error) {
 						return harness.RunSerialNodes(runners["e10"])
 					},
 				})
+				for _, cell := range harness.E10RowCells {
+					targets = append(targets, benchTarget{
+						name: harness.E10RowName(cell),
+						run:  harness.E10RowRunner(cell),
+					})
+				}
 			}
 		}
 		return benchJSON(os.Stdout, targets)
@@ -172,7 +190,7 @@ type benchTarget struct {
 func benchJSON(w *os.File, targets []benchTarget) error {
 	enc := json.NewEncoder(w)
 	for _, target := range targets {
-		tbl, br, rerr := harness.MeasureTable(target.run)
+		tbl, br, counters, rerr := harness.MeasureTable(target.run)
 		if rerr != nil {
 			return fmt.Errorf("%s: %w", target.name, rerr)
 		}
@@ -185,6 +203,13 @@ func benchJSON(w *os.File, targets []benchTarget) error {
 			Pass:        tbl != nil && tbl.Pass,
 			Seconds:     br.T.Seconds(),
 			GoMaxProcs:  runtime.GOMAXPROCS(0),
+
+			// MeasureTable's counters are already per-op.
+			GammaSolves:     int64(counters.Solves),
+			GammaCacheHits:  int64(counters.CacheHits),
+			GammaPrefixHits: int64(counters.PrefixHits),
+			GammaRoundHits:  int64(counters.RoundHits),
+			GammaReuseRate:  counters.ReuseRate(),
 		}
 		if err := enc.Encode(rec); err != nil {
 			return err

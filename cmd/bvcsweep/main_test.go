@@ -122,7 +122,9 @@ func TestExpandExperimentsAndSlack(t *testing.T) {
 		names = append(names, u.Name)
 	}
 	want := []string{
-		"e1", "e10", "e10/nodeworkers=1", // experiments lead, e10 brings its serial companion
+		// Experiments lead; e10 brings its serial companion and the
+		// committed n = 15 restricted/async row measurements.
+		"e1", "e10", "e10/nodeworkers=1", "e10/rsync-n15", "e10/approx-n15",
 		"sweep/exact/n4d2f1/none/none/s1",
 		"sweep/exact/n5d2f1/none/none/s1",
 		"sweep/exact/n6d2f1/none/none/s1", // n=11 dropped: slack 7 > 2

@@ -23,6 +23,14 @@ type record struct {
 	Seconds     float64 `json:"seconds"`
 	GoMaxProcs  int     `json:"gomaxprocs"`
 
+	// Γ-engine reuse counters (per-op) and derived reuse rate, mirroring
+	// cmd/bvcbench's record fields.
+	GammaSolves     int64   `json:"gamma_solves,omitempty"`
+	GammaCacheHits  int64   `json:"gamma_cache_hits,omitempty"`
+	GammaPrefixHits int64   `json:"gamma_prefix_hits,omitempty"`
+	GammaRoundHits  int64   `json:"gamma_round_hits,omitempty"`
+	GammaReuseRate  float64 `json:"gamma_reuse_rate,omitempty"`
+
 	// Host and Shard are shard provenance: which machine measured the
 	// record and which shard of the sweep it belongs to. benchdiff merge
 	// preserves them and reconciles cross-host speed differences by the
@@ -54,13 +62,21 @@ type unitResult struct {
 	VerifyMode   string  `json:"verify_mode"`
 	SpreadStart  float64 `json:"spread_start,omitempty"`
 	SpreadEnd    float64 `json:"spread_end,omitempty"`
+	// Reps is the per-cell repetition count (spec "reps", ≥ 2 only when
+	// configured); NsPerOpMean is the mean wall time across the reps. With
+	// reps, the record's ns_per_op is the MINIMUM across reps — the stable
+	// quantity for regression gating — and mean−min spread estimates the
+	// cell's timing variance.
+	Reps        int   `json:"reps,omitempty"`
+	NsPerOpMean int64 `json:"ns_per_op_mean,omitempty"`
 }
 
 // runUnit executes one work unit and returns its record. Grid cells run
-// once, cold-cache, and report wall time (iterations = 1); experiment
-// units run under the standard benchmark machinery exactly like
-// bvcbench -json, so their ns/op stays comparable with bvcbench-recorded
-// baselines.
+// cold-cache and report wall time (iterations = 1); with spec reps > 1 the
+// cell runs that many times and reports min (gated) plus mean (variance
+// estimate). Experiment units — including the e10 per-row cells — run under
+// the standard benchmark machinery exactly like bvcbench -json, so their
+// ns/op stays comparable with bvcbench-recorded baselines.
 func runUnit(u Unit, spec *Spec, host string, shard int) (record, error) {
 	rec := record{
 		Benchmark:  u.Name,
@@ -70,17 +86,43 @@ func runUnit(u Unit, spec *Spec, host string, shard int) (record, error) {
 	}
 	switch u.Kind {
 	case UnitCell:
-		bvc.ResetEngineCaches()
-		start := time.Now()
-		out, err := harness.RunSweepCell(u.Cell)
-		elapsed := time.Since(start)
-		if err != nil {
-			return rec, err
+		reps := spec.Reps
+		if reps < 1 {
+			reps = 1
 		}
+		var (
+			out     *harness.SweepOutcome
+			minNs   int64
+			totalNs int64
+			seconds float64
+		)
+		countersBefore := bvc.EngineGammaCounters()
+		for rep := 0; rep < reps; rep++ {
+			bvc.ResetEngineCaches()
+			start := time.Now()
+			o, err := harness.RunSweepCell(u.Cell)
+			elapsed := time.Since(start)
+			if err != nil {
+				return rec, err
+			}
+			out = o
+			ns := elapsed.Nanoseconds()
+			totalNs += ns
+			seconds += elapsed.Seconds()
+			if rep == 0 || ns < minNs {
+				minNs = ns
+			}
+		}
+		counters := bvc.EngineGammaCounters().Sub(countersBefore)
 		rec.Iterations = 1
-		rec.NsPerOp = elapsed.Nanoseconds()
-		rec.Seconds = elapsed.Seconds()
+		rec.NsPerOp = minNs
+		rec.Seconds = seconds
 		rec.Pass = out.Verified
+		rec.GammaSolves = int64(counters.Solves) / int64(reps)
+		rec.GammaCacheHits = int64(counters.CacheHits) / int64(reps)
+		rec.GammaPrefixHits = int64(counters.PrefixHits) / int64(reps)
+		rec.GammaRoundHits = int64(counters.RoundHits) / int64(reps)
+		rec.GammaReuseRate = counters.ReuseRate()
 		rec.Unit = &unitResult{
 			Variant: out.Cell.Variant, N: out.Cell.N, D: out.Cell.D, F: out.Cell.F,
 			Adversary: out.Cell.Adversary, Delay: out.Cell.Delay,
@@ -88,6 +130,10 @@ func runUnit(u Unit, spec *Spec, host string, shard int) (record, error) {
 			Budget: out.Budget.Mode(), BudgetRounds: out.Budget.Rounds, Gamma: out.Budget.Gamma,
 			Rounds: out.Rounds, Messages: out.Messages, VerifyMode: out.VerifyMode,
 			SpreadStart: out.SpreadStart, SpreadEnd: out.SpreadEnd,
+		}
+		if reps > 1 {
+			rec.Unit.Reps = reps
+			rec.Unit.NsPerOpMean = totalNs / int64(reps)
 		}
 		return rec, nil
 
@@ -97,25 +143,39 @@ func runUnit(u Unit, spec *Spec, host string, shard int) (record, error) {
 			inner := run
 			run = func() (*harness.Table, error) { return harness.RunSerialNodes(inner) }
 		}
-		tbl, br, err := harness.MeasureTable(run)
-		if err != nil {
-			return rec, err
-		}
-		rec.Iterations = br.N
-		rec.NsPerOp = br.NsPerOp()
-		rec.AllocsPerOp = br.AllocsPerOp()
-		rec.BytesPerOp = br.AllocedBytesPerOp()
-		rec.Seconds = br.T.Seconds()
-		rec.Pass = tbl != nil && tbl.Pass
-		return rec, nil
+		return measureRecord(rec, run)
+
+	case UnitE10Row:
+		return measureRecord(rec, harness.E10RowRunner(u.Cell))
 	}
 	rec.Pass = false
 	return rec, nil
 }
 
+// measureRecord fills rec from one MeasureTable run of the given runner.
+func measureRecord(rec record, run func() (*harness.Table, error)) (record, error) {
+	tbl, br, counters, err := harness.MeasureTable(run)
+	if err != nil {
+		return rec, err
+	}
+	rec.Iterations = br.N
+	rec.NsPerOp = br.NsPerOp()
+	rec.AllocsPerOp = br.AllocsPerOp()
+	rec.BytesPerOp = br.AllocedBytesPerOp()
+	rec.Seconds = br.T.Seconds()
+	rec.Pass = tbl != nil && tbl.Pass
+	// MeasureTable's counters are already per-op.
+	rec.GammaSolves = int64(counters.Solves)
+	rec.GammaCacheHits = int64(counters.CacheHits)
+	rec.GammaPrefixHits = int64(counters.PrefixHits)
+	rec.GammaRoundHits = int64(counters.RoundHits)
+	rec.GammaReuseRate = counters.ReuseRate()
+	return rec, nil
+}
+
 // calibrateRecord measures the shared calibration kernel for this shard.
 func calibrateRecord(host string, shard int) (record, error) {
-	tbl, br, err := harness.MeasureTable(harness.Calibrate)
+	tbl, br, _, err := harness.MeasureTable(harness.Calibrate)
 	if err != nil {
 		return record{}, err
 	}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// TestRunUnitReps: with spec reps ≥ 2, a grid cell runs that many times and
+// its record carries ns_per_op = min across reps plus the (reps,
+// ns_per_op_mean) variance estimate; reps = 0/1 leaves the record shape
+// unchanged (fields omitted).
+func TestRunUnitReps(t *testing.T) {
+	cell, err := harness.SweepCell{Variant: "exact", D: 2, F: 1, Adversary: "none", Seed: 1}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := Unit{Name: cell.Name(), Kind: UnitCell, Cell: cell}
+
+	rec, err := runUnit(unit, &Spec{Reps: 3}, "host", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Pass {
+		t.Fatal("cell did not verify")
+	}
+	if rec.Unit == nil || rec.Unit.Reps != 3 {
+		t.Fatalf("unit payload reps = %+v, want 3", rec.Unit)
+	}
+	if rec.Unit.NsPerOpMean < rec.NsPerOp {
+		t.Fatalf("mean %d below min %d", rec.Unit.NsPerOpMean, rec.NsPerOp)
+	}
+	if rec.NsPerOp <= 0 {
+		t.Fatalf("ns_per_op = %d", rec.NsPerOp)
+	}
+
+	single, err := runUnit(unit, &Spec{}, "host", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Unit.Reps != 0 || single.Unit.NsPerOpMean != 0 {
+		t.Fatalf("reps fields must be omitted for single runs, got %+v", single.Unit)
+	}
+}
+
+// TestRunUnitE10Row: the e10 per-row unit measures a committed E10 cell
+// under the benchmark protocol and reports Γ reuse counters.
+func TestRunUnitE10Row(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n = 15 row measurement in -short mode")
+	}
+	cell, err := harness.E10RowCells[0].Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := Unit{Name: harness.E10RowName(cell), Kind: UnitE10Row, Cell: cell}
+	rec, err := runUnit(unit, &Spec{}, "host", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Pass {
+		t.Fatal("E10 row did not verify")
+	}
+	if rec.Benchmark != "e10/rsync-n15" {
+		t.Fatalf("benchmark = %q", rec.Benchmark)
+	}
+	if rec.GammaCacheHits+rec.GammaPrefixHits+rec.GammaRoundHits == 0 {
+		t.Fatal("E10 row shows no Γ reuse — the incremental path is cold")
+	}
+}

@@ -50,6 +50,13 @@ type Spec struct {
 	// mirroring bvcbench -json, so merged trajectories carry every record
 	// a bvcbench-recorded baseline holds.
 	Experiments []string `json:"experiments"`
+	// Reps is the per-cell repetition count for grid cells (default 1).
+	// With Reps ≥ 2 every cell runs that many times, cold-cache each time;
+	// the record's ns_per_op is the minimum across reps (the stable
+	// quantity to gate on) and the unit payload carries reps and
+	// ns_per_op_mean as a variance estimate. Experiment units are
+	// unaffected (testing.Benchmark already iterates them).
+	Reps int `json:"reps,omitempty"`
 	// IncludeFragile keeps grid cells in the Γ-solver's known fragile
 	// regime (harness.SweepCell.FragileGamma: restricted cells with f ≥ 2
 	// at or — for rasync — above the Lemma-1 threshold). They are skipped
@@ -71,6 +78,10 @@ type UnitKind string
 const (
 	UnitCell       UnitKind = "cell"
 	UnitExperiment UnitKind = "experiment"
+	// UnitE10Row is one committed E10 restricted/async row (an
+	// harness.E10RowCells entry) measured as an individual benchmark
+	// record, mirroring bvcbench -json's "e10/<variant>-n<n>" targets.
+	UnitE10Row UnitKind = "e10row"
 )
 
 // Unit is one schedulable work item of a sweep. Units are produced in a
@@ -183,6 +194,13 @@ func (s *Spec) Expand() ([]Unit, error) {
 			add(Unit{Name: name, Kind: UnitExperiment, Experiment: name})
 			if name == "e10" {
 				add(Unit{Name: "e10/nodeworkers=1", Kind: UnitExperiment, Experiment: "e10", SerialNodes: true})
+				for _, cell := range harness.E10RowCells {
+					norm, err := cell.Normalize()
+					if err != nil {
+						return nil, fmt.Errorf("spec: e10 row: %w", err)
+					}
+					add(Unit{Name: harness.E10RowName(norm), Kind: UnitE10Row, Cell: norm})
+				}
 			}
 		}
 	}

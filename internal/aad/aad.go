@@ -89,17 +89,31 @@ type Coordinator struct {
 	rounds map[int]*roundState
 }
 
+// roundState tracks one round's exchange with flat, origin-indexed state and
+// an incrementally maintained witness count, so the per-message completion
+// check is O(1) instead of an O(n²) rescan of every reporter's sequence.
 type roundState struct {
 	started   bool
 	completed bool
 
-	deliveredVal map[sim.ProcID]geometry.Vector
-	order        []sim.ProcID // delivery order of origins
+	deliveredVal []geometry.Vector // by origin; nil = not yet delivered
+	order        []sim.ProcID      // delivery order of origins
 
-	reportSeen map[sim.ProcID]map[sim.ProcID]bool // reporter → origins seen
-	reportSeq  map[sim.ProcID][]sim.ProcID        // reporter → origins in FIFO order
+	reportSeen [][]bool       // reporter → origin → reported
+	reportSeq  [][]sim.ProcID // reporter → origins in FIFO order
+	// missing[r] counts reporter r's reported origins not yet delivered
+	// here. Reporter r is a witness iff len(reportSeq[r]) ≥ quorum and
+	// missing[r] == 0 — exactly the predicate the completion scan used to
+	// recompute. witnesses counts reporters currently satisfying it.
+	missing   []int
+	witnesses int
 
 	result *Result
+}
+
+// isWitness reports the (non-monotone) witness predicate for reporter r.
+func (st *roundState) isWitness(r int, quorum int) bool {
+	return len(st.reportSeq[r]) >= quorum && st.missing[r] == 0
 }
 
 // NewCoordinator builds the exchange coordinator for process self among n
@@ -168,11 +182,23 @@ func (c *Coordinator) handleRBC(from sim.ProcID, rm broadcast.RBCMsg) ([]Msg, []
 	var results []Result
 	for _, d := range deliveries {
 		st := c.round(d.Tag)
-		if _, dup := st.deliveredVal[d.Origin]; dup {
+		if st.deliveredVal[d.Origin] != nil {
 			continue // RBC integrity makes this impossible; belt and braces
 		}
 		st.deliveredVal[d.Origin] = d.Value
 		st.order = append(st.order, d.Origin)
+		// The delivery may clear the last missing origin of any reporter
+		// that already reported it.
+		for r := 0; r < c.n; r++ {
+			if !st.reportSeen[r][d.Origin] {
+				continue
+			}
+			wasWitness := st.isWitness(r, c.quorum)
+			st.missing[r]--
+			if !wasWitness && st.isWitness(r, c.quorum) {
+				st.witnesses++
+			}
+		}
 		// Report the addition to everyone (FIFO links preserve order).
 		out = append(out, Msg{Kind: KindReport, Report: ReportMsg{Round: d.Tag, Origin: d.Origin}})
 		if res := c.checkCompletion(st, d.Tag); res != nil {
@@ -183,51 +209,46 @@ func (c *Coordinator) handleRBC(from sim.ProcID, rm broadcast.RBCMsg) ([]Msg, []
 }
 
 func (c *Coordinator) handleReport(from sim.ProcID, rep ReportMsg) *Result {
-	if int(rep.Origin) < 0 || int(rep.Origin) >= c.n {
+	if int(rep.Origin) < 0 || int(rep.Origin) >= c.n || int(from) < 0 || int(from) >= c.n {
 		return nil
 	}
 	st := c.round(rep.Round)
-	seen := st.reportSeen[from]
-	if seen == nil {
-		seen = make(map[sim.ProcID]bool, c.n)
-		st.reportSeen[from] = seen
-	}
-	if seen[rep.Origin] {
+	r := int(from)
+	if st.reportSeen[r][rep.Origin] {
 		return nil // duplicate report (only Byzantine processes repeat)
 	}
-	seen[rep.Origin] = true
-	st.reportSeq[from] = append(st.reportSeq[from], rep.Origin)
+	wasWitness := st.isWitness(r, c.quorum)
+	st.reportSeen[r][rep.Origin] = true
+	st.reportSeq[r] = append(st.reportSeq[r], rep.Origin)
+	if st.deliveredVal[rep.Origin] == nil {
+		st.missing[r]++
+	}
+	if now := st.isWitness(r, c.quorum); now != wasWitness {
+		if now {
+			st.witnesses++
+		} else {
+			st.witnesses-- // a report of an undelivered origin suspends the witness
+		}
+	}
 	return c.checkCompletion(st, rep.Round)
 }
 
-// checkCompletion recomputes the witness set; on reaching n−f witnesses it
-// freezes the round result.
+// checkCompletion consults the incrementally maintained witness count; on
+// reaching n−f witnesses it freezes the round result, materializing the
+// witness prefixes in reporter-id order exactly as the previous full rescan
+// did.
 func (c *Coordinator) checkCompletion(st *roundState, round int) *Result {
-	if st.completed || !st.started {
+	if st.completed || !st.started || st.witnesses < c.quorum {
 		return nil
 	}
-	var prefixes [][]sim.ProcID
+	prefixes := make([][]sim.ProcID, 0, st.witnesses)
 	for reporter := 0; reporter < c.n; reporter++ {
-		seq := st.reportSeq[sim.ProcID(reporter)]
-		if len(seq) < c.quorum {
-			continue
-		}
-		all := true
-		for _, origin := range seq {
-			if _, ok := st.deliveredVal[origin]; !ok {
-				all = false
-				break
-			}
-		}
-		if !all {
+		if !st.isWitness(reporter, c.quorum) {
 			continue
 		}
 		prefix := make([]sim.ProcID, c.quorum)
-		copy(prefix, seq[:c.quorum])
+		copy(prefix, st.reportSeq[reporter][:c.quorum])
 		prefixes = append(prefixes, prefix)
-	}
-	if len(prefixes) < c.quorum {
-		return nil
 	}
 	st.completed = true
 	tuples := make([]Tuple, len(st.order))
@@ -250,10 +271,16 @@ func (c *Coordinator) Completed(t int) (*Result, bool) {
 func (c *Coordinator) round(t int) *roundState {
 	st := c.rounds[t]
 	if st == nil {
+		seen := make([][]bool, c.n)
+		flat := make([]bool, c.n*c.n)
+		for i := range seen {
+			seen[i] = flat[i*c.n : (i+1)*c.n]
+		}
 		st = &roundState{
-			deliveredVal: make(map[sim.ProcID]geometry.Vector, c.n),
-			reportSeen:   make(map[sim.ProcID]map[sim.ProcID]bool, c.n),
-			reportSeq:    make(map[sim.ProcID][]sim.ProcID, c.n),
+			deliveredVal: make([]geometry.Vector, c.n),
+			reportSeen:   seen,
+			reportSeq:    make([][]sim.ProcID, c.n),
+			missing:      make([]int, c.n),
 		}
 		c.rounds[t] = st
 	}

@@ -67,6 +67,8 @@ type RBC struct {
 	self  sim.ProcID
 	dim   int
 	insts map[rbcKey]*rbcInst
+
+	keyBuf []byte // scratch for bit-exact value keys (no per-message alloc)
 }
 
 type rbcKey struct {
@@ -78,17 +80,24 @@ type rbcInst struct {
 	echoed    bool
 	readied   bool
 	delivered bool
-	// echoFrom / readyFrom record the first echo/ready value key per
-	// process: correct processes send at most one of each, and counting a
+	// echoFrom / readyFrom mark processes whose echo/ready was already
+	// counted: correct processes send at most one of each, and counting a
 	// Byzantine process once per phase is strictly harder for the
 	// adversary, preserving quorum-intersection safety.
-	echoFrom  map[sim.ProcID]string
-	readyFrom map[sim.ProcID]string
-	counts    map[string]*rbcCounts
-	values    map[string]geometry.Vector
+	echoFrom  []bool
+	readyFrom []bool
+	// vals holds the per-distinct-value tallies. Correct instances carry one
+	// value; equivocation adds at most a handful, so a linear scan beats a
+	// map (and the bit-exact key is only materialized on first sight).
+	vals []rbcVal
 }
 
-type rbcCounts struct {
+// rbcVal tallies one distinct broadcast value within an instance, identified
+// by its bit-exact geometry key (vote counting must be exact, not
+// tolerance-based, or near-identical Byzantine values could split quorums).
+type rbcVal struct {
+	key     string
+	value   geometry.Vector
 	echoes  int
 	readies int
 }
@@ -125,7 +134,7 @@ func (r *RBC) Broadcast(tag int, value geometry.Vector) (RBCMsg, error) {
 // messages to broadcast to all processes and any deliveries triggered.
 // Malformed or equivocating messages are dropped or ignored per protocol.
 func (r *RBC) Handle(from sim.ProcID, msg RBCMsg) ([]RBCMsg, []RBCDelivery) {
-	if int(msg.Origin) < 0 || int(msg.Origin) >= r.n {
+	if int(msg.Origin) < 0 || int(msg.Origin) >= r.n || int(from) < 0 || int(from) >= r.n {
 		return nil, nil
 	}
 	if msg.Value.Dim() != r.dim || !msg.Value.IsFinite() {
@@ -135,17 +144,14 @@ func (r *RBC) Handle(from sim.ProcID, msg RBCMsg) ([]RBCMsg, []RBCDelivery) {
 	inst := r.insts[key]
 	if inst == nil {
 		inst = &rbcInst{
-			echoFrom:  make(map[sim.ProcID]string),
-			readyFrom: make(map[sim.ProcID]string),
-			counts:    make(map[string]*rbcCounts),
-			values:    make(map[string]geometry.Vector),
+			echoFrom:  make([]bool, r.n),
+			readyFrom: make([]bool, r.n),
 		}
 		r.insts[key] = inst
 	}
 
 	var out []RBCMsg
 	var deliveries []RBCDelivery
-	vkey := geometry.Key(msg.Value)
 
 	switch msg.Phase {
 	case RBCInit:
@@ -157,11 +163,12 @@ func (r *RBC) Handle(from sim.ProcID, msg RBCMsg) ([]RBCMsg, []RBCDelivery) {
 		out = append(out, RBCMsg{Phase: RBCEcho, Origin: msg.Origin, Tag: msg.Tag, Value: msg.Value.Clone()})
 
 	case RBCEcho:
-		if _, dup := inst.echoFrom[from]; dup {
+		if inst.echoFrom[from] {
 			return nil, nil
 		}
-		inst.echoFrom[from] = vkey
-		c := inst.count(vkey, msg.Value)
+		inst.echoFrom[from] = true
+		r.keyBuf = geometry.AppendKey(r.keyBuf[:0], msg.Value)
+		c := inst.count(r.keyBuf, msg.Value)
 		c.echoes++
 		if c.echoes >= r.echoQuorum() && !inst.readied {
 			inst.readied = true
@@ -169,11 +176,12 @@ func (r *RBC) Handle(from sim.ProcID, msg RBCMsg) ([]RBCMsg, []RBCDelivery) {
 		}
 
 	case RBCReady:
-		if _, dup := inst.readyFrom[from]; dup {
+		if inst.readyFrom[from] {
 			return nil, nil
 		}
-		inst.readyFrom[from] = vkey
-		c := inst.count(vkey, msg.Value)
+		inst.readyFrom[from] = true
+		r.keyBuf = geometry.AppendKey(r.keyBuf[:0], msg.Value)
+		c := inst.count(r.keyBuf, msg.Value)
 		c.readies++
 		if c.readies >= r.f+1 && !inst.readied {
 			inst.readied = true
@@ -181,7 +189,7 @@ func (r *RBC) Handle(from sim.ProcID, msg RBCMsg) ([]RBCMsg, []RBCDelivery) {
 		}
 		if c.readies >= 2*r.f+1 && !inst.delivered {
 			inst.delivered = true
-			deliveries = append(deliveries, RBCDelivery{Origin: msg.Origin, Tag: msg.Tag, Value: inst.values[vkey].Clone()})
+			deliveries = append(deliveries, RBCDelivery{Origin: msg.Origin, Tag: msg.Tag, Value: c.value.Clone()})
 		}
 
 	default:
@@ -190,12 +198,15 @@ func (r *RBC) Handle(from sim.ProcID, msg RBCMsg) ([]RBCMsg, []RBCDelivery) {
 	return out, deliveries
 }
 
-func (i *rbcInst) count(vkey string, value geometry.Vector) *rbcCounts {
-	c := i.counts[vkey]
-	if c == nil {
-		c = &rbcCounts{}
-		i.counts[vkey] = c
-		i.values[vkey] = value.Clone()
+// count returns the tally of the value identified by vkey, creating it (with
+// an owned copy of the key and value) on first sight. The returned pointer
+// is only valid until the next count call on this instance.
+func (i *rbcInst) count(vkey []byte, value geometry.Vector) *rbcVal {
+	for idx := range i.vals {
+		if i.vals[idx].key == string(vkey) {
+			return &i.vals[idx]
+		}
 	}
-	return c
+	i.vals = append(i.vals, rbcVal{key: string(vkey), value: value.Clone()})
+	return &i.vals[len(i.vals)-1]
 }

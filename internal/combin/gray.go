@@ -1,0 +1,123 @@
+package combin
+
+import "fmt"
+
+// GrayCombinations enumerates every k-subset of {0, …, n−1} in revolving-door
+// (Gray) order: consecutive subsets differ by exactly one element swap. fn is
+// invoked once per subset with the current index set in ascending order plus
+// the element swapped out and the element swapped in relative to the previous
+// subset (−1/−1 on the first subset). Returning false stops the enumeration.
+//
+// The swap structure is what makes the order useful: a consumer holding
+// per-subset state (a constraint family, a simplex basis) can update it
+// incrementally instead of rebuilding it per subset. The sequence is the
+// classic Nijenhuis–Wilf ordering, generated recursively as
+//
+//	A(n, k) = A(n−1, k) ++ [S ∪ {n−1} : S ∈ reverse(A(n−1, k−1))]
+//
+// and is deterministic. The callback's idx slice is reused; callers must not
+// retain it.
+func GrayCombinations(n, k int, fn func(idx []int, out, in int) bool) error {
+	if n < 0 || k < 0 || k > n {
+		return fmt.Errorf("combin: invalid combination parameters n=%d k=%d", n, k)
+	}
+	// Current subset, kept in ascending order across swaps.
+	cur := make([]int, k)
+	for i := range cur {
+		cur[i] = i
+	}
+	g := &grayState{cur: cur, fn: fn}
+	if !g.fn(g.cur, -1, -1) {
+		return nil
+	}
+	g.emit(n, k, false)
+	return nil
+}
+
+// grayState carries the enumeration state: the sorted current subset and the
+// user callback. stop latches a false return from the callback.
+type grayState struct {
+	cur  []int
+	fn   func(idx []int, out, in int) bool
+	stop bool
+}
+
+// swap replaces element out with element in, keeping cur sorted, and emits
+// the resulting subset.
+func (g *grayState) swap(out, in int) {
+	if g.stop {
+		return
+	}
+	// Remove out.
+	i := 0
+	for g.cur[i] != out {
+		i++
+	}
+	copy(g.cur[i:], g.cur[i+1:])
+	g.cur = g.cur[:len(g.cur)-1]
+	// Insert in at its sorted position.
+	j := len(g.cur)
+	g.cur = append(g.cur, 0)
+	for j > 0 && g.cur[j-1] > in {
+		g.cur[j] = g.cur[j-1]
+		j--
+	}
+	g.cur[j] = in
+	if !g.fn(g.cur, out, in) {
+		g.stop = true
+	}
+}
+
+// emit walks the transition sequence of A(n, k) (or its reverse): the first
+// subset is assumed current; every transition is a single swap.
+//
+// The recursion mirrors the construction above. Forward, A(n, k) runs
+// A(n−1, k) first and crosses from its last subset {0…k−2, n−2} to the
+// second half's first subset {0…k−3, n−2, n−1} — a single swap of k−2 (or,
+// for k = 1, of n−2) for n−1 — then walks reverse(A(n−1, k−1)) holding n−1.
+func (g *grayState) emit(n, k int, rev bool) {
+	if g.stop || k <= 0 || k >= n {
+		return // single-subset sequences have no transitions
+	}
+	// The element swapped out at the half boundary (forward direction):
+	// k−2 when the first half ends at {0…k−2, n−2} with k ≥ 2, else n−2.
+	out := k - 2
+	if k == 1 {
+		out = n - 2
+	}
+	if !rev {
+		g.emit(n-1, k, false)
+		g.swap(out, n-1)
+		g.emit(n-1, k-1, true)
+	} else {
+		g.emit(n-1, k-1, false)
+		g.swap(n-1, out)
+		g.emit(n-1, k, true)
+	}
+}
+
+// Rank returns the position of the ascending index set idx in the
+// lexicographic enumeration of k-subsets of {0, …, n−1} — the inverse of
+// Unrank. Consumers that compute subsets in a non-lexicographic order (for
+// example GrayCombinations) use it to place results in the rank-ordered
+// layout the deterministic reductions require.
+func Rank(n int, idx []int) (int64, error) {
+	k := len(idx)
+	if k > n {
+		return 0, fmt.Errorf("combin: rank of %d-subset of %d elements", k, n)
+	}
+	var r int64
+	prev := -1
+	for i, v := range idx {
+		if v <= prev || v >= n {
+			return 0, fmt.Errorf("combin: rank needs an ascending index set in [0,%d), got %v", n, idx)
+		}
+		// Count the subsets that agree on idx[:i] but pick a smaller element
+		// at position i.
+		for c := prev + 1; c < v; c++ {
+			r += Binomial(n-c-1, k-i-1)
+		}
+		prev = v
+	}
+	return r, nil
+}

@@ -1,0 +1,146 @@
+package combin
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// TestGrayCombinationsCoversAll checks that the revolving-door order visits
+// every k-subset exactly once, in ascending index order, with consecutive
+// subsets differing by exactly one swap.
+func TestGrayCombinationsCoversAll(t *testing.T) {
+	for n := 0; n <= 9; n++ {
+		for k := 0; k <= n; k++ {
+			seen := make(map[string]bool)
+			var prev []int
+			count := 0
+			err := GrayCombinations(n, k, func(idx []int, out, in int) bool {
+				count++
+				if !sort.IntsAreSorted(idx) {
+					t.Fatalf("n=%d k=%d: unsorted subset %v", n, k, idx)
+				}
+				key := fmt.Sprint(idx)
+				if seen[key] {
+					t.Fatalf("n=%d k=%d: subset %v visited twice", n, k, idx)
+				}
+				seen[key] = true
+				if prev == nil {
+					if out != -1 || in != -1 {
+						t.Fatalf("n=%d k=%d: first subset carries swap (%d,%d)", n, k, out, in)
+					}
+				} else {
+					diff := symmetricDiff(prev, idx)
+					if len(diff) != 2 {
+						t.Fatalf("n=%d k=%d: %v → %v is not a single swap", n, k, prev, idx)
+					}
+					if !contains(prev, out) || contains(idx, out) || !contains(idx, in) || contains(prev, in) {
+						t.Fatalf("n=%d k=%d: reported swap (%d,%d) does not match %v → %v", n, k, out, in, prev, idx)
+					}
+				}
+				prev = append(prev[:0], idx...)
+				return true
+			})
+			if err != nil {
+				t.Fatalf("n=%d k=%d: %v", n, k, err)
+			}
+			if want := Binomial(n, k); int64(count) != want {
+				t.Fatalf("n=%d k=%d: visited %d subsets, want %d", n, k, count, want)
+			}
+		}
+	}
+}
+
+func TestGrayCombinationsEarlyStop(t *testing.T) {
+	count := 0
+	err := GrayCombinations(6, 3, func(idx []int, out, in int) bool {
+		count++
+		return count < 4
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 4 {
+		t.Fatalf("early stop visited %d subsets, want 4", count)
+	}
+}
+
+func TestGrayCombinationsInvalid(t *testing.T) {
+	if err := GrayCombinations(3, 4, func([]int, int, int) bool { return true }); err == nil {
+		t.Fatal("want error for k > n")
+	}
+	if err := GrayCombinations(-1, 0, func([]int, int, int) bool { return true }); err == nil {
+		t.Fatal("want error for n < 0")
+	}
+}
+
+// TestRankRoundTrip checks Rank is the inverse of Unrank and agrees with the
+// lexicographic enumeration order.
+func TestRankRoundTrip(t *testing.T) {
+	for n := 1; n <= 9; n++ {
+		for k := 0; k <= n; k++ {
+			want := int64(0)
+			err := Combinations(n, k, func(idx []int) bool {
+				r, err := Rank(n, idx)
+				if err != nil {
+					t.Fatalf("rank(%v): %v", idx, err)
+				}
+				if r != want {
+					t.Fatalf("n=%d k=%d: rank(%v)=%d, want %d", n, k, idx, r, want)
+				}
+				back, err := Unrank(n, k, r, nil)
+				if err != nil {
+					t.Fatalf("unrank(%d): %v", r, err)
+				}
+				for i := range idx {
+					if back[i] != idx[i] {
+						t.Fatalf("unrank(rank(%v)) = %v", idx, back)
+					}
+				}
+				want++
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := Rank(4, []int{2, 1}); err == nil {
+		t.Fatal("want error for non-ascending index set")
+	}
+	if _, err := Rank(4, []int{1, 4}); err == nil {
+		t.Fatal("want error for out-of-range index")
+	}
+}
+
+func symmetricDiff(a, b []int) []int {
+	inA := make(map[int]bool, len(a))
+	for _, v := range a {
+		inA[v] = true
+	}
+	inB := make(map[int]bool, len(b))
+	for _, v := range b {
+		inB[v] = true
+	}
+	var out []int
+	for _, v := range a {
+		if !inB[v] {
+			out = append(out, v)
+		}
+	}
+	for _, v := range b {
+		if !inA[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -38,18 +38,39 @@ type Engine struct {
 	workers int
 	memoize bool
 
-	mu   sync.Mutex
-	memo map[string]*gammaEntry
+	mu     sync.Mutex
+	memo   map[string]*gammaEntry
+	ziMemo map[string]*ziEntry
 }
 
 // maxMemoEntries bounds the memoization table; exceeding it drops the whole
 // table (cheap, deterministic, and correct — entries are pure functions of
-// their key).
-const maxMemoEntries = 1 << 15
+// their key). maxZiEntries bounds the coarser round-level table the same
+// way.
+const (
+	maxMemoEntries = 1 << 15
+	maxZiEntries   = 1 << 12
+)
 
 type gammaEntry struct {
 	once sync.Once
 	pt   geometry.Vector // read-only after once
+	err  error
+	// ok is meaningful for sub-family (prefix) entries only: whether the
+	// prefix computation certified its point for every superset sharing the
+	// prefix. An uncertified entry forces callers onto the full-multiset
+	// path, exactly as the from-scratch ladder would fall back.
+	ok bool
+}
+
+// ziEntry memoizes a whole AverageGamma reduction: the Zi mean and size of
+// one ordered (origin, value) tuple sequence. In the synchronous exchange
+// all correct processes hold identical inboxes, so n−f reductions per round
+// collapse to one.
+type ziEntry struct {
+	once sync.Once
+	pt   geometry.Vector // read-only after once
+	n    int
 	err  error
 }
 
@@ -62,6 +83,7 @@ func NewEngine(workers int, memoize bool) *Engine {
 	e := &Engine{workers: workers, memoize: memoize}
 	if memoize {
 		e.memo = make(map[string]*gammaEntry)
+		e.ziMemo = make(map[string]*ziEntry)
 	}
 	return e
 }
@@ -77,13 +99,14 @@ func DefaultEngine() *Engine { return defaultEngine }
 // Workers returns the resolved worker bound.
 func (e *Engine) Workers() int { return e.workers }
 
-// Reset drops every memoized Γ-point.
+// Reset drops every memoized Γ-point and round reduction.
 func (e *Engine) Reset() {
 	if e.memo == nil {
 		return
 	}
 	e.mu.Lock()
 	e.memo = make(map[string]*gammaEntry)
+	e.ziMemo = make(map[string]*ziEntry)
 	e.mu.Unlock()
 }
 
@@ -97,6 +120,21 @@ func (e *Engine) entry(key []byte) *gammaEntry {
 		}
 		ent = &gammaEntry{}
 		e.memo[string(key)] = ent
+	}
+	e.mu.Unlock()
+	return ent
+}
+
+// ziEntryFor returns the round-level memo entry for key.
+func (e *Engine) ziEntryFor(key []byte) *ziEntry {
+	e.mu.Lock()
+	ent, ok := e.ziMemo[string(key)]
+	if !ok {
+		if len(e.ziMemo) >= maxZiEntries {
+			e.ziMemo = make(map[string]*ziEntry)
+		}
+		ent = &ziEntry{}
+		e.ziMemo[string(key)] = ent
 	}
 	e.mu.Unlock()
 	return ent
@@ -117,6 +155,7 @@ func appendMeta(dst []byte, d, f int, method safearea.Method) []byte {
 // lex-min LP collapses to a single solve.
 func (e *Engine) SafePoint(y *geometry.Multiset, f int, method safearea.Method) (geometry.Vector, error) {
 	if !e.memoize {
+		gammaStats.solves.Add(1)
 		return safearea.PointWith(y, f, method)
 	}
 	key := make([]byte, 0, 9+8*y.Len()*y.Dim())
@@ -125,7 +164,16 @@ func (e *Engine) SafePoint(y *geometry.Multiset, f int, method safearea.Method) 
 		key = geometry.AppendKey(key, y.At(i))
 	}
 	ent := e.entry(key)
-	ent.once.Do(func() { ent.pt, ent.err = safearea.PointWith(y, f, method) })
+	fresh := false
+	ent.once.Do(func() {
+		fresh = true
+		ent.pt, ent.err = safearea.PointWith(y, f, method)
+	})
+	if fresh {
+		gammaStats.solves.Add(1)
+	} else {
+		gammaStats.cacheHits.Add(1)
+	}
 	if ent.err != nil {
 		return nil, ent.err
 	}
@@ -171,6 +219,10 @@ func (sc *gammaScratch) pointOfSet(set []tuple) (geometry.Vector, error) {
 	return sc.pointOfSel()
 }
 
+// prefixKeyTag separates sub-family (prefix) memo keys from full-multiset
+// keys of the same byte length.
+const prefixKeyTag = byte('P')
+
 func (sc *gammaScratch) pointOfSel() (geometry.Vector, error) {
 	sel := sc.sel
 	// Canonicalize by origin id (Observation 2); insertion sort — the
@@ -181,7 +233,47 @@ func (sc *gammaScratch) pointOfSel() (geometry.Vector, error) {
 		}
 	}
 	if !sc.e.memoize {
+		gammaStats.solves.Add(1)
 		return gammaPointOfSorted(sel, sc.f, sc.method)
+	}
+	// Sub-family (delta-key) lookup first: under the resolved method the
+	// Γ-point depends only on the first m canonical members, so any two
+	// candidate sets sharing that prefix — consecutive subsets of one walk,
+	// sets of sibling processes, sets across rounds whose moved point sits
+	// beyond the prefix — share one certified solve.
+	if m := safearea.PrefixLen(len(sel), sc.d, sc.f, sc.method); m < len(sel) {
+		key := appendMeta(sc.key[:0], sc.d, sc.f, sc.method)
+		key = append(key, prefixKeyTag)
+		for _, tp := range sel[:m] {
+			key = geometry.AppendKey(key, tp.value)
+		}
+		sc.key = key
+		ent := sc.e.entry(key)
+		fresh := false
+		ent.once.Do(func() {
+			fresh = true
+			ms := geometry.NewMultiset(sc.d)
+			for _, tp := range sel[:m] {
+				if err := ms.Add(tp.value); err != nil {
+					ent.err = err
+					return
+				}
+			}
+			ent.pt, ent.ok, ent.err = safearea.PointOnPrefix(ms, sc.f, sc.method)
+		})
+		if ent.err != nil {
+			return nil, ent.err
+		}
+		if ent.ok {
+			if fresh {
+				gammaStats.solves.Add(1)
+			} else {
+				gammaStats.prefixHits.Add(1)
+			}
+			return ent.pt, nil
+		}
+		// Uncertified prefix: the superset's own ladder (including its
+		// fallbacks) decides, keyed by the full multiset below.
 	}
 	key := appendMeta(sc.key[:0], sc.d, sc.f, sc.method)
 	for _, tp := range sel {
@@ -189,22 +281,68 @@ func (sc *gammaScratch) pointOfSel() (geometry.Vector, error) {
 	}
 	sc.key = key
 	ent := sc.e.entry(key)
-	ent.once.Do(func() { ent.pt, ent.err = gammaPointOfSorted(sel, sc.f, sc.method) })
+	fresh := false
+	ent.once.Do(func() {
+		fresh = true
+		ent.pt, ent.err = gammaPointOfSorted(sel, sc.f, sc.method)
+	})
+	if fresh {
+		gammaStats.solves.Add(1)
+	} else if ent.err == nil {
+		gammaStats.cacheHits.Add(1)
+	}
 	return ent.pt, ent.err
 }
+
+// ziKeyTag separates round-level AverageGamma memo keys from per-set keys.
+const ziKeyTag = byte('Z')
 
 // AverageGamma computes Zi = {Γ-point of C : C ⊆ tuples, |C| = k} and
 // returns its average — eq. (9) of the paper — along with |Zi|. Subsets are
 // streamed (never materialized); with more than one worker the solves run
 // concurrently and are reduced in lexicographic rank order, so the result is
 // bit-identical to the serial computation.
+//
+// With memoization on, the whole reduction is additionally keyed by the
+// ordered (origin, value) tuple sequence: in the synchronous state exchange
+// every correct process holds the identical inbox, so the n−f per-process
+// reductions of one round collapse to a single subset walk.
 func (e *Engine) AverageGamma(tuples []tuple, k, f int, method safearea.Method) (geometry.Vector, int, error) {
 	n := len(tuples)
 	if k <= 0 || k > n {
 		return nil, 0, fmt.Errorf("core: subset size %d of %d tuples", k, n)
 	}
-	total := combin.Binomial(n, k)
 	d := tuples[0].value.Dim()
+	if !e.memoize {
+		return e.averageGammaCompute(tuples, k, f, method, d)
+	}
+	key := make([]byte, 0, 10+4+(4+8*d)*n)
+	key = appendMeta(key, d, f, method)
+	key = append(key, ziKeyTag)
+	key = binary.BigEndian.AppendUint32(key, uint32(k))
+	for _, tp := range tuples {
+		key = binary.BigEndian.AppendUint32(key, uint32(tp.origin))
+		key = geometry.AppendKey(key, tp.value)
+	}
+	ent := e.ziEntryFor(key)
+	fresh := false
+	ent.once.Do(func() {
+		fresh = true
+		ent.pt, ent.n, ent.err = e.averageGammaCompute(tuples, k, f, method, d)
+	})
+	if ent.err != nil {
+		return nil, 0, ent.err
+	}
+	if !fresh {
+		gammaStats.roundHits.Add(1)
+	}
+	return ent.pt.Clone(), ent.n, nil
+}
+
+// averageGammaCompute is the uncached reduction behind AverageGamma.
+func (e *Engine) averageGammaCompute(tuples []tuple, k, f int, method safearea.Method, d int) (geometry.Vector, int, error) {
+	n := len(tuples)
+	total := combin.Binomial(n, k)
 	workers := e.workers
 	if int64(workers) > total {
 		workers = int(total)

@@ -15,13 +15,22 @@ import (
 // without the reset, later iterations would replay the process-wide memo
 // table and ns/op would shrink with iteration count instead of measuring
 // the engine.
-func MeasureTable(run func() (*Table, error)) (*Table, testing.BenchmarkResult, error) {
+//
+// The returned GammaCounters are PER-OP: the Γ-reuse counter deltas of the
+// final measured invocation divided by its iteration count. Snapshotting
+// inside the benchmark closure matters — testing.Benchmark ramps through
+// probe invocations before the measured one, and folding their counters in
+// would inflate every per-op value by a factor that varies with the
+// (timing-dependent) iteration schedule.
+func MeasureTable(run func() (*Table, error)) (*Table, testing.BenchmarkResult, bvc.GammaCounters, error) {
 	var (
-		tbl  *Table
-		rerr error
+		tbl      *Table
+		rerr     error
+		counters bvc.GammaCounters
 	)
 	br := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
+		before := bvc.EngineGammaCounters()
 		for i := 0; i < b.N; i++ {
 			bvc.ResetEngineCaches()
 			tbl, rerr = run()
@@ -29,8 +38,16 @@ func MeasureTable(run func() (*Table, error)) (*Table, testing.BenchmarkResult, 
 				b.Fatalf("%v", rerr)
 			}
 		}
+		delta := bvc.EngineGammaCounters().Sub(before)
+		n := uint64(b.N)
+		counters = bvc.GammaCounters{
+			Solves:     delta.Solves / n,
+			CacheHits:  delta.CacheHits / n,
+			PrefixHits: delta.PrefixHits / n,
+			RoundHits:  delta.RoundHits / n,
+		}
 	})
-	return tbl, br, rerr
+	return tbl, br, counters, rerr
 }
 
 // RunSerialNodes runs fn with simulated-node stepping forced serial

@@ -8,6 +8,35 @@ import (
 	"repro"
 )
 
+// E10RowCells are the committed E10 restricted/async γ-budget rows, also
+// measured as individual BENCH records (named by E10RowName) so the
+// trajectory tracks the Γ-engine hot path per row — these n = 15 cells are
+// where the incremental Γ layers (sub-family memo, round-level memo,
+// warm-started solves) must show, and CI's reuse gate checks their cache
+// counters stay nonzero.
+var E10RowCells = []SweepCell{
+	{Variant: "rsync", D: 3, F: 2, N: 15, Adversary: "mixed", Seed: 1},
+	{Variant: "approx", D: 4, F: 2, N: 15, Adversary: "lure", Delay: "exponential", Seed: 1},
+}
+
+// E10RowName returns the BENCH record name of one E10RowCells entry, e.g.
+// "e10/rsync-n15".
+func E10RowName(c SweepCell) string {
+	return fmt.Sprintf("e10/%s-n%d", c.Variant, c.N)
+}
+
+// E10RowRunner adapts one E10 row cell to the experiment-runner shape used
+// by the BENCH measurement protocol (MeasureTable).
+func E10RowRunner(c SweepCell) func() (*Table, error) {
+	return func() (*Table, error) {
+		out, err := RunSweepCell(c)
+		if err != nil {
+			return nil, err
+		}
+		return &Table{ID: E10RowName(c), Pass: out.Verified}, nil
+	}
+}
+
 // E10ScaleSweep pushes the verified grids to the largest (n, d, f)
 // configurations the engine stack makes practical — up to n = 13 processes
 // at d ≥ 3 with f > 1, the regime the lifted Tverberg Γ-point method and

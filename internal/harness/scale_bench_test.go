@@ -1,0 +1,25 @@
+package harness
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// benchE10Row measures one committed E10 row cell cold-cache per iteration —
+// the same workload the "e10/<variant>-n15" BENCH records track.
+func benchE10Row(b *testing.B, c SweepCell) {
+	for i := 0; i < b.N; i++ {
+		bvc.ResetEngineCaches()
+		out, err := RunSweepCell(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !out.Verified {
+			b.Fatal("cell did not verify")
+		}
+	}
+}
+
+func BenchmarkE10RowRsync15(b *testing.B)  { benchE10Row(b, E10RowCells[0]) }
+func BenchmarkE10RowApprox15(b *testing.B) { benchE10Row(b, E10RowCells[1]) }

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/geometry"
 	"repro/internal/lp"
@@ -24,58 +25,13 @@ const DefaultTol = 1e-7
 
 // Contains reports whether z lies in the convex hull of points, within the
 // per-coordinate tolerance tol (DefaultTol if tol ≤ 0). It reduces to an LP
-// feasibility problem in the convex weights α.
+// feasibility problem in the convex weights α, solved through a pooled
+// MembershipTester so repeated calls reuse problem/workspace buffers and
+// warm-start from earlier bases (the verdict is basis-independent).
 func Contains(points []geometry.Vector, z geometry.Vector, tol float64) (bool, error) {
-	if len(points) == 0 {
-		return false, errors.New("hull: membership in hull of empty set")
-	}
-	if tol <= 0 {
-		tol = DefaultTol
-	}
-	d := z.Dim()
-	for i, p := range points {
-		if p.Dim() != d {
-			return false, fmt.Errorf("hull: point %d has dimension %d, want %d", i, p.Dim(), d)
-		}
-	}
-
-	prob := lp.NewProblem()
-	alphas := make([]lp.VarID, len(points))
-	for i := range points {
-		v, err := prob.AddVar("a", 0, math.Inf(1))
-		if err != nil {
-			return false, err
-		}
-		alphas[i] = v
-	}
-	// Σ αᵢ = 1.
-	sum := make([]lp.Term, len(points))
-	for i, a := range alphas {
-		sum[i] = lp.Term{Var: a, Coeff: 1}
-	}
-	if err := prob.AddConstraint("sum", sum, lp.EQ, 1); err != nil {
-		return false, err
-	}
-	// |Σ αᵢ pᵢ[l] − z[l]| ≤ tol for each coordinate l.
-	for l := 0; l < d; l++ {
-		terms := make([]lp.Term, 0, len(points))
-		for i, a := range alphas {
-			if points[i][l] != 0 {
-				terms = append(terms, lp.Term{Var: a, Coeff: points[i][l]})
-			}
-		}
-		if err := prob.AddConstraint("lo", terms, lp.GE, z[l]-tol); err != nil {
-			return false, err
-		}
-		if err := prob.AddConstraint("hi", terms, lp.LE, z[l]+tol); err != nil {
-			return false, err
-		}
-	}
-	sol, err := prob.Solve()
-	if err != nil {
-		return false, err
-	}
-	return sol.Status == lp.Optimal, nil
+	mt := testerPool.Get().(*MembershipTester)
+	defer testerPool.Put(mt)
+	return mt.Test(points, z, tol)
 }
 
 // intersectionProblem builds the shared LP skeleton for hull-intersection
@@ -158,48 +114,104 @@ func CommonPoint(groups [][]geometry.Vector) (geometry.Vector, bool, error) {
 	return pointFrom(sol, zvars), true, nil
 }
 
+// lexWSPool reuses the workspaces backing the lex-min stage chains (their
+// Hot handles need a workspace that outlives a single Solve call).
+var lexWSPool = sync.Pool{New: func() any { return lp.NewWorkspace() }}
+
+// pinSlack keeps successive lex-min LPs feasible in floating point; it is
+// deterministic, so all correct processes still agree exactly. It must
+// dominate the solver's own tolerance (feasibility is checked to ~1e-7) or
+// degenerate stages go infeasible after pinning.
+const pinSlack = 1e-6
+
 // LexMinCommonPoint finds the lexicographically minimal point of
-// ∩ conv(groups[g]) by solving d LPs: minimize z₁, pin it, minimize z₂, and
-// so on. This is the deterministic choice function used by the Exact BVC
-// algorithm (paper §2.2: "all non-faulty processes choose the point
-// identically using a deterministic function").
+// ∩ conv(groups[g]) by minimizing z₁, pinning it, minimizing z₂, and so on.
+// This is the deterministic choice function used by the Exact BVC algorithm
+// (paper §2.2: "all non-faulty processes choose the point identically using
+// a deterministic function").
+//
+// Stages 2…d are warm-started: the pin row is appended into the retained
+// stage-1 tableau (lp.Hot) and the next objective is re-priced from the
+// current vertex, so Phase 1 runs once per candidate set instead of once per
+// coordinate. The chain is a pure function of groups — every correct process
+// walks the identical stage sequence — and any warm-path failure falls back
+// to the cold per-stage solve.
 func LexMinCommonPoint(groups [][]geometry.Vector) (geometry.Vector, bool, error) {
 	prob, zvars, err := intersectionProblem(groups)
 	if err != nil {
 		return nil, false, err
 	}
-	// The pinning slack keeps successive LPs feasible in floating point; it
-	// is deterministic, so all correct processes still agree exactly. It
-	// must dominate the solver's own tolerance (feasibility is checked to
-	// ~1e-7) or degenerate stages go infeasible after pinning.
-	const pinSlack = 1e-6
-	var last *lp.Solution
-	for l := 0; l < len(zvars); l++ {
+	if err := prob.SetObjective(lp.Minimize, []lp.Term{{Var: zvars[0], Coeff: 1}}); err != nil {
+		return nil, false, err
+	}
+	ws := lexWSPool.Get().(*lp.Workspace)
+	defer lexWSPool.Put(ws)
+	sol, hot, err := prob.SolveHot(ws)
+	if err != nil {
+		return nil, false, err
+	}
+	if sol.Status == lp.Infeasible {
+		return nil, false, nil
+	}
+	if sol.Status != lp.Optimal {
+		return nil, false, fmt.Errorf("hull: lexmin stage 0 status %v", sol.Status)
+	}
+	bounds := make([]float64, 0, len(zvars)-1)
+	for l := 1; l < len(zvars); l++ {
+		pin := []lp.Term{{Var: zvars[l-1], Coeff: 1}}
+		bound := sol.Values[zvars[l-1]] + pinSlack
+		bounds = append(bounds, bound)
+		if err := hot.AppendLE(pin, bound); err != nil {
+			// The retained vertex satisfies the pin by construction, so a
+			// refusal indicates numerical drift: fall back to cold stages.
+			return lexMinCold(prob, zvars, sol, l, bounds)
+		}
 		if err := prob.SetObjective(lp.Minimize, []lp.Term{{Var: zvars[l], Coeff: 1}}); err != nil {
 			return nil, false, err
 		}
-		sol, err := prob.Solve()
+		next, err := hot.Resolve()
+		if err != nil || next.Status != lp.Optimal {
+			return lexMinCold(prob, zvars, sol, l, bounds)
+		}
+		sol = next
+	}
+	return pointFrom(sol, zvars), true, nil
+}
+
+// lexMinCold finishes the lex-min chain with cold per-stage solves from
+// stage l onward. The warm path keeps its pin rows in the tableau only, so
+// every pin bound decided so far (bounds[i] pins zvars[i]) is re-added to
+// the modeling problem first. prev is stage l−1's optimal solution.
+func lexMinCold(prob *lp.Problem, zvars []lp.VarID, prev *lp.Solution, l int, bounds []float64) (geometry.Vector, bool, error) {
+	for i, bound := range bounds {
+		if err := prob.AddConstraint("pin", []lp.Term{{Var: zvars[i], Coeff: 1}}, lp.LE, bound); err != nil {
+			return nil, false, err
+		}
+	}
+	sol := prev
+	for ; l < len(zvars); l++ {
+		if err := prob.SetObjective(lp.Minimize, []lp.Term{{Var: zvars[l], Coeff: 1}}); err != nil {
+			return nil, false, err
+		}
+		next, err := prob.Solve()
 		if err != nil {
 			return nil, false, err
 		}
-		if sol.Status == lp.Infeasible {
-			if l == 0 {
-				return nil, false, nil
-			}
+		if next.Status == lp.Infeasible {
 			return nil, false, fmt.Errorf("hull: lexmin stage %d infeasible after pinning", l)
 		}
-		if sol.Status != lp.Optimal {
-			return nil, false, fmt.Errorf("hull: lexmin stage %d status %v", l, sol.Status)
+		if next.Status != lp.Optimal {
+			return nil, false, fmt.Errorf("hull: lexmin stage %d status %v", l, next.Status)
 		}
-		last = sol
+		sol = next
 		if l < len(zvars)-1 {
 			pin := []lp.Term{{Var: zvars[l], Coeff: 1}}
-			if err := prob.AddConstraint("pin", pin, lp.LE, sol.Values[zvars[l]]+pinSlack); err != nil {
+			if err := prob.AddConstraint("pin", pin, lp.LE, next.Values[zvars[l]]+pinSlack); err != nil {
 				return nil, false, err
 			}
 		}
 	}
-	return pointFrom(last, zvars), true, nil
+	return pointFrom(sol, zvars), true, nil
 }
 
 // IntersectionEmpty reports whether ∩ conv(groups[g]) is empty.

@@ -1,0 +1,117 @@
+package hull
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/geometry"
+	"repro/internal/lp"
+)
+
+// MembershipTester answers hull-membership queries through one reusable
+// modeling problem, one solver workspace and one carried simplex basis:
+// repeated queries are allocation-free in steady state, and consecutive
+// queries over similar point sets (the sibling candidate subsets the Γ-point
+// pipeline walks in Gray-code order) warm-start from the previous optimal
+// basis instead of re-running Phase 1.
+//
+// The carried basis only ever influences which pivots the solver takes —
+// the feasibility verdict is basis-independent — so a tester may be reused
+// across completely unrelated queries without affecting any result. The one
+// theoretical exception is a query whose COLD solve would die at the simplex
+// iteration cap (a warm basis could sidestep the failure, making the
+// error-vs-verdict outcome history-dependent); the membership programs this
+// tester builds have a handful of rows against a ≥10000-iteration floor and
+// Bland-rule termination, so the cap is unreachable for them and outcomes
+// stay pure in practice. A MembershipTester is not safe for concurrent use;
+// use one per goroutine.
+type MembershipTester struct {
+	prob *lp.Problem
+	ws   *lp.Workspace
+	bas  lp.Basis
+
+	// shape of the previously built program; a mismatch invalidates the
+	// carried basis (the solver would reject it anyway — this just keeps the
+	// bookkeeping obvious).
+	lastPts, lastDim int
+
+	alphas []lp.VarID
+	terms  []lp.Term
+}
+
+// NewMembershipTester returns an empty tester.
+func NewMembershipTester() *MembershipTester {
+	return &MembershipTester{prob: lp.NewProblem(), ws: lp.NewWorkspace()}
+}
+
+// testerPool backs Contains so that one-shot callers still reuse problems,
+// workspaces and (opportunistically) bases across calls.
+var testerPool = sync.Pool{New: func() any { return NewMembershipTester() }}
+
+// Test reports whether z lies in the convex hull of points within tol
+// (DefaultTol if tol ≤ 0). Semantics are identical to Contains.
+func (mt *MembershipTester) Test(points []geometry.Vector, z geometry.Vector, tol float64) (bool, error) {
+	if len(points) == 0 {
+		return false, errors.New("hull: membership in hull of empty set")
+	}
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	d := z.Dim()
+	for i, p := range points {
+		if p.Dim() != d {
+			return false, fmt.Errorf("hull: point %d has dimension %d, want %d", i, p.Dim(), d)
+		}
+	}
+	if len(points) != mt.lastPts || d != mt.lastDim {
+		mt.bas.Reset()
+		mt.lastPts, mt.lastDim = len(points), d
+	}
+
+	prob := mt.prob
+	prob.Reset()
+	if cap(mt.alphas) < len(points) {
+		mt.alphas = make([]lp.VarID, 0, len(points))
+	}
+	alphas := mt.alphas[:0]
+	for range points {
+		v, err := prob.AddVar("a", 0, math.Inf(1))
+		if err != nil {
+			return false, err
+		}
+		alphas = append(alphas, v)
+	}
+	mt.alphas = alphas
+	if cap(mt.terms) < len(points)+1 {
+		mt.terms = make([]lp.Term, 0, len(points)+1)
+	}
+	terms := mt.terms[:0]
+	for _, a := range alphas {
+		terms = append(terms, lp.Term{Var: a, Coeff: 1})
+	}
+	if err := prob.AddConstraint("sum", terms, lp.EQ, 1); err != nil {
+		return false, err
+	}
+	for l := 0; l < d; l++ {
+		terms = terms[:0]
+		for i, a := range alphas {
+			if points[i][l] != 0 {
+				terms = append(terms, lp.Term{Var: a, Coeff: points[i][l]})
+			}
+		}
+		if err := prob.AddConstraint("lo", terms, lp.GE, z[l]-tol); err != nil {
+			return false, err
+		}
+		if err := prob.AddConstraint("hi", terms, lp.LE, z[l]+tol); err != nil {
+			return false, err
+		}
+	}
+	mt.terms = terms
+	sol, err := prob.SolveWithBasis(mt.ws, &mt.bas)
+	if err != nil {
+		return false, err
+	}
+	return sol.Status == lp.Optimal, nil
+}

@@ -44,20 +44,8 @@ func (s *standard) solve(ws *Workspace) (Status, []float64, error) {
 		return Optimal, growZero(&ws.x, n), nil
 	}
 
-	// Tableau with one artificial column per row: constraint rows are
-	// m×(n+m+1); column n+m holds b. Basis starts as the artificials.
+	t, basis := s.buildTableau(ws)
 	width := n + m + 1
-	t := growZero(&ws.tab, (m+1)*width)
-	for i := 0; i < m; i++ {
-		row := t[i*width : i*width+width]
-		copy(row, s.a[i*n:(i+1)*n])
-		row[n+i] = 1
-		row[width-1] = s.b[i]
-	}
-	basis := grow(&ws.basis, m)
-	for i := range basis {
-		basis[i] = n + i
-	}
 
 	// Phase 1: minimize the sum of artificials. Initial reduced costs with
 	// the all-artificial basis: r_j = c_j − Σ_i t[i][j], i.e. −Σ_i t[i][j]
@@ -137,6 +125,27 @@ func (s *standard) solve(ws *Workspace) (Status, []float64, error) {
 		}
 	}
 	return Optimal, x, nil
+}
+
+// buildTableau lays the standard-form program out as the flat simplex slab:
+// m constraint rows of width n+m+1 (structural and slack columns, one
+// artificial column per row, rhs last) plus the zeroed reduced-cost row, with
+// the all-artificial starting basis.
+func (s *standard) buildTableau(ws *Workspace) (t []float64, basis []int) {
+	m, n := s.m, s.n
+	width := n + m + 1
+	t = growZero(&ws.tab, (m+1)*width)
+	for i := 0; i < m; i++ {
+		row := t[i*width : i*width+width]
+		copy(row, s.a[i*n:(i+1)*n])
+		row[n+i] = 1
+		row[width-1] = s.b[i]
+	}
+	basis = grow(&ws.basis, m)
+	for i := range basis {
+		basis[i] = n + i
+	}
+	return t, basis
 }
 
 // errUnboundedPivot signals an improving column with no blocking row.

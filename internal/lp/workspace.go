@@ -16,6 +16,11 @@ type Workspace struct {
 	x     []float64
 	cvec  []float64 // per-phase cost vector for re-pricing
 
+	// warm-start buffers (see warm.go)
+	tab2    []float64 // alternate slab for Hot.AppendLE re-layouts
+	rowBuf  []float64 // appended-row construction
+	rowUsed []bool    // row-assignment marks for basis pivot-in
+
 	// standardization buffers
 	a      []float64
 	b      []float64

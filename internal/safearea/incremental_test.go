@@ -1,0 +1,196 @@
+package safearea
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geometry"
+)
+
+func randVector(rng *rand.Rand, d int) geometry.Vector {
+	v := geometry.NewVector(d)
+	for i := range v {
+		v[i] = rng.Float64()*2 - 1
+	}
+	return v
+}
+
+func randMultiset(rng *rand.Rand, n, d int) *geometry.Multiset {
+	ms := geometry.NewMultiset(d)
+	for i := 0; i < n; i++ {
+		if err := ms.Add(randVector(rng, d)); err != nil {
+			panic(err)
+		}
+	}
+	return ms
+}
+
+// TestResolveMatchesLadder pins Resolve to PointWith's MethodAuto ladder.
+func TestResolveMatchesLadder(t *testing.T) {
+	cases := []struct {
+		n, d, f int
+		want    Method
+	}{
+		{5, 1, 1, MethodAuto},         // d = 1 closed form
+		{5, 2, 0, MethodAuto},         // f = 0 lex-min member
+		{5, 2, 1, MethodRadon},        // f = 1, n ≥ d+2
+		{3, 2, 1, MethodLexMinLP},     // f = 1, below d+2
+		{7, 2, 2, MethodTverbergLift}, // n ≥ (d+1)f+1
+		{6, 2, 2, MethodLexMinLP},     // below the Lemma-1 threshold
+		{9, 3, 2, MethodTverbergLift}, // n ≥ 9
+	}
+	for _, c := range cases {
+		if got := Resolve(c.n, c.d, c.f, MethodAuto); got != c.want {
+			t.Errorf("Resolve(%d,%d,%d, auto) = %v, want %v", c.n, c.d, c.f, got, c.want)
+		}
+	}
+	if got := Resolve(9, 3, 2, MethodLexMinLP); got != MethodLexMinLP {
+		t.Errorf("explicit method must resolve to itself, got %v", got)
+	}
+}
+
+// TestPrefixLen pins the dependence lengths of the ladder's methods.
+func TestPrefixLen(t *testing.T) {
+	cases := []struct {
+		n, d, f int
+		method  Method
+		want    int
+	}{
+		{13, 3, 2, MethodAuto, 9},      // lift: (d+1)f+1
+		{13, 4, 1, MethodAuto, 6},      // radon: d+2
+		{9, 4, 1, MethodAuto, 6},       // radon below full
+		{9, 1, 2, MethodAuto, 9},       // d = 1: full
+		{9, 3, 0, MethodAuto, 9},       // f = 0: full
+		{13, 3, 2, MethodLexMinLP, 13}, // joint LP: full
+		{9, 3, 2, MethodAuto, 9},       // lift at exactly (d+1)f+1: full
+		{13, 3, 2, MethodTverbergSearch, 13},
+	}
+	for _, c := range cases {
+		if got := PrefixLen(c.n, c.d, c.f, c.method); got != c.want {
+			t.Errorf("PrefixLen(%d,%d,%d,%v) = %d, want %d", c.n, c.d, c.f, c.method, got, c.want)
+		}
+	}
+}
+
+// TestPointOnPrefixMatchesFull: whenever PointOnPrefix certifies a point
+// from the prefix, PointWith on ANY superset sharing that prefix must return
+// the identical point, bit for bit.
+func TestPointOnPrefixMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cases := []struct{ n, d, f int }{
+		{13, 3, 2}, {11, 4, 2}, {9, 2, 2}, {9, 4, 1}, {7, 2, 1}, {13, 3, 3},
+	}
+	for _, c := range cases {
+		for trial := 0; trial < 10; trial++ {
+			full := randMultiset(rng, c.n, c.d)
+			m := PrefixLen(c.n, c.d, c.f, MethodAuto)
+			if m == c.n {
+				continue
+			}
+			prefixIdx := make([]int, m)
+			for i := range prefixIdx {
+				prefixIdx[i] = i
+			}
+			prefix, err := full.Subset(prefixIdx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pt, ok, err := PointOnPrefix(prefix, c.f, MethodAuto)
+			if err != nil {
+				t.Fatalf("n=%d d=%d f=%d: %v", c.n, c.d, c.f, err)
+			}
+			if !ok {
+				continue // not certified: caller falls back, nothing to check
+			}
+			want, err := PointWith(full, c.f, MethodAuto)
+			if err != nil {
+				t.Fatalf("full PointWith: %v", err)
+			}
+			if !pt.Equal(want) {
+				t.Fatalf("n=%d d=%d f=%d trial %d: prefix point %v, full point %v",
+					c.n, c.d, c.f, trial, pt, want)
+			}
+			// And the certified point is a genuine Γ(full) member.
+			in, err := Contains(full, c.f, pt, 1e-6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !in {
+				t.Fatalf("certified prefix point outside Γ of the superset")
+			}
+		}
+	}
+}
+
+// TestIncrementalMatchesFromScratch drives an Incremental through random
+// Swap/Add/Remove deltas and checks Point, IsEmpty and Contains against
+// from-scratch computations on the same multiset after every delta.
+func TestIncrementalMatchesFromScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const d, f = 2, 1
+	ms := randMultiset(rng, 6, d)
+	inc, err := NewIncremental(ms, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 40; step++ {
+		switch op := rng.Intn(4); {
+		case op == 0 && inc.Len() > 5:
+			if err := inc.Remove(rng.Intn(inc.Len())); err != nil {
+				t.Fatalf("step %d remove: %v", step, err)
+			}
+		case op == 1 && inc.Len() < 9:
+			if err := inc.Add(randVector(rng, d)); err != nil {
+				t.Fatalf("step %d add: %v", step, err)
+			}
+		default:
+			if err := inc.Swap(rng.Intn(inc.Len()), randVector(rng, d)); err != nil {
+				t.Fatalf("step %d swap: %v", step, err)
+			}
+		}
+		cur := inc.Multiset()
+
+		wantPt, wantErr := PointWith(cur, f, MethodAuto)
+		gotPt, gotErr := inc.Point(MethodAuto)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("step %d: point errors diverge: %v vs %v", step, gotErr, wantErr)
+		}
+		if wantErr == nil && !gotPt.Equal(wantPt) {
+			t.Fatalf("step %d: incremental point %v, from-scratch %v", step, gotPt, wantPt)
+		}
+
+		wantEmpty, err := IsEmpty(cur, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotEmpty, err := inc.IsEmpty()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantEmpty != gotEmpty {
+			t.Fatalf("step %d: emptiness diverges: %v vs %v", step, gotEmpty, wantEmpty)
+		}
+
+		// Membership of a few probes, including the Γ-point when present.
+		probes := []geometry.Vector{randVector(rng, d), randVector(rng, d)}
+		if wantErr == nil {
+			probes = append(probes, wantPt)
+		}
+		for _, z := range probes {
+			want, err := Contains(cur, f, z, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := inc.Contains(z, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want != got {
+				t.Fatalf("step %d: membership of %v diverges: %v vs %v", step, z, got, want)
+			}
+		}
+	}
+	if inc.Groups() <= 1 {
+		t.Fatalf("family degenerated to %d groups", inc.Groups())
+	}
+}

@@ -183,14 +183,24 @@ func ContainsParallel(y *geometry.Multiset, f int, z geometry.Vector, tol float6
 	}
 
 	if workers <= 1 {
+		// Serial walk in revolving-door (Gray) order: consecutive subsets
+		// differ by one swap, so the warm-started membership tester reuses
+		// its previous simplex basis instead of re-running Phase 1. The
+		// verdict is basis- and order-independent (feasibility of each
+		// subset's LP). On an LP error the classic lexicographic walk
+		// re-runs wholesale and its outcome — stop at the lowest-rank
+		// event, failure or error — is returned verbatim, so error-path
+		// results match the parallel reduction (and the pre-Gray serial
+		// semantics) exactly.
 		inside := true
 		var cerr error
 		pts := make([]geometry.Vector, keep)
-		err = combin.Combinations(y.Len(), keep, func(idx []int) bool {
+		mt := hull.NewMembershipTester()
+		err = combin.GrayCombinations(y.Len(), keep, func(idx []int, _, _ int) bool {
 			for i, j := range idx {
 				pts[i] = y.At(j)
 			}
-			ok, err := hull.Contains(pts, z, tol)
+			ok, err := mt.Test(pts, z, tol)
 			if err != nil {
 				cerr = err
 				return false
@@ -205,7 +215,7 @@ func ContainsParallel(y *geometry.Multiset, f int, z geometry.Vector, tol float6
 			return false, err
 		}
 		if cerr != nil {
-			return false, cerr
+			return containsLex(y, keep, z, tol)
 		}
 		return inside, nil
 	}
@@ -224,6 +234,9 @@ func ContainsParallel(y *geometry.Multiset, f int, z geometry.Vector, tol float6
 			defer wg.Done()
 			idx := make([]int, keep)
 			pts := make([]geometry.Vector, keep)
+			// One warm tester per worker: consecutive pulled ranks share
+			// most of their subset, and the verdict is basis-independent.
+			mt := hull.NewMembershipTester()
 			for {
 				r := next.Add(1) - 1
 				if r >= total || r >= eventRank.Load() {
@@ -237,7 +250,7 @@ func ContainsParallel(y *geometry.Multiset, f int, z geometry.Vector, tol float6
 				for i, j := range idx {
 					pts[i] = y.At(j)
 				}
-				ok, err := hull.Contains(pts, z, tol)
+				ok, err := mt.Test(pts, z, tol)
 				if err != nil || !ok {
 					recordEvent(&eventRank, &mu, &eventErr, r, err)
 				}
@@ -254,6 +267,39 @@ func ContainsParallel(y *geometry.Multiset, f int, z geometry.Vector, tol float6
 		return false, nil
 	}
 	return true, nil
+}
+
+// containsLex is the classic serial membership walk: subsets in
+// lexicographic order, stopping at the first event — a non-containing
+// subset or an LP error, whichever has the lower rank. It is the canonical
+// semantics the parallel reduction reproduces; the Gray-order fast path
+// delegates to it whenever an error surfaces.
+func containsLex(y *geometry.Multiset, keep int, z geometry.Vector, tol float64) (bool, error) {
+	inside := true
+	var cerr error
+	pts := make([]geometry.Vector, keep)
+	err := combin.Combinations(y.Len(), keep, func(idx []int) bool {
+		for i, j := range idx {
+			pts[i] = y.At(j)
+		}
+		ok, err := hull.Contains(pts, z, tol)
+		if err != nil {
+			cerr = err
+			return false
+		}
+		if !ok {
+			inside = false
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return false, err
+	}
+	if cerr != nil {
+		return false, cerr
+	}
+	return inside, nil
 }
 
 // recordEvent folds a failed/errored subset rank into the running minimum,

@@ -18,6 +18,21 @@ type DelayModel interface {
 	Delay(from, to ProcID, at time.Duration, rng *rand.Rand) time.Duration
 }
 
+// Lookahead is optionally implemented by delay models that can promise a
+// lower bound on every latency they will ever return. The discrete-event
+// engine uses the bound as its conservative lookahead horizon: all events
+// within one MinDelay window of the earliest pending event are causally
+// independent (any message generated inside the window arrives at or beyond
+// its end), so the parallel executor may batch them together instead of
+// batching a single timestamp. The bound must hold for every (from, to, at)
+// and every PRNG draw — a model that can undercut its own MinDelay would
+// silently break the engine's bit-identical determinism contract.
+type Lookahead interface {
+	// MinDelay returns the lower bound (≤ every Delay return; 0 disables
+	// lookahead batching).
+	MinDelay() time.Duration
+}
+
 // ConstantDelay delivers every message after a fixed latency. With a
 // constant delay every process advances in lock step — the most benign
 // asynchronous schedule.
@@ -27,6 +42,14 @@ type ConstantDelay struct {
 
 // Delay implements DelayModel.
 func (c ConstantDelay) Delay(_, _ ProcID, _ time.Duration, _ *rand.Rand) time.Duration {
+	return c.D
+}
+
+// MinDelay implements Lookahead: every delay is exactly D.
+func (c ConstantDelay) MinDelay() time.Duration {
+	if c.D < 0 {
+		return 0
+	}
 	return c.D
 }
 
@@ -41,6 +64,14 @@ func (u UniformDelay) Delay(_, _ ProcID, _ time.Duration, rng *rand.Rand) time.D
 		return u.Min
 	}
 	return u.Min + time.Duration(rng.Int63n(int64(u.Max-u.Min)+1))
+}
+
+// MinDelay implements Lookahead: no draw undercuts Min.
+func (u UniformDelay) MinDelay() time.Duration {
+	if u.Min < 0 {
+		return 0
+	}
+	return u.Min
 }
 
 // ExponentialDelay draws latencies from an exponential distribution with
@@ -84,6 +115,15 @@ func (s StarveSenders) Delay(from, to ProcID, at time.Duration, rng *rand.Rand) 
 	return d
 }
 
+// MinDelay implements Lookahead: starving only adds latency, so the inner
+// model's bound carries over.
+func (s StarveSenders) MinDelay() time.Duration {
+	if la, ok := s.Inner.(Lookahead); ok {
+		return la.MinDelay()
+	}
+	return 0
+}
+
 // StarveLinks adds Extra latency on the specific directed links in Slow,
 // keyed "from→to". It lets tests craft fully asymmetric schedules.
 type StarveLinks struct {
@@ -99,4 +139,12 @@ func (s StarveLinks) Delay(from, to ProcID, at time.Duration, rng *rand.Rand) ti
 		d += s.Extra
 	}
 	return d
+}
+
+// MinDelay implements Lookahead: link starving only adds latency.
+func (s StarveLinks) MinDelay() time.Duration {
+	if la, ok := s.Inner.(Lookahead); ok {
+		return la.MinDelay()
+	}
+	return 0
 }

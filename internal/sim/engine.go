@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -87,6 +86,13 @@ type Engine struct {
 	rngNet  *rand.Rand
 	halted  atomic.Int64 // nodes that called Halt (atomic: see runBatch)
 
+	// lookahead is the delay model's promised minimum link delay (0 when
+	// the model implements no Lookahead): the conservative safety horizon
+	// within which pending events are causally independent, letting the
+	// parallel executor batch a time window instead of a single timestamp.
+	lookahead time.Duration
+	batches   int64 // parallel batches executed (white-box tests)
+
 	stats Stats
 }
 
@@ -123,6 +129,11 @@ func NewEngine(cfg Config, nodes []Node) (*Engine, error) {
 		nodes:  nodes,
 		delay:  cfg.Delay,
 		rngNet: rand.New(rand.NewSource(cfg.Seed ^ 0x5eed_ca11)),
+	}
+	if la, ok := cfg.Delay.(Lookahead); ok {
+		if min := la.MinDelay(); min > 0 {
+			e.lookahead = min
+		}
 	}
 	e.lastArr = make([][]time.Duration, cfg.N)
 	for i := range e.lastArr {
@@ -170,7 +181,7 @@ func (e *Engine) runSerial() (Stats, error) {
 		if e.stats.Delivered+e.stats.Suppressed >= int64(e.cfg.MaxEvents) {
 			return e.finish(), fmt.Errorf("%w after %d deliveries", ErrMaxEvents, e.stats.Delivered)
 		}
-		ev := heap.Pop(&e.queue).(event)
+		ev := e.queue.pop()
 		e.now = ev.at
 		if e.cfg.MaxTime > 0 && e.now > e.cfg.MaxTime {
 			break
@@ -181,6 +192,7 @@ func (e *Engine) runSerial() (Stats, error) {
 			continue
 		}
 		e.stats.Delivered++
+		api.now = ev.at
 		e.nodes[ev.to].OnMessage(api, ev.from, ev.msg)
 		if e.cfg.Observer != nil {
 			e.cfg.Observer(Delivery{At: ev.at, From: ev.from, To: ev.to, Msg: ev.msg, Seq: ev.seq})
@@ -196,14 +208,18 @@ type pendingSend struct {
 	msg Message
 }
 
-// runParallel drains the event queue in same-timestamp batches. All events
-// of a batch carry one virtual time, so none can causally precede another
-// except through FIFO order on a shared destination — which is preserved by
-// keeping each destination's events in sequence order on a single worker.
-// Sends performed inside OnMessage are buffered per event and enqueued in
-// the merge phase below, in originating-event sequence order, which
-// reproduces the serial loop's delay-PRNG draws, sequence numbers, and FIFO
-// floors exactly.
+// runParallel drains the event queue in causally independent batches: all
+// pending events inside the conservative lookahead window [t, t+L], where t
+// is the earliest pending timestamp and L the delay model's promised minimum
+// link delay (L = 0 degenerates to same-timestamp batches). No event in the
+// window can causally precede another except through order on a shared
+// destination: any message generated inside the window arrives at or beyond
+// its end (delay ≥ L, FIFO floors only push later), and per-destination
+// events stay in (time, sequence) order on a single worker. Sends performed
+// inside OnMessage are buffered per event and enqueued in the merge phase
+// below, in originating-event order with the originating event's virtual
+// time, which reproduces the serial loop's delay-PRNG draws, sequence
+// numbers, and FIFO floors exactly.
 func (e *Engine) runParallel(workers int) (Stats, error) {
 	var (
 		batch        []event
@@ -230,13 +246,20 @@ func (e *Engine) runParallel(workers int) (Stats, error) {
 			break
 		}
 
-		// Pop the batch: every queued event at time t (they emerge in
-		// sequence order), capped by the remaining event budget so the
-		// MaxEvents error fires at exactly the serial loop's delivery.
-		batch = batch[:0]
-		for len(e.queue) > 0 && e.queue[0].at == t && int64(len(batch)) < remaining {
-			batch = append(batch, heap.Pop(&e.queue).(event))
+		// Pop the batch: every queued event inside the lookahead window
+		// (they emerge in (time, sequence) order), capped by the remaining
+		// event budget so the MaxEvents error fires at exactly the serial
+		// loop's delivery, and by MaxTime so no event the serial loop would
+		// refuse is executed.
+		horizon := t + e.lookahead
+		if e.cfg.MaxTime > 0 && horizon > e.cfg.MaxTime {
+			horizon = e.cfg.MaxTime
 		}
+		batch = batch[:0]
+		for len(e.queue) > 0 && e.queue[0].at <= horizon && int64(len(batch)) < remaining {
+			batch = append(batch, e.queue.pop())
+		}
+		e.batches++
 
 		// Group by destination, preserving sequence order within a group.
 		dests = dests[:0]
@@ -257,8 +280,10 @@ func (e *Engine) runParallel(workers int) (Stats, error) {
 		haltedAtStart := int(e.halted.Load())
 
 		// Execute: destinations in parallel, each destination serial in
-		// sequence order. A node halting mid-batch suppresses its own
-		// later deliveries, exactly as the serial loop would.
+		// (time, sequence) order. A node halting mid-batch suppresses its
+		// own later deliveries, exactly as the serial loop would. Each
+		// delivery sees its own event's virtual time (api.now) — with
+		// lookahead widening, one batch spans a time window.
 		parallelFor(workers, len(dests), func(gi int) {
 			dest := dests[gi]
 			api := e.ctxs[dest]
@@ -267,6 +292,7 @@ func (e *Engine) runParallel(workers int) (Stats, error) {
 					continue
 				}
 				delivered[bi] = true
+				api.now = batch[bi].at
 				api.buf = &sends[bi]
 				e.nodes[dest].OnMessage(api, batch[bi].from, batch[bi].msg)
 				api.buf = nil
@@ -286,6 +312,9 @@ func (e *Engine) runParallel(workers int) (Stats, error) {
 			if haltedNow == len(e.nodes) {
 				break
 			}
+			// Advance the engine clock to this event before drawing its
+			// sends' delays, exactly as the serial loop does.
+			e.now = ev.at
 			if !delivered[bi] {
 				e.stats.Suppressed++
 				continue
@@ -351,7 +380,7 @@ func (e *Engine) send(from, to ProcID, msg Message) {
 	}
 	e.lastArr[from][to] = at
 	e.seq++
-	heap.Push(&e.queue, event{at: at, seq: e.seq, from: from, to: to, msg: msg})
+	e.queue.push(event{at: at, seq: e.seq, from: from, to: to, msg: msg})
 	e.stats.Sent++
 }
 
@@ -361,6 +390,11 @@ type engineAPI struct {
 	id     ProcID
 	rng    *rand.Rand
 	halted bool
+	// now is the virtual time of the delivery currently being handled by
+	// this process. It is per-process (not the engine clock) because a
+	// lookahead-widened batch spans a time window: two nodes may
+	// concurrently handle events with different timestamps.
+	now time.Duration
 	// buf, when non-nil, redirects Send into the current delivery's
 	// pending-send buffer (set only while this process's callback runs on
 	// a batch worker; the engine enqueues the buffer deterministically
@@ -397,28 +431,67 @@ func (a *engineAPI) Halt() {
 
 func (a *engineAPI) Rand() *rand.Rand { return a.rng }
 
-func (a *engineAPI) Now() time.Duration { return a.engine.now }
+func (a *engineAPI) Now() time.Duration { return a.now }
 
-// eventQueue is a binary heap ordered by (time, sequence number).
+// eventQueue is a 4-ary min-heap ordered by (time, sequence number). The
+// ordering is a total order — no two events share a sequence number — so the
+// pop sequence is unique and any correct priority queue yields bit-identical
+// executions; the hand-rolled quaternary layout exists purely because the
+// queue is the discrete-event engine's hottest structure (container/heap's
+// interface indirection and binary fan-out both showed up in profiles).
 type eventQueue []event
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
+// before is the strict (time, seq) order.
+func (q eventQueue) before(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
 
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) push(ev event) {
+	*q = append(*q, ev)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !h.before(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
 
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(event)) }
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	*q = old[:n-1]
-	return ev
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = event{} // release the Message reference
+	h = h[:last]
+	*q = h
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= len(h) {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > len(h) {
+			end = len(h)
+		}
+		for c := first + 1; c < end; c++ {
+			if h.before(c, best) {
+				best = c
+			}
+		}
+		if !h.before(best, i) {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	return top
 }

@@ -3,9 +3,53 @@ package tverberg
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/geometry"
 )
+
+// liftScratch pools the lifted-search working set — the k·r lifted class
+// members (one flat float backing), the rainbow selection, the active rows
+// and the Wolfe min-norm scratch — so steady-state Lift calls allocate only
+// the returned Partition. Reuse changes where values live, never the
+// operation order, so results stay bit-identical.
+type liftScratch struct {
+	flat   []float64
+	lifted [][][]float64
+	sel    []int
+	rows   [][]float64
+	bar    []float64
+	mn     minNormScratch
+}
+
+var liftPool = sync.Pool{New: func() any { return new(liftScratch) }}
+
+// classes returns the lifted class table shaped k×r×dim over the flat
+// backing, growing the buffers as needed.
+func (ls *liftScratch) classes(k, r, dim int) [][][]float64 {
+	need := k * r * dim
+	if cap(ls.flat) < need {
+		ls.flat = make([]float64, need)
+	}
+	flat := ls.flat[:need]
+	clear(flat)
+	if cap(ls.lifted) < k {
+		ls.lifted = make([][][]float64, k)
+	}
+	lifted := ls.lifted[:k]
+	for i := 0; i < k; i++ {
+		if cap(lifted[i]) < r {
+			lifted[i] = make([][]float64, r)
+		}
+		lifted[i] = lifted[i][:r]
+		for j := 0; j < r; j++ {
+			off := (i*r + j) * dim
+			lifted[i][j] = flat[off : off+dim]
+		}
+	}
+	ls.lifted = lifted
+	return lifted
+}
 
 // liftTol is the residual norm at which the lifted colorful-Carathéodory
 // search accepts a selection as containing the origin. Intermediate
@@ -53,19 +97,21 @@ func Lift(y *geometry.Multiset, r int) (*Partition, error) {
 		return nil, fmt.Errorf("tverberg: Lift needs at least (d+1)(r−1)+1 = %d points, got %d", k, y.Len())
 	}
 
+	ls := liftPool.Get().(*liftScratch)
+	defer liftPool.Put(ls)
+
 	// Lifted classes: lifted[i][j] is v_j ⊗ x̄_i flattened row-major, i.e.
 	// block a ∈ [0, r−1) holds v_j[a]·x̄_i. With v_a = e_a (a < r−1) and
 	// v_{r−1} = −𝟙, member j < r−1 places x̄_i in block j; member r−1
 	// places −x̄_i in every block.
-	lifted := make([][][]float64, k)
+	lifted := ls.classes(k, r, dim)
+	bar := growF(&ls.bar, d+1)
 	for i := 0; i < k; i++ {
 		xi := y.At(i)
-		bar := make([]float64, d+1)
 		copy(bar, xi)
 		bar[d] = 1
-		lifted[i] = make([][]float64, r)
 		for j := 0; j < r; j++ {
-			w := make([]float64, dim)
+			w := lifted[i][j]
 			if j < r-1 {
 				copy(w[j*(d+1):(j+1)*(d+1)], bar)
 			} else {
@@ -75,17 +121,18 @@ func Lift(y *geometry.Multiset, r int) (*Partition, error) {
 					}
 				}
 			}
-			lifted[i][j] = w
 		}
 	}
 
 	// Initial rainbow selection: spread classes across members round-robin.
-	sel := make([]int, k)
+	if cap(ls.sel) < k {
+		ls.sel = make([]int, k)
+		ls.rows = make([][]float64, k)
+	}
+	sel := ls.sel[:k]
+	rows := ls.rows[:k]
 	for i := range sel {
 		sel[i] = i % r
-	}
-	rows := make([][]float64, k)
-	for i := range rows {
 		rows[i] = lifted[i][sel[i]]
 	}
 
@@ -95,7 +142,7 @@ func Lift(y *geometry.Multiset, r int) (*Partition, error) {
 			return nil, errors.New("tverberg: lifted search exceeded pivot cap")
 		}
 		var err error
-		mn, err = minNorm(rows)
+		mn, err = minNormWith(rows, &ls.mn)
 		if err != nil {
 			return nil, err
 		}

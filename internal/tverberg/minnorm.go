@@ -34,7 +34,28 @@ const (
 	mnMaxIter = 1000
 )
 
+// minNormScratch holds every buffer one min-norm solve needs; reusing it
+// across solves (the lifted search runs one solve per Bárány pivot) makes
+// the solver allocation-free in steady state. The result's x and lambda
+// slices alias the scratch and are only valid until the next solve.
+type minNormScratch struct {
+	affine  affineScratch
+	corral  []int
+	weights []float64
+	x       []float64
+	lambda  []float64
+	res     minNormResult
+}
+
+// minNorm solves with a private scratch (one-shot callers).
 func minNorm(p [][]float64) (*minNormResult, error) {
+	return minNormWith(p, &minNormScratch{})
+}
+
+// minNormWith is minNorm with caller-managed scratch. The arithmetic is
+// identical to a fresh-scratch solve — buffers only change where the values
+// live, never the operation order — so results are bit-identical.
+func minNormWith(p [][]float64, sc *minNormScratch) (*minNormResult, error) {
 	if len(p) == 0 {
 		return nil, errors.New("tverberg: min-norm of empty set")
 	}
@@ -50,11 +71,11 @@ func minNorm(p [][]float64) (*minNormResult, error) {
 			start, best = i, n2
 		}
 	}
-	corral := []int{start}
-	weights := []float64{1}
-	x := append([]float64(nil), p[start]...)
+	corral := append(sc.corral[:0], start)
+	weights := append(sc.weights[:0], 1)
+	x := append(sc.x[:0], p[start]...)
 
-	scratch := &affineScratch{}
+	scratch := &sc.affine
 	for iter := 0; iter < mnMaxIter; iter++ {
 		// Major cycle: the most violating point minimizes ⟨x, p_j⟩.
 		x2 := dot(x, x)
@@ -65,12 +86,12 @@ func minNorm(p [][]float64) (*minNormResult, error) {
 			}
 		}
 		if enter < 0 {
-			return result(p, x, corral, weights), nil
+			return sc.result(p, x, corral, weights), nil
 		}
 		if containsIndex(corral, enter) {
 			// The best improving point is already in the corral: x is the
 			// convex (not just affine) optimum over it up to tolerance.
-			return result(p, x, corral, weights), nil
+			return sc.result(p, x, corral, weights), nil
 		}
 		corral = append(corral, enter)
 		weights = append(weights, 0)
@@ -205,13 +226,18 @@ func solveDense(a, b []float64, n int) error {
 	return nil
 }
 
-// result assembles the final point and full-length weight vector.
-func result(p [][]float64, x []float64, corral []int, weights []float64) *minNormResult {
-	lambda := make([]float64, len(p))
+// result assembles the final point and full-length weight vector into the
+// scratch-owned buffers (valid until the next solve on this scratch) and
+// hands the grown working slices back to the scratch for reuse.
+func (sc *minNormScratch) result(p [][]float64, x []float64, corral []int, weights []float64) *minNormResult {
+	sc.corral, sc.weights, sc.x = corral, weights, x
+	lambda := growF(&sc.lambda, len(p))
+	clearF(lambda)
 	for i, idx := range corral {
 		lambda[idx] = weights[i]
 	}
-	return &minNormResult{x: append([]float64(nil), x...), norm2: dot(x, x), lambda: lambda}
+	sc.res = minNormResult{x: x, norm2: dot(x, x), lambda: lambda}
+	return &sc.res
 }
 
 func dot(a, b []float64) float64 {
