@@ -125,6 +125,7 @@ func TestExpandExperimentsAndSlack(t *testing.T) {
 		// Experiments lead; e10 brings its serial companion and the
 		// committed n = 15 restricted/async row measurements.
 		"e1", "e10", "e10/nodeworkers=1", "e10/rsync-n15", "e10/approx-n15",
+		"e10/rsync-n11", "e10/rasync-n13",
 		"sweep/exact/n4d2f1/none/none/s1",
 		"sweep/exact/n5d2f1/none/none/s1",
 		"sweep/exact/n6d2f1/none/none/s1", // n=11 dropped: slack 7 > 2
@@ -139,10 +140,11 @@ func TestExpandExperimentsAndSlack(t *testing.T) {
 	}
 }
 
-// TestExpandSkipsFragileCells: restricted f ≥ 2 cells in the Γ-solver's
-// fragile regime (harness.SweepCell.FragileGamma) are excluded unless the
-// spec opts in.
-func TestExpandSkipsFragileCells(t *testing.T) {
+// TestExpandFragileCells: formerly fragile restricted f ≥ 2 cells
+// (harness.SweepCell.FragileGamma) run by default now that the revised
+// simplex core retired the dense solver's failure mode; exclude_fragile
+// remains as an escape hatch.
+func TestExpandFragileCells(t *testing.T) {
 	s := Spec{
 		Variants: []string{"rsync", "rasync"},
 		Dims:     []int{3},
@@ -153,29 +155,31 @@ func TestExpandSkipsFragileCells(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// 3 rsync (n ∈ {11, 13, 15}, the tight-bound n=11 cell included) +
+	// 1 rasync (its d=3, f=2 tight bound is n = 15; 11 and 13 are below
+	// it).
+	if len(units) != 4 {
+		t.Errorf("default expansion has %d units, want 4", len(units))
+	}
+
+	s.ExcludeFragile = true
+	units, err = s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
 	var names []string
 	for _, u := range units {
 		names = append(names, u.Name)
 	}
-	// rsync tight bound n=11 is at the Lemma-1 threshold (fragile); n=13
-	// and n=15 are above it. rasync f=2 is fragile throughout.
+	// rsync tight bound n=11 is at the Lemma-1 threshold (formerly
+	// fragile); n=13 and n=15 are above it. rasync f=2 is in the regime
+	// throughout.
 	want := []string{
 		"sweep/rsync/n13d3f2/none/none/s1",
 		"sweep/rsync/n15d3f2/none/none/s1",
 	}
 	if !reflect.DeepEqual(names, want) {
-		t.Errorf("expansion = %v, want %v", names, want)
-	}
-
-	s.IncludeFragile = true
-	units, err = s.Expand()
-	if err != nil {
-		t.Fatal(err)
-	}
-	// 3 rsync (n ∈ {11, 13, 15}) + 1 rasync (its d=3, f=2 tight bound is
-	// n = 15; 11 and 13 are below it).
-	if len(units) != 4 {
-		t.Errorf("include_fragile expansion has %d units, want 4", len(units))
+		t.Errorf("exclude_fragile expansion = %v, want %v", names, want)
 	}
 }
 

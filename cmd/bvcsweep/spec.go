@@ -57,12 +57,14 @@ type Spec struct {
 	// ns_per_op_mean as a variance estimate. Experiment units are
 	// unaffected (testing.Benchmark already iterates them).
 	Reps int `json:"reps,omitempty"`
-	// IncludeFragile keeps grid cells in the Γ-solver's known fragile
-	// regime (harness.SweepCell.FragileGamma: restricted cells with f ≥ 2
-	// at or — for rasync — above the Lemma-1 threshold). They are skipped
-	// by default so a grid sweep doesn't wedge on the solver limitation
-	// ROADMAP tracks under "Simplex robustness".
-	IncludeFragile bool `json:"include_fragile"`
+	// ExcludeFragile drops grid cells in the formerly fragile Γ regime
+	// (harness.SweepCell.FragileGamma: restricted cells with f ≥ 2 at or —
+	// for rasync — above the Lemma-1 threshold). These cells were SKIPPED
+	// by default while the dense-tableau LP could wedge on them; the
+	// revised simplex core retired that failure mode, so they now run by
+	// default and this field is only an escape hatch (e.g. for bisecting a
+	// solver regression against an old checkout).
+	ExcludeFragile bool `json:"exclude_fragile"`
 	// ExperimentSeed is the master seed of the experiment units (0 → 1,
 	// bvcbench's default; it must match the seed the baseline trajectory
 	// was recorded with for ns/op comparisons to measure the same work).
@@ -235,7 +237,7 @@ func (s *Spec) Expand() ([]Unit, error) {
 								if err != nil {
 									return nil, fmt.Errorf("spec: %w", err)
 								}
-								if norm.FragileGamma() && !s.IncludeFragile {
+								if norm.FragileGamma() && s.ExcludeFragile {
 									continue
 								}
 								add(Unit{Name: norm.Name(), Kind: UnitCell, Cell: norm})

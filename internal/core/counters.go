@@ -10,11 +10,15 @@ import "sync/atomic"
 //   - Solves: Γ-points computed from scratch (memo misses, or cache off);
 //   - CacheHits: full-multiset memo hits (Observation 2 — identical
 //     candidate sets across processes and rounds);
-//   - PrefixHits: sub-family memo hits — candidate sets that shared the
+//   - PrefixHits: sub-family reuse — candidate sets that shared the
 //     method-dependent prefix (first d+2 members for the Radon path, first
-//     (d+1)f+1 for the Tverberg lift) of an already-solved sibling;
-//   - RoundHits: whole-round hits — AverageGamma calls whose entire ordered
-//     tuple set was already reduced (identical inboxes across processes).
+//     (d+1)f+1 for the Tverberg lift) of an already-solved sibling, plus
+//     Radon-family delta reuse (restricted-async f = 1: subset points
+//     carried over between B sets differing in a single member);
+//   - RoundHits: whole-round hits — AverageGamma calls whose entire
+//     canonical (origin-sorted) tuple set was already reduced: identical
+//     inboxes across processes, including restricted-async B sets that
+//     coincide as sets despite different arrival orders.
 //
 // cmd/bvcbench -json surfaces the per-measurement deltas and the derived
 // reuse rate; CI gates on the e10 counters staying nonzero.

@@ -268,7 +268,8 @@ func (ra *RestrictedAsyncNode) Decision() (geometry.Vector, error) {
 		return nil, ra.err
 	}
 	if ra.decision == nil {
-		return nil, fmt.Errorf("core: restricted async BVC not terminated (round %d of %d)", ra.round, ra.rounds)
+		return nil, fmt.Errorf("core: restricted async BVC not terminated (round %d of %d, %d/%d states pending)",
+			ra.round, ra.rounds, len(ra.pending[ra.round]), ra.params.N-ra.params.F-1)
 	}
 	return ra.decision.Clone(), nil
 }

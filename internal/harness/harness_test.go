@@ -119,8 +119,8 @@ func TestE10ScaleSweep(t *testing.T) {
 	if !tbl.Pass {
 		t.Errorf("E10 failed:\n%s", tbl)
 	}
-	if len(tbl.Rows) != 9 { // 3 exact grids × 2 adversary sets + 1 async row + 2 γ-budget n=15 rows
-		t.Errorf("rows = %d, want 9", len(tbl.Rows))
+	if len(tbl.Rows) != 11 { // 3 exact grids × 2 adversary sets + 1 async row + 4 γ-budget rows
+		t.Errorf("rows = %d, want 11", len(tbl.Rows))
 	}
 }
 

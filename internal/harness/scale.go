@@ -17,6 +17,13 @@ import (
 var E10RowCells = []SweepCell{
 	{Variant: "rsync", D: 3, F: 2, N: 15, Adversary: "mixed", Seed: 1},
 	{Variant: "approx", D: 4, F: 2, N: 15, Adversary: "lure", Delay: "exponential", Seed: 1},
+	// Formerly fragile cells (FragileGamma), unlocked by the revised
+	// simplex core: the restricted-sync Lemma-1 tight bound and a
+	// restricted-async f = 2 row. The rasync row runs the
+	// shifted-exponential delay model, so it also exercises nonzero
+	// lookahead under a heavy-tailed schedule.
+	{Variant: "rsync", D: 3, F: 2, N: 11, Adversary: "mixed", Seed: 1},
+	{Variant: "rasync", D: 2, F: 2, N: 13, Adversary: "mixed", Delay: "shiftedexp", Seed: 1},
 }
 
 // E10RowName returns the BENCH record name of one E10RowCells entry, e.g.
@@ -166,6 +173,11 @@ func E10ScaleSweep(seed int64) (*Table, error) {
 	for _, cell := range []SweepCell{
 		{Variant: "rsync", D: 3, F: 2, N: 15, Adversary: "mixed", Seed: seed},
 		{Variant: "approx", D: 4, F: 2, N: 15, Adversary: "lure", Delay: "exponential", Seed: seed},
+		// Formerly fragile rows (see E10RowCells): the rsync Lemma-1
+		// tight bound and restricted-async f = 2 under the
+		// shifted-exponential (lookahead-friendly heavy-tail) schedule.
+		{Variant: "rsync", D: 3, F: 2, N: 11, Adversary: "mixed", Seed: seed},
+		{Variant: "rasync", D: 2, F: 2, N: 13, Adversary: "mixed", Delay: "shiftedexp", Seed: seed},
 	} {
 		out, err := RunSweepCell(cell)
 		if err != nil {

@@ -21,8 +21,8 @@ type SweepCell struct {
 	// "random". "mixed" fills all F Byzantine slots with a rotating
 	// equivocate/silent/lure mix (the full-strength configuration of E10).
 	Adversary string
-	// Delay is "none" (synchronous variants), "constant", "uniform" or
-	// "exponential".
+	// Delay is "none" (synchronous variants), "constant", "uniform",
+	// "exponential" or "shiftedexp".
 	Delay string
 	// Seed drives inputs, schedules and adversary randomness.
 	Seed int64
@@ -37,8 +37,12 @@ var SweepVariants = []string{"exact", "approx", "rsync", "rasync"}
 var SweepAdversaries = []string{"none", "mixed", "silent", "equivocate", "lure", "random"}
 
 // SweepDelays lists the accepted SweepCell.Delay values for asynchronous
-// variants; synchronous variants use "none".
-var SweepDelays = []string{"none", "constant", "uniform", "exponential"}
+// variants; synchronous variants use "none". "shiftedexp" is the
+// shifted-exponential model (constant floor + exponential tail): the
+// heavy-tailed stress schedule with a nonzero Lookahead bound, so the
+// discrete-event engine batches whole delay windows instead of single
+// timestamps.
+var SweepDelays = []string{"none", "constant", "uniform", "exponential", "shiftedexp"}
 
 func (c SweepCell) variant() (bvc.Variant, error) {
 	switch c.Variant {
@@ -113,16 +117,17 @@ func (c SweepCell) Normalize() (SweepCell, error) {
 	return c, nil
 }
 
-// FragileGamma reports whether the cell sits in the Γ-solver's known
-// fragile regime, where the dense-tableau lex-min LP fallback can fail on
-// degenerate hull intersections (ROADMAP: "Simplex robustness"; a
-// refactorization-based solver would retire it): restricted-sync cells
-// with f ≥ 2 whose candidate sets are exactly at the Lemma-1 threshold
-// (n − f = (d+1)f + 1 — tight-bound cells, where Γ degenerates toward a
-// single point), and every restricted-async cell with f ≥ 2. cmd/bvcsweep
-// skips these cells by default; empirically, above-threshold
-// restricted-sync cells and all exact/witness-async cells are solid
-// through n = 15.
+// FragileGamma reports whether the cell sits in the FORMERLY fragile Γ
+// regime: restricted-sync cells with f ≥ 2 whose candidate sets are
+// exactly at the Lemma-1 threshold (n − f = (d+1)f + 1 — tight-bound
+// cells, where Γ degenerates toward a single point), and every
+// restricted-async cell with f ≥ 2. The dense-tableau lex-min LP could
+// fail on these degenerate hull intersections, so cmd/bvcsweep used to
+// skip them by default; the revised LU-based simplex core retired that
+// failure mode (internal/lp, pinned by internal/safearea's
+// fragile-region regression corpus) and the cells now run by default.
+// The predicate remains for the spec-level `exclude_fragile` escape hatch
+// and for labeling the regime in reports.
 func (c SweepCell) FragileGamma() bool {
 	if c.F < 2 {
 		return false
@@ -222,6 +227,8 @@ func (c SweepCell) delaySpec() bvc.DelaySpec {
 		return bvc.DelaySpec{Kind: bvc.DelayUniform, Min: time.Millisecond, Max: 10 * time.Millisecond}
 	case "exponential":
 		return bvc.DelaySpec{Kind: bvc.DelayExponential, Mean: 3 * time.Millisecond}
+	case "shiftedexp":
+		return bvc.DelaySpec{Kind: bvc.DelayShiftedExp, Min: time.Millisecond, Mean: 3 * time.Millisecond}
 	default:
 		return bvc.DelaySpec{Kind: bvc.DelayConstant, Mean: time.Millisecond}
 	}

@@ -56,15 +56,27 @@ func intersectionProblem(groups [][]geometry.Vector) (*lp.Problem, []lp.VarID, e
 		}
 		zvars[l] = v
 	}
+	var uniq []geometry.Vector
 	for g, pts := range groups {
 		if len(pts) == 0 {
 			return nil, nil, fmt.Errorf("hull: group %d is empty", g)
 		}
-		alphas := make([]lp.VarID, len(pts))
 		for i, p := range pts {
 			if p.Dim() != d {
 				return nil, nil, fmt.Errorf("hull: group %d point %d has dimension %d, want %d", g, i, p.Dim(), d)
 			}
+		}
+		// Candidate multisets routinely repeat points (Byzantine echoes,
+		// default vectors); a hull is a function of the point SET, so
+		// duplicated members would only add exactly-identical LP columns —
+		// numerically poisonous twins that make bases singular and reduced
+		// costs pure noise. Keep the first occurrence of each distinct
+		// point (deterministic, so every process builds the identical
+		// program).
+		uniq = dedupePoints(uniq[:0], pts)
+		pts = uniq
+		alphas := make([]lp.VarID, len(pts))
+		for i := range pts {
 			v, err := prob.AddVar("a", 0, math.Inf(1))
 			if err != nil {
 				return nil, nil, err
@@ -92,6 +104,25 @@ func intersectionProblem(groups [][]geometry.Vector) (*lp.Problem, []lp.VarID, e
 		}
 	}
 	return prob, zvars, nil
+}
+
+// dedupePoints appends the first occurrence of each distinct point of pts
+// to dst (exact bit-equality; the small quadratic scan beats hashing at
+// candidate-set sizes).
+func dedupePoints(dst, pts []geometry.Vector) []geometry.Vector {
+	for _, p := range pts {
+		dup := false
+		for _, q := range dst {
+			if p.Equal(q) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, p)
+		}
+	}
+	return dst
 }
 
 // CommonPoint finds some point lying in every conv(groups[g]). The boolean

@@ -39,6 +39,7 @@ type MembershipTester struct {
 
 	alphas []lp.VarID
 	terms  []lp.Term
+	uniq   []geometry.Vector
 }
 
 // NewMembershipTester returns an empty tester.
@@ -65,6 +66,11 @@ func (mt *MembershipTester) Test(points []geometry.Vector, z geometry.Vector, to
 			return false, fmt.Errorf("hull: point %d has dimension %d, want %d", i, p.Dim(), d)
 		}
 	}
+	// Duplicate points add exactly-identical columns (numerically
+	// poisonous twins — see hull.dedupePoints); membership only depends on
+	// the point set, so keep the first occurrence of each.
+	mt.uniq = dedupePoints(mt.uniq[:0], points)
+	points = mt.uniq
 	if len(points) != mt.lastPts || d != mt.lastDim {
 		mt.bas.Reset()
 		mt.lastPts, mt.lastDim = len(points), d

@@ -1,6 +1,10 @@
-// Package lp implements a dense two-phase primal simplex solver for linear
+// Package lp implements a two-phase primal simplex solver for linear
 // programs, plus a small modeling layer (named variables with bounds,
-// ≤ / ≥ / = rows, minimize or maximize objectives).
+// ≤ / ≥ / = rows, minimize or maximize objectives). The default core is a
+// revised simplex maintaining only an LU-factored basis with product-form
+// updates and periodic refactorization (revised.go); the legacy dense
+// accumulated-tableau core is retained behind the Core flag for
+// differential testing (simplex.go).
 //
 // The Byzantine vector consensus algorithms of Vaidya & Garg reduce their
 // geometric core to linear programming: testing whether a point lies in a
@@ -205,7 +209,7 @@ func (p *Problem) SolveWith(ws *Workspace) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
-	status, x, err := std.solve(ws)
+	status, x, err := std.solveActive(ws)
 	if err != nil {
 		return nil, err
 	}
@@ -220,6 +224,28 @@ func (p *Problem) SolveWith(ws *Workspace) (*Solution, error) {
 	}
 	sol.Objective = obj
 	return sol, nil
+}
+
+// smallCoreRows is the revised core's tableau cutoff: programs with at most
+// this many rows run on the dense tableau kernel even under CoreRevised.
+// At these sizes the whole tableau fits in cache, a pivot is one fused
+// pass, and the pivot sequences are far too short for the incremental
+// cost row to accumulate meaningful drift — while the revised machinery
+// (factorization, triangular solves, per-iteration pricing) is pure
+// overhead. The fragile degenerate regime starts well above this size
+// (the smallest fragile joint LPs have 60+ rows) and always runs on the
+// LU-factored path.
+const smallCoreRows = 32
+
+// solveActive dispatches the standard-form solve to the selected simplex
+// core: the LU-based revised core by default (with the small-program
+// tableau kernel below smallCoreRows), the legacy dense tableau everywhere
+// when CoreDense is active (kept for differential testing).
+func (s *standard) solveActive(ws *Workspace) (Status, []float64, error) {
+	if ActiveCore() == CoreDense || s.m <= smallCoreRows {
+		return s.solve(ws)
+	}
+	return s.solveRevised(ws)
 }
 
 // standard is the standard-form program min c·y s.t. Ay = b, y ≥ 0, together

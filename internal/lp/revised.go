@@ -1,0 +1,1209 @@
+package lp
+
+import (
+	"errors"
+	"math"
+)
+
+// This file is the revised simplex core: instead of carrying the full
+// accumulated tableau through every pivot (the dense core in simplex.go,
+// whose incrementally updated rows drift on long degenerate pivot
+// sequences), it maintains only the current basis — as an LU factorization
+// plus a product-form update file — and derives everything else on demand:
+//
+//   - FTRAN (B⁻¹·a) computes the entering column and the basic values;
+//   - BTRAN (B⁻ᵀ·c_B) computes the simplex multipliers, from which the
+//     reduced costs are priced fresh EVERY iteration — there is no
+//     incrementally maintained cost row to drift, so optimality,
+//     infeasibility and unboundedness verdicts always rest on freshly
+//     priced costs (and are re-certified on freshly refactored bases);
+//   - each pivot appends one eta operator (the product-form inverse
+//     update); Hot.AppendLE appends one bordered-row operator (the appended
+//     slack stays basic, making the extended basis block-triangular over
+//     the retained factors);
+//   - the basis is refactored from scratch every refactorEvery updates, and
+//     on demand whenever the stability monitor trips (relatively tiny pivot
+//     in the FTRAN'd column, or a beyond-tolerance infeasible basic value
+//     after an update), with the basic values recomputed from the fresh
+//     factors.
+//
+// Pivoting is the textbook ratio test under Dantzig pricing, falling back
+// to Bland's rule (provably acyclic) whenever the objective stalls — the
+// same bounded anti-cycling rule as the dense core, but applied to exact
+// reduced costs.
+
+const (
+	// refactorEvery bounds the update file: after this many eta/border
+	// operators the basis is refactored from scratch. For large programs
+	// the bound scales with the row count (refactorBound) — an O(m³)
+	// refactorization must amortize over enough O(m²) iterations.
+	refactorEvery = 64
+	// driftCooldown is the minimum update-file length before the drift
+	// monitor may trigger an out-of-cadence refactorization.
+	driftCooldown = 16
+	// verdictOps is the re-certification threshold: an Optimal verdict
+	// reached with at most this many outstanding update operators is
+	// accepted on the per-iteration fresh pricing alone; longer update
+	// files (and every Infeasible/Unbounded verdict) trigger a full
+	// refactorization and a re-scan first.
+	verdictOps = 8
+	// p1FeasEps is the revised core's phase-1 infeasibility margin. The
+	// strict verdict pass drives reduced costs under reducedEps, which
+	// still leaves an objective gap of up to ~reducedEps·Σx* — on the
+	// fragile hull intersections (hundreds of rows, Γ degenerated to a
+	// point) that noise floor reaches the order of 1e-7, so the margin
+	// must sit above it or Lemma-1-guaranteed-nonempty programs get
+	// declared empty by rounding. Residual infeasibility passed through as
+	// "feasible" is bounded by this margin, which every geometric consumer
+	// tolerance (hull.DefaultTol, the lex-min pin slack) matches or
+	// dominates.
+	p1FeasEps = 1e-6
+	// blandEps is Bland mode's improvement threshold. Anti-cycling only
+	// holds if "improving" is noise-proof: candidate multisets routinely
+	// contain duplicated points, whose twin columns read reduced costs of
+	// ±O(1e-9..1e-8) pure solve noise when the other twin is basic — under
+	// the plain reducedEps threshold Bland's rule swaps the twins on the
+	// same degenerate row forever. Columns with true descent at a
+	// suboptimal vertex price in at magnitudes orders above this
+	// threshold, so raising it costs at most a feasEps-scale objective
+	// slack (re-certified on fresh factors at every verdict).
+	blandEps = 1e-7
+	// etaStabRel is the stability monitor's pivot threshold: an FTRAN'd
+	// column whose pivot entry is smaller than etaStabRel times the
+	// column's magnitude would produce an ill-conditioned eta, so the basis
+	// is refactored first and the iteration retried on fresh factors.
+	etaStabRel = 1e-8
+)
+
+// refactorBound returns the update-file length that triggers a periodic
+// refactorization for an m-row program.
+func refactorBound(m int) int {
+	if b := m / 2; b > refactorEvery {
+		return b
+	}
+	return refactorEvery
+}
+
+// errSingularBasis reports a numerically singular basis during
+// refactorization — with valid pivoting this indicates severe numerical
+// trouble, equivalent in effect to the dense core's iteration-cap failure.
+var errSingularBasis = errors.New("lp: basis factorization singular")
+
+// revOp is one multiplicative update on the factored basis. Eta operators
+// are stored sparsely — the pivot value first, then (index, value) pairs
+// for the other nonzeros of the FTRAN'd column (ws.opIdx / ws.opBuf) —
+// because early columns out of a fresh factorization are mostly zeros.
+// Border operators store their row densely (one per appended constraint).
+type revOp struct {
+	border bool
+	dim    int // operand length at creation time (current m)
+	pivot  int // eta: pivot row; unused for borders
+	off    int // start of the operator's values in Workspace.opBuf
+	nnz    int // eta: number of off-pivot nonzeros (indices in ws.opIdx)
+	idx    int // eta: start of the nonzero indices in Workspace.opIdx
+}
+
+// rev is the revised-simplex working state. Its slices alias Workspace
+// buffers; dimensions live here so a Hot handle can retain the state across
+// appends and resolves.
+type rev struct {
+	std *standard
+	ws  *Workspace
+
+	m, n  int   // current rows and structural+slack columns
+	basis []int // ws.basis: column of each basic variable, per row
+	xB    []float64
+
+	luDim   int    // dimension of the factored prefix (m at last refactor)
+	inBasis []bool // per-column basic marks, maintained across pivots
+
+	// Compressed-sparse-column view of the structural matrix (rebuilt when
+	// the program changes shape): pricing and column gathers walk only the
+	// nonzeros — the hull-intersection programs are very sparse (a handful
+	// of entries per convex-weight column).
+	cscPtr []int
+	cscRow []int
+	cscVal []float64
+}
+
+// column writes standard-form column c (structural for c < n, artificial
+// e_{c−n} otherwise) into dst[:m].
+func (rv *rev) column(c int, dst []float64) {
+	m, n := rv.m, rv.n
+	clear(dst[:m])
+	if c < n {
+		for k := rv.cscPtr[c]; k < rv.cscPtr[c+1]; k++ {
+			dst[rv.cscRow[k]] = rv.cscVal[k]
+		}
+		return
+	}
+	dst[c-n] = 1
+}
+
+// buildCSC (re)builds the compressed-sparse-column view of the structural
+// matrix. Two row-major passes (count, fill) keep the scan sequential.
+func (rv *rev) buildCSC() {
+	m, n := rv.m, rv.n
+	ws := rv.ws
+	ptr := grow(&ws.cscPtr, n+1)
+	for i := range ptr {
+		ptr[i] = 0
+	}
+	a := rv.std.a
+	for i := 0; i < m; i++ {
+		row := a[i*n : i*n+n]
+		for j, v := range row {
+			if v != 0 {
+				ptr[j+1]++
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		ptr[j+1] += ptr[j]
+	}
+	nnz := ptr[n]
+	rows := grow(&ws.cscRow, nnz)
+	vals := grow(&ws.cscVal, nnz)
+	next := grow(&ws.cscNext, n)
+	copy(next, ptr[:n])
+	for i := 0; i < m; i++ {
+		row := a[i*n : i*n+n]
+		for j, v := range row {
+			if v != 0 {
+				k := next[j]
+				next[j]++
+				rows[k] = i
+				vals[k] = v
+			}
+		}
+	}
+	rv.cscPtr, rv.cscRow, rv.cscVal = ptr, rows, vals
+}
+
+// refactor gathers the current basis matrix and factors it from scratch,
+// dropping the update file. A numerically dependent basis column — the
+// fragile hull intersections produce them out of near-duplicate candidate
+// points — is repaired rather than fatal: the offending column is swapped
+// for the artificial of a row not yet pivoted on (restoring
+// nonsingularity by construction) and the factorization restarts. It
+// reports false only when repair is impossible.
+func (rv *rev) refactor() bool {
+	m := rv.m
+	ws := rv.ws
+	rv.markBasis()
+	for attempt := 0; attempt <= m; attempt++ {
+		lu := grow(&ws.lu, m*m)
+		col := grow(&ws.col, m)
+		for j, c := range rv.basis {
+			rv.column(c, col)
+			for i := 0; i < m; i++ {
+				lu[i*m+j] = col[i]
+			}
+		}
+		piv := grow(&ws.luPiv, m)
+		rowID := grow(&ws.rowID, m)
+		for i := range rowID {
+			rowID[i] = i
+		}
+		k := luFactorizeTrack(lu, piv, rowID, m)
+		if k < 0 {
+			rv.compressFactors(lu, m)
+			rv.luDim = m
+			ws.ops = ws.ops[:0]
+			ws.opBuf = ws.opBuf[:0]
+			ws.opIdx = ws.opIdx[:0]
+			return true
+		}
+		repaired := false
+		for _, r := range rowID[k:] {
+			if !rv.inBasis[rv.n+r] {
+				rv.inBasis[rv.basis[k]] = false
+				rv.basis[k] = rv.n + r
+				rv.inBasis[rv.n+r] = true
+				repaired = true
+				break
+			}
+		}
+		if !repaired {
+			return false
+		}
+	}
+	return false
+}
+
+// compressFactors extracts sparse views of the freshly factored L and U:
+// columns of L (forward solve, Lᵀ solve), rows and columns of U (back
+// solve, Uᵀ solve), and the U diagonal. The basis matrices of the
+// hull-intersection programs are block sparse, and partial-pivoting LU
+// preserves most of that sparsity — solving through the sparse views costs
+// O(nnz(L)+nnz(U)) instead of O(m²), which is the revised core's
+// per-iteration floor.
+func (rv *rev) compressFactors(lu []float64, m int) {
+	ws := rv.ws
+	lPtr := grow(&ws.lPtr, m+1)
+	uColPtr := grow(&ws.uColPtr, m+1)
+	uRowPtr := grow(&ws.uRowPtr, m+1)
+	uDiag := grow(&ws.uDiag, m)
+	lIdx := ws.lIdx[:0]
+	lVal := ws.lVal[:0]
+	uColIdx := ws.uColIdx[:0]
+	uColVal := ws.uColVal[:0]
+	uRowIdx := ws.uRowIdx[:0]
+	uRowVal := ws.uRowVal[:0]
+	for k := 0; k < m; k++ {
+		uColPtr[k] = len(uColIdx)
+		lPtr[k] = len(lIdx)
+		for i := 0; i < k; i++ {
+			if v := lu[i*m+k]; v != 0 {
+				uColIdx = append(uColIdx, i)
+				uColVal = append(uColVal, v)
+			}
+		}
+		uDiag[k] = lu[k*m+k]
+		for i := k + 1; i < m; i++ {
+			if v := lu[i*m+k]; v != 0 {
+				lIdx = append(lIdx, i)
+				lVal = append(lVal, v)
+			}
+		}
+		uRowPtr[k] = len(uRowIdx)
+		row := lu[k*m : k*m+m]
+		for j := k + 1; j < m; j++ {
+			if v := row[j]; v != 0 {
+				uRowIdx = append(uRowIdx, j)
+				uRowVal = append(uRowVal, v)
+			}
+		}
+	}
+	lPtr[m] = len(lIdx)
+	uColPtr[m] = len(uColIdx)
+	uRowPtr[m] = len(uRowIdx)
+	ws.lIdx, ws.lVal = lIdx, lVal
+	ws.uColIdx, ws.uColVal = uColIdx, uColVal
+	ws.uRowIdx, ws.uRowVal = uRowIdx, uRowVal
+}
+
+// ftranBase solves the factored-prefix system B₀·x = rhs through the
+// sparse factor views.
+func (rv *rev) ftranBase(x []float64) {
+	ws := rv.ws
+	dim := rv.luDim
+	piv := ws.luPiv
+	for k := 0; k < dim; k++ {
+		if p := piv[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	lPtr, lIdx, lVal := ws.lPtr, ws.lIdx, ws.lVal
+	for k := 0; k < dim; k++ {
+		xk := x[k]
+		if xk == 0 {
+			continue
+		}
+		for t := lPtr[k]; t < lPtr[k+1]; t++ {
+			x[lIdx[t]] -= lVal[t] * xk
+		}
+	}
+	uRowPtr, uRowIdx, uRowVal, uDiag := ws.uRowPtr, ws.uRowIdx, ws.uRowVal, ws.uDiag
+	for k := dim - 1; k >= 0; k-- {
+		s := x[k]
+		for t := uRowPtr[k]; t < uRowPtr[k+1]; t++ {
+			s -= uRowVal[t] * x[uRowIdx[t]]
+		}
+		x[k] = s / uDiag[k]
+	}
+}
+
+// btranBase solves B₀ᵀ·y = rhs through the sparse factor views.
+func (rv *rev) btranBase(y []float64) {
+	ws := rv.ws
+	dim := rv.luDim
+	uColPtr, uColIdx, uColVal, uDiag := ws.uColPtr, ws.uColIdx, ws.uColVal, ws.uDiag
+	for k := 0; k < dim; k++ {
+		s := y[k]
+		for t := uColPtr[k]; t < uColPtr[k+1]; t++ {
+			s -= uColVal[t] * y[uColIdx[t]]
+		}
+		y[k] = s / uDiag[k]
+	}
+	lPtr, lIdx, lVal := ws.lPtr, ws.lIdx, ws.lVal
+	for k := dim - 2; k >= 0; k-- {
+		s := y[k]
+		for t := lPtr[k]; t < lPtr[k+1]; t++ {
+			s -= lVal[t] * y[lIdx[t]]
+		}
+		y[k] = s
+	}
+	piv := ws.luPiv
+	for k := dim - 1; k >= 0; k-- {
+		if p := piv[k]; p != k {
+			y[k], y[p] = y[p], y[k]
+		}
+	}
+}
+
+// refactorStrict factors the current basis without the repair loop: used
+// by the warm path, where a singular candidate basis must defer to the
+// cold solve instead of being repaired into a different basis.
+func (rv *rev) refactorStrict() bool {
+	m := rv.m
+	ws := rv.ws
+	lu := grow(&ws.lu, m*m)
+	col := grow(&ws.col, m)
+	for j, c := range rv.basis {
+		rv.column(c, col)
+		for i := 0; i < m; i++ {
+			lu[i*m+j] = col[i]
+		}
+	}
+	piv := grow(&ws.luPiv, m)
+	if !luFactorize(lu, piv, m) {
+		return false
+	}
+	rv.compressFactors(lu, m)
+	rv.luDim = m
+	ws.ops = ws.ops[:0]
+	ws.opBuf = ws.opBuf[:0]
+	ws.opIdx = ws.opIdx[:0]
+	return true
+}
+
+// refresh refactors and recomputes the basic values from the fresh
+// factors. Negative recomputed values are clamped to exactly zero — noise
+// within feasEps always is, and on the ill-conditioned fragile bases the
+// residual infeasibility beyond it is shifted away too (the alternative is
+// a refactorization storm: the drift monitor would re-trip on every
+// subsequent pivot while the terminal verdicts are certified against the
+// true data anyway, by the strict phase-1 re-pass and the unbounded-ray
+// residual check).
+func (rv *rev) refresh() bool {
+	if !rv.refactor() {
+		return false
+	}
+	copy(rv.xB[:rv.m], rv.std.b[:rv.m])
+	rv.ftran(rv.xB)
+	for i := range rv.xB {
+		if rv.xB[i] < 0 {
+			rv.xB[i] = 0
+		}
+	}
+	return true
+}
+
+// ftran solves B·x = rhs in place: the base LU solve on the factored
+// prefix, then every update operator in chronological order (each touches
+// only the prefix that existed when it was created).
+func (rv *rev) ftran(x []float64) {
+	ws := rv.ws
+	rv.ftranBase(x)
+	for _, op := range ws.ops {
+		if op.border {
+			r := ws.opBuf[op.off : op.off+op.dim-1]
+			x[op.dim-1] -= dotVec(r, x)
+			continue
+		}
+		p := op.pivot
+		xp := x[p] / ws.opBuf[op.off]
+		if xp != 0 {
+			vals := ws.opBuf[op.off+1 : op.off+1+op.nnz]
+			idxs := ws.opIdx[op.idx : op.idx+op.nnz]
+			for k, i := range idxs {
+				x[i] -= vals[k] * xp
+			}
+		}
+		x[p] = xp
+	}
+}
+
+// btran solves Bᵀ·y = rhs in place: the update operators transposed in
+// reverse order, then the base LU transpose solve.
+func (rv *rev) btran(y []float64) {
+	ws := rv.ws
+	for k := len(ws.ops) - 1; k >= 0; k-- {
+		op := ws.ops[k]
+		if op.border {
+			r := ws.opBuf[op.off : op.off+op.dim-1]
+			yb := y[op.dim-1]
+			if yb != 0 {
+				axpyNeg(y[:op.dim-1], yb, r)
+			}
+			continue
+		}
+		p := op.pivot
+		s := y[p]
+		vals := ws.opBuf[op.off+1 : op.off+1+op.nnz]
+		idxs := ws.opIdx[op.idx : op.idx+op.nnz]
+		for k2, i := range idxs {
+			s -= vals[k2] * y[i]
+		}
+		y[p] = s / ws.opBuf[op.off]
+	}
+	rv.btranBase(y)
+}
+
+// pushEta appends the product-form update for a pivot on row p with
+// FTRAN'd entering column d: the pivot value, then the off-pivot nonzeros.
+func (rv *rev) pushEta(d []float64, p int) {
+	ws := rv.ws
+	off := len(ws.opBuf)
+	idx := len(ws.opIdx)
+	ws.opBuf = append(ws.opBuf, d[p])
+	for i, v := range d[:rv.m] {
+		if v != 0 && i != p {
+			ws.opBuf = append(ws.opBuf, v)
+			ws.opIdx = append(ws.opIdx, i)
+		}
+	}
+	ws.ops = append(ws.ops, revOp{dim: rv.m, pivot: p, off: off, nnz: len(ws.opIdx) - idx, idx: idx})
+}
+
+// pushBorder appends the bordered-row update for an appended constraint row
+// whose slack is basic: r holds the new row's coefficients at the previous
+// basis columns (length m−1 after the append).
+func (rv *rev) pushBorder(r []float64) {
+	ws := rv.ws
+	off := len(ws.opBuf)
+	ws.opBuf = append(ws.opBuf, r...)
+	ws.ops = append(ws.ops, revOp{border: true, dim: rv.m, off: off})
+}
+
+// markBasis rebuilds the per-column basic marks.
+func (rv *rev) markBasis() {
+	marks := grow(&rv.ws.inBasis, rv.n+rv.m)
+	for i := range marks {
+		marks[i] = false
+	}
+	for _, c := range rv.basis {
+		marks[c] = true
+	}
+	rv.inBasis = marks
+}
+
+// newRev initializes the revised state on the all-artificial basis
+// (B = I, so the initial factorization is trivial) with xB = b ≥ 0.
+func newRev(s *standard, ws *Workspace) (*rev, error) {
+	rv := &rev{std: s, ws: ws, m: s.m, n: s.n}
+	rv.basis = grow(&ws.basis, s.m)
+	for i := range rv.basis {
+		rv.basis[i] = s.n + i
+	}
+	rv.xB = grow(&ws.xB, s.m)
+	copy(rv.xB, s.b[:s.m])
+	ws.ops = ws.ops[:0]
+	ws.opBuf = ws.opBuf[:0]
+	ws.opIdx = ws.opIdx[:0]
+	rv.buildCSC()
+	if !rv.refactor() {
+		return nil, errSingularBasis
+	}
+	rv.markBasis()
+	return rv, nil
+}
+
+// price computes the reduced costs r_j = c_j − yᵀA_j for every column
+// j < limit into ws.red. The structural block is accumulated row-major
+// (sequential memory), artificial columns reduce to c_{n+i} − y_i.
+func (rv *rev) price(cost, y []float64, limit int) []float64 {
+	n := rv.n
+	red := grow(&rv.ws.red, limit)
+	sl := limit
+	if sl > n {
+		sl = n
+	}
+	ptr, rows, vals := rv.cscPtr, rv.cscRow, rv.cscVal
+	for j := 0; j < sl; j++ {
+		acc := cost[j]
+		for k := ptr[j]; k < ptr[j+1]; k++ {
+			acc -= vals[k] * y[rows[k]]
+		}
+		red[j] = acc
+	}
+	for j := n; j < limit; j++ {
+		red[j] = cost[j] - y[j-n]
+	}
+	return red
+}
+
+// selectPivot outcomes (the enter result when no pivot was produced).
+const (
+	selOptimal   = -1 // no improving column on the current pricing
+	selUnbounded = -2 // improving column with a certified unbounded ray
+	selRefresh   = -3 // stability monitor tripped: refactor and retry
+	selBad       = -4 // ray failed residual verification: numerics exhausted
+)
+
+// rayResidTol bounds ‖A_q − B·d‖∞ for an unbounded-ray certificate: d is
+// the FTRAN'd entering column, so the residual measures how much the
+// factors actually solved the system. Data is row-equilibrated to O(1).
+const rayResidTol = 1e-6
+
+// rayResidualOK verifies the FTRAN'd column d against the original basis
+// columns: a genuine ray must satisfy B·d = A_enter. On the fragile
+// hull-intersection bases an ill-conditioned solve can zero a column's
+// image and fake an unbounded direction — the residual check catches it
+// from the unfactored data.
+func (rv *rev) rayResidualOK(enter int, d []float64) bool {
+	m := rv.m
+	ws := rv.ws
+	r := grow(&ws.col, m)
+	rv.column(enter, r)
+	for j, c := range rv.basis {
+		xj := d[j]
+		if xj == 0 {
+			continue
+		}
+		if c < rv.n {
+			for k := rv.cscPtr[c]; k < rv.cscPtr[c+1]; k++ {
+				r[rv.cscRow[k]] -= xj * rv.cscVal[k]
+			}
+		} else {
+			r[c-rv.n] -= xj
+		}
+	}
+	for _, v := range r {
+		if v > rayResidTol || v < -rayResidTol {
+			return false
+		}
+	}
+	return true
+}
+
+// selectPivot picks the entering and leaving variables on the given fresh
+// reduced costs: Dantzig's rule (most negative) or, in Bland mode, the
+// lowest improving index. The ratio test is the textbook minimum with ties
+// broken toward the lowest basis column (the Bland-compatible tie break the
+// anti-cycling guarantee needs). Columns whose FTRAN image has no usable
+// pivot and whose reduced cost is within noise of zero are excluded for
+// this pricing pass only. On success the FTRAN'd entering column is left in
+// ws.col2.
+func (rv *rev) selectPivot(red []float64, limit int, bland bool, blandTol float64) (enter, leave int, col []float64) {
+	// In phase 2 (limit ≤ n: artificial columns barred from entering) a
+	// basic artificial is pinned at zero and must block the ratio test
+	// with either entry sign; in phase 1 artificials are ordinary
+	// cost-1 variables and move freely.
+	pinned := limit <= rv.n
+	ws := rv.ws
+	excl := ws.excl[:0]
+	defer func() {
+		for _, j := range excl {
+			rv.inBasis[j] = false
+		}
+		ws.excl = excl
+	}()
+	for {
+		enter = -1
+		if bland {
+			for j := 0; j < limit; j++ {
+				if !rv.inBasis[j] && red[j] < -blandTol {
+					enter = j // Bland: first index improving beyond the tolerance
+					break
+				}
+			}
+		} else {
+			best := -reducedEps
+			for j := 0; j < limit; j++ {
+				if r := red[j]; r < best && !rv.inBasis[j] {
+					best = r
+					enter = j // Dantzig: most improving index
+				}
+			}
+		}
+		if enter < 0 {
+			return selOptimal, 0, nil
+		}
+
+		col = grow(&ws.col2, rv.m)
+		rv.column(enter, col)
+		rv.ftran(col)
+
+		// Exact minimum-ratio test with ties broken toward the lowest basis
+		// column. The comparisons are exact on the computed ratios — an
+		// epsilon window here lets a "tied" higher-ratio row win and
+		// silently breaks Bland's anti-cycling invariant on the massively
+		// degenerate phase-1 bases of the hull programs (every eq-row
+		// ratio is exactly 0 thanks to the basic-value clamping, so exact
+		// ties resolve by index just as the textbook rule requires).
+		leave = -1
+		var bestRatio, colMax float64
+		for i := 0; i < rv.m; i++ {
+			e := col[i]
+			if a := math.Abs(e); a > colMax {
+				colMax = a
+			}
+			eligible := e > pivotEps
+			ratio := 0.0
+			if eligible {
+				xb := rv.xB[i]
+				if xb < 0 {
+					xb = 0
+				}
+				ratio = xb / e
+			} else if pinned && e < -pivotEps && rv.basis[i] >= rv.n && rv.xB[i] <= feasEps {
+				// A basic artificial pinned at ~zero blocks the column with
+				// EITHER sign: it must never grow (its row would silently
+				// relax — basis repairs seat artificials mid-phase-2, and a
+				// "ray" through a relaxed row is not a ray of the real
+				// program), so it leaves at a zero step instead.
+				eligible = true
+			}
+			if !eligible {
+				continue
+			}
+			switch {
+			case leave < 0 || ratio < bestRatio:
+				leave = i
+				bestRatio = ratio
+			case ratio == bestRatio && rv.basis[i] < rv.basis[leave]:
+				leave = i
+			}
+		}
+		if leave < 0 {
+			// No blocking row. Only a decisively negative reduced cost
+			// signals a genuine unbounded ray; a reduced cost within noise
+			// of zero on a pivotless column is numerical debris — exclude
+			// the column for this pricing pass and rescan (the fresh-priced
+			// analogue of the dense core's phantom-column guard).
+			if red[enter] >= -phantomEps {
+				rv.inBasis[enter] = true
+				excl = append(excl, enter)
+				continue
+			}
+			if !rv.rayResidualOK(enter, col) {
+				return selBad, 0, nil
+			}
+			return selUnbounded, 0, nil
+		}
+		// Stability monitor: a relatively tiny pivot would produce an
+		// ill-conditioned eta. With updates outstanding, refactor first and
+		// retry on fresh factors; on a fresh factorization the column's
+		// image is as accurate as it gets, so the pivot is accepted.
+		if len(ws.ops) > 0 && math.Abs(col[leave]) < etaStabRel*colMax {
+			return selRefresh, 0, nil
+		}
+		return enter, leave, col
+	}
+}
+
+// iterate runs revised-simplex pivots under the given cost vector (length
+// n+m; artificial columns at or beyond limit can leave but never enter)
+// until optimality or unboundedness. Both verdicts are re-certified on a
+// freshly refactored basis whenever updates are outstanding. On Optimal the
+// basis and xB hold the final vertex.
+func (rv *rev) iterate(cost []float64, limit int, blandTol float64) (Status, error) {
+	ws := rv.ws
+	maxIters := maxItFactor * (rv.m + rv.n)
+	if maxIters < minIters {
+		maxIters = minIters
+	}
+	// A solve that has gone stallCap consecutive iterations without
+	// objective progress is numerically cycling (Bland mode engages after
+	// stallLimit, and an honest degenerate walk resolves within O(m+n)
+	// pivots); giving up early feeds the caller's recovery ladder —
+	// perturbed retry, cold fallback, partition rescue — instead of
+	// burning the full iteration cap first.
+	stallCap := 8 * (rv.m + rv.n)
+	if stallCap < 2000 {
+		stallCap = 2000
+	}
+	const stallLimit = 30
+
+	stall := 0
+	lastObj := math.Inf(1)
+	for iter := 0; iter < maxIters; iter++ {
+		m := rv.m
+		// Simplex multipliers and fresh reduced costs.
+		y := grow(&ws.y, m)
+		for i, c := range rv.basis {
+			y[i] = cost[c]
+		}
+		rv.btran(y)
+		red := rv.price(cost, y, limit)
+
+		enter, leave, col := rv.selectPivot(red, limit, stall >= stallLimit, blandTol)
+		if enter < 0 {
+			// Every verdict already rests on reduced costs priced fresh
+			// from the factored basis this iteration. Optimality is
+			// additionally re-certified on a from-scratch refactorization
+			// when the update file has grown past a handful of operators;
+			// terminal Infeasible/Unbounded claims always are.
+			recertify := len(ws.ops) > 0 &&
+				(enter != selOptimal || len(ws.ops) > verdictOps)
+			if recertify {
+				if !rv.refresh() {
+					return 0, errSingularBasis
+				}
+				continue
+			}
+			switch enter {
+			case selOptimal:
+				return Optimal, nil
+			case selUnbounded:
+				if len(ws.ops) > 0 {
+					if !rv.refresh() {
+						return 0, errSingularBasis
+					}
+					continue
+				}
+				return Unbounded, nil
+			}
+			continue // selRefresh with nothing to refresh cannot occur
+		}
+
+		// Pivot: update the basic values, swap the basis column, push the
+		// eta operator. A zero-step exit of a pinned artificial pivots on
+		// a negative element; the step is exactly zero there (the
+		// artificial sits within feasEps of zero), never negative.
+		theta := rv.xB[leave]
+		if theta < 0 || col[leave] < 0 {
+			theta = 0
+		} else {
+			theta /= col[leave]
+		}
+		if theta != 0 {
+			for i := 0; i < m; i++ {
+				rv.xB[i] -= theta * col[i]
+				if rv.xB[i] < 0 && rv.xB[i] > -feasEps {
+					rv.xB[i] = 0
+				}
+			}
+		}
+		rv.xB[leave] = theta
+		rv.inBasis[rv.basis[leave]] = false
+		rv.basis[leave] = enter
+		rv.inBasis[enter] = true
+		rv.pushEta(col, leave)
+
+		drift := false
+		if len(ws.ops) >= driftCooldown {
+			// Beyond-tolerance infeasibility trips the monitor, but only
+			// after a few updates have accumulated — refresh clamps the
+			// basic values to feasibility, so immediate re-trips would
+			// refactor on every pivot for nothing.
+			for i := 0; i < m; i++ {
+				if rv.xB[i] < -feasEps {
+					drift = true
+					break
+				}
+			}
+		}
+		if len(ws.ops) >= refactorBound(m) || drift {
+			if !rv.refresh() {
+				return 0, errSingularBasis
+			}
+		}
+
+		var obj float64
+		for i, c := range rv.basis {
+			obj += cost[c] * rv.xB[i]
+		}
+		if obj < lastObj-reducedEps {
+			stall = 0
+			lastObj = obj
+		} else {
+			if stall++; stall >= stallCap {
+				return 0, errIterationCap
+			}
+		}
+	}
+	return 0, errIterationCap
+}
+
+// driveOutArtificials pivots every basic artificial left at value zero
+// after phase 1 onto a structural or slack column with a usable entry in
+// its row. Rows with no such entry are numerically redundant: their
+// artificial stays basic, pinned at zero — the row's FTRAN image is zero
+// for every column, so no later pivot can move it.
+func (rv *rev) driveOutArtificials() error {
+	ws := rv.ws
+	for i := 0; i < rv.m; i++ {
+		if rv.basis[i] < rv.n {
+			continue
+		}
+		// Row i of B⁻¹A via the multipliers ρ = B⁻ᵀe_i: entries are ρᵀA_j.
+		rho := grow(&ws.y, rv.m)
+		clear(rho)
+		rho[i] = 1
+		rv.btran(rho)
+		// price with a zero cost vector gives red[j] = −ρᵀA_j.
+		zero := growZero(&ws.cvec, rv.n)
+		red := rv.price(zero, rho, rv.n)
+		for j := 0; j < rv.n; j++ {
+			if rv.inBasis[j] || math.Abs(red[j]) <= pivotEps {
+				continue
+			}
+			col := grow(&ws.col2, rv.m)
+			rv.column(j, col)
+			rv.ftran(col)
+			if math.Abs(col[i]) <= pivotEps {
+				continue // drifted row estimate; try the next column
+			}
+			// Degenerate pivot: the artificial sits at ~0, so the step is
+			// ~0 and the basic point is unchanged up to tolerance.
+			theta := rv.xB[i]
+			if theta < 0 {
+				theta = 0
+			}
+			theta /= col[i]
+			if theta != 0 {
+				for k := 0; k < rv.m; k++ {
+					rv.xB[k] -= theta * col[k]
+					if rv.xB[k] < 0 && rv.xB[k] > -feasEps {
+						rv.xB[k] = 0
+					}
+				}
+			}
+			rv.xB[i] = theta
+			rv.inBasis[rv.basis[i]] = false
+			rv.basis[i] = j
+			rv.inBasis[j] = true
+			rv.pushEta(col, i)
+			if len(ws.ops) >= refactorBound(rv.m) {
+				if !rv.refresh() {
+					return errSingularBasis
+				}
+			}
+			break
+		}
+	}
+	return nil
+}
+
+// artificialSum returns the phase-1 objective: the total value of basic
+// artificial variables.
+func (rv *rev) artificialSum() float64 {
+	var s float64
+	for i, c := range rv.basis {
+		if c >= rv.n {
+			s += rv.xB[i]
+		}
+	}
+	return s
+}
+
+// extract maps the basic values to the full standard-form solution vector
+// (ws.x scratch).
+func (rv *rev) extract() []float64 {
+	x := growZero(&rv.ws.x, rv.n)
+	for i, c := range rv.basis {
+		if c < rv.n {
+			x[c] = rv.xB[i]
+		}
+	}
+	return x
+}
+
+// solveRevised runs two-phase revised simplex on the standard-form
+// program. The returned solution vector is scratch owned by ws.
+func (s *standard) solveRevised(ws *Workspace) (Status, []float64, error) {
+	st, x, _, err := s.solveRevisedKeep(ws)
+	return st, x, err
+}
+
+// solveRevisedKeep is solveRevised, additionally returning the live solver
+// state on an Optimal outcome so SolveHot can retain it.
+//
+// A first attempt that dies of numerical degeneracy — a singular basis
+// refactorization or the iteration cap, both signatures of the massively
+// degenerate hull intersections of the fragile regime — is retried once
+// with a deterministic right-hand-side perturbation (perturbB): breaking
+// the exact primal ties restores strict ratio-test progress and
+// well-conditioned bases. The perturbation is identical on every process,
+// so results stay deterministic, and its 1e-9 scale is far below every
+// consumer tolerance (hull tolerances and the lex-min pin slack are 1e-7
+// to 1e-6).
+func (s *standard) solveRevisedKeep(ws *Workspace) (Status, []float64, *rev, error) {
+	st, x, rv, err := s.solveRevisedAttempt(ws)
+	if errors.Is(err, errSingularBasis) || errors.Is(err, errIterationCap) {
+		s.perturbB()
+		st, x, rv, err = s.solveRevisedAttempt(ws)
+	}
+	return st, x, rv, err
+}
+
+// perturbB applies the deterministic degeneracy-breaking perturbation:
+// strictly increasing 1e-9-scale offsets that keep b ≥ 0.
+func (s *standard) perturbB() {
+	for i := 0; i < s.m; i++ {
+		s.b[i] += float64(i+1) * 1e-9
+	}
+}
+
+// solveRevisedAttempt runs one two-phase revised-simplex attempt.
+func (s *standard) solveRevisedAttempt(ws *Workspace) (Status, []float64, *rev, error) {
+	m, n := s.m, s.n
+	if m == 0 {
+		for _, cj := range s.c {
+			if cj < -reducedEps {
+				return Unbounded, nil, nil, nil
+			}
+		}
+		return Optimal, growZero(&ws.x, n), nil, nil
+	}
+	rv, err := newRev(s, ws)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+
+	// Phase 1: minimize the artificial sum from the all-artificial basis.
+	p1c := growZero(&ws.cvec, n+m)
+	for j := n; j < n+m; j++ {
+		p1c[j] = 1
+	}
+	st, err := rv.iterate(p1c, n+m, blandEps)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if st != Optimal {
+		// Phase 1 is bounded below by 0; an unbounded verdict is numerical
+		// failure (mirrors the dense core).
+		return 0, nil, nil, errIterationCap
+	}
+	p1obj := rv.artificialSum()
+	if p1obj > p1FeasEps {
+		// The noise-proof Bland tolerance may stop short of true phase-1
+		// optimality by more than feasEps, so an infeasibility verdict is
+		// only rendered after a strict pass on freshly refactored bases:
+		// refresh, then drive the artificial sum down under the tight
+		// threshold. A strict pass that cycles into the iteration cap
+		// aborts the attempt (the caller retries with the
+		// degeneracy-breaking perturbation).
+		if !rv.refresh() {
+			return 0, nil, nil, errSingularBasis
+		}
+		st, err = rv.iterate(p1c, n+m, reducedEps)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		if st != Optimal {
+			return 0, nil, nil, errIterationCap
+		}
+		p1obj = rv.artificialSum()
+		if p1obj > p1FeasEps {
+			return Infeasible, nil, nil, nil
+		}
+	}
+	// Drive residual artificials out of the basis before phase 2: a basic
+	// artificial is only harmless on a redundant row (its FTRAN entry is
+	// then zero for every column, so no pivot can ever move it off zero);
+	// on a non-redundant row a phase-2 step with a negative entry would
+	// silently grow the artificial and violate its constraint row.
+	if err := rv.driveOutArtificials(); err != nil {
+		return 0, nil, nil, err
+	}
+
+	// Phase 2: original costs.
+	p2c := growZero(&ws.cvec, n+m)
+	copy(p2c, s.c[:n])
+	st, err = rv.iterate(p2c, n, blandEps)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if st != Optimal {
+		return st, nil, nil, nil
+	}
+	if err := rv.checkArtificials(); err != nil {
+		return 0, nil, nil, err
+	}
+	return Optimal, rv.extract(), rv, nil
+}
+
+// checkArtificials rejects a phase-2 "Optimal" vertex carrying a basic
+// artificial beyond the feasibility slack: a mid-phase-2 basis repair can
+// seat an artificial on a numerically dependent row, and if it settles at
+// a meaningfully positive value the vertex silently violates that row —
+// extract() would drop the violation on the floor. Surfacing the same
+// failure as the iteration cap routes the solve into the perturbed retry
+// (or the caller's cold fallback).
+func (rv *rev) checkArtificials() error {
+	if rv.artificialSum() > p1FeasEps {
+		return errIterationCap
+	}
+	return nil
+}
+
+// solveWarmRevised attempts the warm path of SolveWithBasis on the revised
+// core: refactor the candidate basis against this program's coefficients,
+// recompute the basic values from the fresh factors, and — when the basis
+// is nonsingular and primal feasible here — run phase 2 directly. The
+// boolean reports whether a verdict was produced; false defers to the cold
+// two-phase path.
+func (s *standard) solveWarmRevised(ws *Workspace, cols []int) (Status, []float64, bool) {
+	m, n := s.m, s.n
+	if m == 0 || len(cols) != m {
+		return 0, nil, false
+	}
+	for _, c := range cols {
+		if c < 0 || c >= n {
+			return 0, nil, false
+		}
+	}
+	rv := &rev{std: s, ws: ws, m: m, n: n}
+	rv.basis = grow(&ws.basis, m)
+	copy(rv.basis, cols)
+	rv.xB = grow(&ws.xB, m)
+	ws.ops = ws.ops[:0]
+	ws.opBuf = ws.opBuf[:0]
+	ws.opIdx = ws.opIdx[:0]
+	rv.buildCSC()
+	rv.markBasis()
+	// Strict factorization for the warm attempt: no basis repair and no
+	// value clamping — a candidate basis that is singular for these
+	// coefficients or whose basic point is primal infeasible must fall
+	// back to the cold two-phase path (which decides feasibility
+	// honestly), not be "fixed" into a fake vertex.
+	if !rv.refactorStrict() {
+		return 0, nil, false // singular for these coefficients: run cold
+	}
+	copy(rv.xB[:m], s.b[:m])
+	rv.ftran(rv.xB)
+	for i, v := range rv.xB {
+		if v < -feasEps {
+			return 0, nil, false // primal infeasible basic point: run cold
+		}
+		if v < 0 {
+			rv.xB[i] = 0
+		}
+	}
+	p2c := growZero(&ws.cvec, n+m)
+	copy(p2c, s.c[:n])
+	st, err := rv.iterate(p2c, n, blandEps)
+	if err != nil {
+		return 0, nil, false // numeric trouble: let the cold path decide
+	}
+	if st != Optimal {
+		return st, nil, true
+	}
+	if rv.checkArtificials() != nil {
+		return 0, nil, false // repair relaxed a row: let the cold path decide
+	}
+	return Optimal, rv.extract(), true
+}
+
+// appendLERow extends the standard-form program with the standardized row
+// newRow (length n+1: structural coefficients plus the new slack at column
+// n) and right-hand side b. The constraint matrix is re-laid with the
+// wider stride into the alternate slab.
+func (s *standard) appendLERow(ws *Workspace, newRow []float64, b float64) {
+	m, n := s.m, s.n
+	na := grow(&ws.a2, (m+1)*(n+1))
+	for i := 0; i < m; i++ {
+		copy(na[i*(n+1):i*(n+1)+n], s.a[i*n:i*n+n])
+		na[i*(n+1)+n] = 0
+	}
+	copy(na[m*(n+1):(m+1)*(n+1)], newRow)
+	ws.a, ws.a2 = na, ws.a
+	s.a = na
+	s.b = append(s.b, b)
+	ws.b = s.b
+	s.c = append(s.c, 0)
+	ws.c = s.c
+	s.m, s.n = m+1, n+1
+}
+
+// hotRev is the retained revised-core state behind a Hot handle.
+type hotRev struct {
+	rv *rev
+}
+
+// appendLE implements Hot.AppendLE on the revised core: the appended row is
+// evaluated against the current basic point; if its slack value is
+// non-negative the program is extended, the slack enters the basis on the
+// new row, and one bordered-row operator extends the retained factors.
+func (h *hotRev) appendLE(std *standard, ws *Workspace, terms []Term, rhs float64) error {
+	rv := h.rv
+	m, n := rv.m, rv.n
+
+	// Standardized row in the extended layout (new slack at column n).
+	newRow := growZero(&ws.rowBuf, n+1)
+	b := rhs
+	for _, tm := range terms {
+		v := std.varMap[tm.Var]
+		switch v.kind {
+		case varShift:
+			newRow[v.col] += tm.Coeff
+			b -= tm.Coeff * v.off
+		case varMirror:
+			newRow[v.col] -= tm.Coeff
+			b -= tm.Coeff * v.off
+		case varSplit:
+			newRow[v.col] += tm.Coeff
+			newRow[v.col2] -= tm.Coeff
+		}
+	}
+	newRow[n] = 1
+
+	// The new row's coefficients at the current basis columns, and from
+	// them the slack's value at the current vertex. Artificial basics
+	// (degenerate phase-1 leftovers pinned at zero) contribute nothing.
+	r := grow(&ws.rowBuf2, m)
+	for j, c := range rv.basis {
+		if c < n {
+			r[j] = newRow[c]
+		} else {
+			r[j] = 0
+		}
+	}
+	slackVal := b
+	for j, rj := range r {
+		slackVal -= rj * rv.xB[j]
+	}
+	if slackVal < -feasEps {
+		return ErrHotInfeasible // nothing mutated; the handle stays usable
+	}
+	if slackVal < 0 {
+		slackVal = 0
+	}
+
+	// Commit: extend the program, renumber artificial basis columns past
+	// the new slack, seat the slack on the new row, border the factors.
+	std.appendLERow(ws, newRow, b)
+	for j, c := range rv.basis {
+		if c >= n {
+			rv.basis[j] = c + 1
+		}
+	}
+	rv.m, rv.n = std.m, std.n
+	rv.basis = append(rv.basis, n)
+	ws.basis = rv.basis
+	rv.xB = append(rv.xB, slackVal)
+	ws.xB = rv.xB
+	rv.pushBorder(r)
+	rv.buildCSC()
+	rv.markBasis()
+	return nil
+}
+
+// resolve implements Hot.Resolve on the revised core: phase 2 from the
+// current basis under the problem's current objective.
+func (h *hotRev) resolve(p *Problem, std *standard, ws *Workspace) (Status, []float64, error) {
+	rv := h.rv
+	m, n := rv.m, rv.n
+	c := growZero(&ws.cvec, n+m)
+	sign := 1.0
+	if p.objSense == Maximize {
+		sign = -1
+	}
+	for _, tm := range p.obj {
+		v := std.varMap[tm.Var]
+		switch v.kind {
+		case varShift:
+			c[v.col] += sign * tm.Coeff
+		case varMirror:
+			c[v.col] -= sign * tm.Coeff
+		case varSplit:
+			c[v.col] += sign * tm.Coeff
+			c[v.col2] -= sign * tm.Coeff
+		}
+	}
+	st, err := rv.iterate(c, n, blandEps)
+	if err != nil {
+		return 0, nil, err
+	}
+	if st != Optimal {
+		return st, nil, nil
+	}
+	if err := rv.checkArtificials(); err != nil {
+		return 0, nil, err
+	}
+	return Optimal, rv.extract(), nil
+}

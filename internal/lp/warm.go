@@ -78,14 +78,17 @@ func (p *Problem) Reset() {
 	p.obj = p.obj[:0]
 }
 
-// SolveWithBasis is SolveWith seeded by a previous optimal basis: the basis
-// columns are pivoted into the fresh tableau and, when the resulting basic
-// solution is primal feasible, the solve proceeds directly to Phase 2 —
-// skipping Phase 1, which dominates cold solves of the sibling programs the
-// Γ-point pipeline generates. When the basis does not fit (wrong shape,
-// singular pivot, infeasible basic point) the solve falls back to the cold
-// two-phase path. On an Optimal outcome the basis snapshot is replaced by
-// this solve's final basis; otherwise it is invalidated.
+// SolveWithBasis is SolveWith seeded by a previous optimal basis. On the
+// revised core the candidate basis is refactored directly against the new
+// program's coefficients (one LU factorization instead of Phase 1); on the
+// dense core the basis columns are pivoted into a fresh tableau. Either
+// way, when the resulting basic solution is primal feasible the solve
+// proceeds directly to Phase 2 — skipping Phase 1, which dominates cold
+// solves of the sibling programs the Γ-point pipeline generates. When the
+// basis does not fit (wrong shape, singular factorization, infeasible basic
+// point) the solve falls back to the cold two-phase path. On an Optimal
+// outcome the basis snapshot is replaced by this solve's final basis;
+// otherwise it is invalidated.
 //
 // See the package note above on when a warm-started solution may be used.
 func (p *Problem) SolveWithBasis(ws *Workspace, bas *Basis) (*Solution, error) {
@@ -102,10 +105,14 @@ func (p *Problem) SolveWithBasis(ws *Workspace, bas *Basis) (*Solution, error) {
 		warmed bool
 	)
 	if bas.Valid() && bas.m == std.m && bas.n == std.n {
-		status, x, warmed = std.solveWarm(ws, bas.cols)
+		if ActiveCore() == CoreDense || std.m <= smallCoreRows {
+			status, x, warmed = std.solveWarm(ws, bas.cols)
+		} else {
+			status, x, warmed = std.solveWarmRevised(ws, bas.cols)
+		}
 	}
 	if !warmed {
-		status, x, err = std.solve(ws)
+		status, x, err = std.solveActive(ws)
 		if err != nil {
 			bas.Reset()
 			return nil, err
@@ -208,13 +215,18 @@ func (p *Problem) assemble(std *standard, status Status, x []float64) (*Solution
 // the caller must fall back to a cold solve of the extended program.
 var ErrHotInfeasible = errors.New("lp: appended row infeasible at the current vertex")
 
-// Hot is the retained state of a solved Problem: the final tableau, basis
-// and standardization stay live in the Workspace, so follow-up solves that
-// only change the objective (Resolve) or append a ≤-row satisfied by the
-// current vertex (AppendLE) re-price and run Phase 2 pivots instead of
-// re-standardizing and re-running Phase 1. This is the solver half of the
-// lex-min warm-start ladder: internal/hull pins coordinate l by appending
-// one ≤-row and re-minimizing coordinate l+1 on the same tableau.
+// Hot is the retained state of a solved Problem: the final basis (the LU
+// factors and update file on the revised core; the full tableau on the
+// dense core) and standardization stay live in the Workspace, so follow-up
+// solves that only change the objective (Resolve) or append a ≤-row
+// satisfied by the current vertex (AppendLE) re-price and run Phase 2
+// pivots instead of re-standardizing and re-running Phase 1. This is the
+// solver half of the lex-min warm-start ladder: internal/hull pins
+// coordinate l by appending one ≤-row and re-minimizing coordinate l+1 on
+// the same retained state. On the revised core an appended row costs one
+// bordered-row operator over the retained factors — the appended slack
+// enters the basis on the new row, which keeps the extended basis
+// block-triangular, so nothing is refactored.
 //
 // A Hot handle owns its Workspace until dropped: the caller must not issue
 // other solves through the same Workspace while the handle is in use. All
@@ -225,27 +237,39 @@ type Hot struct {
 	p     *Problem
 	ws    *Workspace
 	std   *standard
-	m, n  int // current tableau dimensions (grow with AppendLE)
+	rev   *hotRev // revised-core state; nil on the dense core
+	m, n  int     // current tableau dimensions (dense core; grow with AppendLE)
 	width int
 }
 
 // SolveHot is SolveWith that additionally returns a Hot handle retaining the
-// solved tableau for objective changes and row appends. The handle is only
+// solved basis for objective changes and row appends. The handle is only
 // returned on an Optimal outcome (there is nothing to retain otherwise).
 func (p *Problem) SolveHot(ws *Workspace) (*Solution, *Hot, error) {
 	std, err := p.standardize(ws)
 	if err != nil {
 		return nil, nil, err
 	}
-	status, x, err := std.solve(ws)
+	if ActiveCore() == CoreDense || std.m <= smallCoreRows {
+		status, x, err := std.solve(ws)
+		if err != nil {
+			return nil, nil, err
+		}
+		sol, err := p.assemble(std, status, x)
+		if err != nil || status != Optimal {
+			return sol, nil, err
+		}
+		return sol, &Hot{p: p, ws: ws, std: std, m: std.m, n: std.n, width: std.n + std.m + 1}, nil
+	}
+	status, x, rv, err := std.solveRevisedKeep(ws)
 	if err != nil {
 		return nil, nil, err
 	}
 	sol, err := p.assemble(std, status, x)
-	if err != nil || status != Optimal {
+	if err != nil || status != Optimal || rv == nil {
 		return sol, nil, err
 	}
-	return sol, &Hot{p: p, ws: ws, std: std, m: std.m, n: std.n, width: std.n + std.m + 1}, nil
+	return sol, &Hot{p: p, ws: ws, std: std, rev: &hotRev{rv: rv}}, nil
 }
 
 // AppendLE appends the constraint Σ termᵢ ≤ rhs to the retained tableau.
@@ -266,6 +290,9 @@ func (h *Hot) AppendLE(terms []Term, rhs float64) error {
 		if math.IsNaN(tm.Coeff) || math.IsInf(tm.Coeff, 0) {
 			return errors.New("lp: appended row has non-finite coefficient")
 		}
+	}
+	if h.rev != nil {
+		return h.rev.appendLE(h.std, h.ws, terms, rhs)
 	}
 	ws := h.ws
 	m, n, width := h.m, h.n, h.width
@@ -349,13 +376,23 @@ func (h *Hot) AppendLE(terms []Term, rhs float64) error {
 	return nil
 }
 
-// Resolve re-optimizes the retained tableau for the Problem's *current*
+// Resolve re-optimizes the retained state for the Problem's *current*
 // objective (callers change it with SetObjective between stages): the
-// reduced-cost row is re-priced from the new cost vector and Phase 2 runs
+// reduced costs are re-priced from the new cost vector and Phase 2 runs
 // from the current vertex — no re-standardization, no Phase 1. The possible
 // statuses are Optimal and Unbounded (the vertex is feasible by
 // construction).
 func (h *Hot) Resolve() (*Solution, error) {
+	if h.rev != nil {
+		st, x, err := h.rev.resolve(h.p, h.std, h.ws)
+		if err != nil {
+			return nil, err
+		}
+		if st != Optimal {
+			return &Solution{Status: st}, nil
+		}
+		return h.p.assemble(h.std, Optimal, x)
+	}
 	ws := h.ws
 	m, n, width := h.m, h.n, h.width
 	t := ws.tab

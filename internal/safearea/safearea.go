@@ -18,8 +18,11 @@
 //   - MethodTverbergLift: for any f with |Y| ≥ (d+1)f+1, a Tverberg point
 //     of the first (d+1)f+1 members via Sarkaria's lifting — polynomial
 //     where the joint lex-min LP grows combinatorially, and the key to the
-//     d ≥ 2, f ≥ 2 grids. The partition is verified geometrically and the
-//     joint LP is the deterministic fallback.
+//     d ≥ 2, f ≥ 2 grids. The partition is verified geometrically; on
+//     failure the ladder scans (f+1)-partitions for one whose block hulls
+//     admit a common point (any such point is in Γ), with the joint LP as
+//     the conclusive last resort. Proportionally degenerate inputs are
+//     affinely normalized to unit spread first (Γ is affine-equivariant).
 //   - MethodTverbergSearch: exhaustive Tverberg partition search (small
 //     inputs; used for validation).
 //
@@ -58,8 +61,8 @@ const (
 	MethodTverbergSearch
 	// MethodTverbergLift computes a Tverberg point of the first (d+1)f+1
 	// members via Sarkaria's lifted colorful-Carathéodory search (any f,
-	// polynomial), verifying the partition and falling back to the lex-min
-	// LP if verification fails.
+	// polynomial), verifying the partition and falling back to the
+	// partition scan and then the lex-min LP if verification fails.
 	MethodTverbergLift
 )
 
@@ -82,6 +85,17 @@ func (m Method) String() string {
 
 // ErrEmpty is returned by Point when Γ(Y) is empty.
 var ErrEmpty = errors.New("safearea: Γ(Y) is empty")
+
+// liftVerifyTol is the geometric tolerance for accepting a lifted Tverberg
+// partition. The candidate multisets of late protocol rounds hold
+// nearly-coincident points (the algorithm is converging), where the lifted
+// search's point routinely verifies to 1e-6 but not to hull.DefaultTol —
+// rejecting those sends an avalanche of solves down the far more expensive
+// joint-LP fallback for no accuracy the consumers can observe (decisions
+// are validity-checked end-to-end at the default tolerance and pass).
+// PointOnPrefix certifies with the same tolerance, keeping prefix-shared
+// points bit-identical to the full-set path.
+const liftVerifyTol = 1e-6
 
 // SubsetCount returns the number of hulls intersected in Γ(Y):
 // C(|Y|, |Y|−f) = C(|Y|, f).
@@ -330,6 +344,17 @@ func PointWith(y *geometry.Multiset, f int, method Method) (geometry.Vector, err
 	}
 	d := y.Dim()
 
+	// Degenerate-spread shortcut: when every member lies within the
+	// geometric tolerance of every other (the converging tail of a
+	// protocol run — spreads decay geometrically, so late rounds sit at
+	// 1e-8 and below), every subset hull contains every member to within
+	// that tolerance, and the lexicographically smallest member is a
+	// deterministic within-tolerance Γ-point. Grinding the solvers on
+	// these all-noise slivers is where the fragile regime burned its time.
+	if d > 1 && f > 0 && y.Len() > keep && multisetSpread(y) <= hull.DefaultTol {
+		return lexMinMember(y), nil
+	}
+
 	if method == MethodAuto {
 		switch {
 		case d == 1:
@@ -354,6 +379,29 @@ func PointWith(y *geometry.Multiset, f int, method Method) (geometry.Vector, err
 			method = MethodTverbergLift
 		default:
 			method = MethodLexMinLP
+		}
+	}
+
+	// Normalize proportionally degenerate inputs for the numeric-heavy
+	// methods: the solvers' tolerances are absolute and tuned for O(1)
+	// data, but mid-run candidate sets span ever-smaller ranges as the
+	// protocol converges. Γ is affine-equivariant — Γ(aY+b) = a·Γ(Y)+b,
+	// and the lex-min point maps along — so the set is translated and
+	// scaled to unit spread, solved there, and the point mapped back. The
+	// parameters derive from exactly the members the method reads (the
+	// lift's (d+1)f+1-prefix, or all members for the joint LP), keeping
+	// prefix-certified points bit-identical to the full-set path.
+	if method == MethodTverbergLift || method == MethodLexMinLP {
+		pl := y.Len()
+		if m := (d+1)*f + 1; method == MethodTverbergLift && m < pl {
+			pl = m
+		}
+		if lo, spread := normParamsOf(y, pl); spread > 0 && (spread < 0.25 || spread > 4) {
+			pt, err := PointWith(normalizeMultiset(y, lo, spread), f, method)
+			if err != nil {
+				return nil, err
+			}
+			return denormalizePoint(pt, lo, spread), nil
 		}
 	}
 
@@ -405,13 +453,25 @@ func PointWith(y *geometry.Multiset, f int, method Method) (geometry.Vector, err
 		}
 		part, err := tverberg.Lift(y, f+1)
 		if err == nil {
-			if verr := tverberg.Verify(y, part, hull.DefaultTol); verr == nil {
+			if verr := tverberg.Verify(y, part, liftVerifyTol); verr == nil {
 				return part.Point, nil
 			}
 		}
-		// Numerical failure or unverifiable partition: both are
-		// deterministic outcomes, so every correct process takes the same
-		// fallback and the decision stays canonical.
+		// The lifted partition failed (numerically or geometrically) —
+		// a deterministic outcome, so every correct process takes the
+		// same fallback chain. On this branch |Y| ≥ (d+1)f+1, so a
+		// Tverberg partition EXISTS (Tverberg's theorem): enumerate
+		// partitions in canonical order and accept the first whose block
+		// hulls admit a common point — that point lies in Γ(Y) (removing
+		// any f members leaves at least one block intact), each probe is
+		// a tiny (f+1)-group LP, and the walk is deterministic. The
+		// combinatorial joint lex-min LP over all C(|Y|, f) hulls — the
+		// historical fallback, and the one solver these degenerate
+		// cluster-plus-outlier slivers can exhaust — becomes the true
+		// last resort, consulted only if the scan finds nothing.
+		if pt, ok := scanTverbergPoint(y, f); ok {
+			return pt, nil
+		}
 		return PointWith(y, f, MethodLexMinLP)
 
 	default:
@@ -441,6 +501,103 @@ func interval(y *geometry.Multiset, f int) (lo, hi float64, err error) {
 		return 0, 0, fmt.Errorf("safearea: f = %d too large for |Y| = %d", f, len(vals))
 	}
 	return vals[f], vals[len(vals)-1-f], nil
+}
+
+// normParamsOf returns the per-coordinate minima and the maximum
+// coordinate spread of y's first pl members — the affine normalization
+// parameters of the degenerate-input rescale.
+func normParamsOf(y *geometry.Multiset, pl int) (geometry.Vector, float64) {
+	d := y.Dim()
+	lo := geometry.NewVector(d)
+	var spread float64
+	for l := 0; l < d; l++ {
+		mn, mx := y.At(0)[l], y.At(0)[l]
+		for i := 1; i < pl; i++ {
+			v := y.At(i)[l]
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		lo[l] = mn
+		if s := mx - mn; s > spread {
+			spread = s
+		}
+	}
+	return lo, spread
+}
+
+// normalizeMultiset maps every member x to (x − lo)/spread.
+func normalizeMultiset(y *geometry.Multiset, lo geometry.Vector, spread float64) *geometry.Multiset {
+	ny := geometry.NewMultiset(y.Dim())
+	inv := 1 / spread
+	for i := 0; i < y.Len(); i++ {
+		v := y.At(i)
+		nv := geometry.NewVector(y.Dim())
+		for l := range nv {
+			nv[l] = (v[l] - lo[l]) * inv
+		}
+		if err := ny.Add(nv); err != nil {
+			panic(err) // dimensions match by construction
+		}
+	}
+	return ny
+}
+
+// denormalizePoint maps a normalized-space point back: pt·spread + lo.
+func denormalizePoint(pt geometry.Vector, lo geometry.Vector, spread float64) geometry.Vector {
+	out := geometry.NewVector(len(pt))
+	for l := range pt {
+		out[l] = pt[l]*spread + lo[l]
+	}
+	return out
+}
+
+// scanTverbergPoint enumerates (f+1)-block partitions of y in canonical
+// order and returns the lex-min common point of the first partition whose
+// block hulls intersect. Feasibility of the tiny (f+1)-group LP is the
+// Tverberg certificate: any common point of the blocks lies in Γ(Y),
+// because removing f members leaves at least one block untouched. The walk
+// is deterministic and bounded; false means no partition verified within
+// the probe budget (the caller falls back to the joint LP).
+func scanTverbergPoint(y *geometry.Multiset, f int) (geometry.Vector, bool) {
+	const maxProbes = 20000
+	var (
+		found  geometry.Vector
+		probes int
+	)
+	gs := make([][]geometry.Vector, f+1)
+	err := combin.Partitions(y.Len(), f+1, func(blocks [][]int) bool {
+		if probes++; probes > maxProbes {
+			return false
+		}
+		for g, blk := range blocks {
+			pts := make([]geometry.Vector, len(blk))
+			for i, idx := range blk {
+				pts[i] = y.At(idx)
+			}
+			gs[g] = pts
+		}
+		pt, ok, lerr := hull.LexMinCommonPoint(gs)
+		if lerr != nil || !ok {
+			return true // keep scanning
+		}
+		found = pt
+		return false
+	})
+	if err != nil || found == nil {
+		return nil, false
+	}
+	return found, true
+}
+
+// multisetSpread returns the maximum pairwise ∞-distance of y's members
+// (the spread half of the normalization parameters).
+func multisetSpread(y *geometry.Multiset) float64 {
+	_, spread := normParamsOf(y, y.Len())
+	return spread
 }
 
 // lexMinMember returns the lexicographically smallest member of y.

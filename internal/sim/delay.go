@@ -95,6 +95,43 @@ func (e ExponentialDelay) Delay(_, _ ProcID, _ time.Duration, rng *rand.Rand) ti
 	return d
 }
 
+// ShiftedExponentialDelay draws latencies as Floor plus an exponential
+// tail with the given mean, capped at Cap (0 means Floor + 10× tail mean).
+// It keeps the heavy-tailed stress schedule of ExponentialDelay while
+// promising a positive minimum latency: a plain exponential has infimum 0,
+// which forces the discrete-event engine's conservative lookahead to 0 and
+// collapses its batches to single timestamps — the shifted model restores
+// wide [t, t+Floor] windows (see Lookahead).
+type ShiftedExponentialDelay struct {
+	Floor    time.Duration
+	TailMean time.Duration
+	Cap      time.Duration
+}
+
+// Delay implements DelayModel.
+func (s ShiftedExponentialDelay) Delay(_, _ ProcID, _ time.Duration, rng *rand.Rand) time.Duration {
+	limit := s.Cap
+	if limit <= 0 {
+		limit = s.Floor + 10*s.TailMean
+	}
+	d := s.Floor + time.Duration(rng.ExpFloat64()*float64(s.TailMean))
+	if d > limit {
+		d = limit
+	}
+	if d < s.Floor {
+		d = s.Floor // Cap below Floor: the floor still holds
+	}
+	return d
+}
+
+// MinDelay implements Lookahead: no draw undercuts the constant floor.
+func (s ShiftedExponentialDelay) MinDelay() time.Duration {
+	if s.Floor < 0 {
+		return 0
+	}
+	return s.Floor
+}
+
 // StarveSenders wraps an inner model and adds Extra latency to every message
 // *sent by* the processes in Slow. This is the adversarial schedule used by
 // the asynchronous lower-bound and restricted-round experiments: the

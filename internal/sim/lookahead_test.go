@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 )
@@ -118,5 +119,66 @@ func TestLookaheadZeroForUnboundedModels(t *testing.T) {
 	})
 	if eng2.lookahead != 2*time.Millisecond {
 		t.Fatalf("starve wrapper yielded lookahead %v, want 2ms", eng2.lookahead)
+	}
+}
+
+// TestShiftedExponentialWidensBatches: the shifted-exponential model's
+// constant floor must restore lookahead batching that the plain
+// exponential (infimum 0) disables — while keeping the execution
+// bit-identical to the serial loop. This is the white-box contract of
+// ShiftedExponentialDelay: heavy-tailed stress schedules AND wide event
+// windows.
+func TestShiftedExponentialWidensBatches(t *testing.T) {
+	delay := ShiftedExponentialDelay{Floor: 2 * time.Millisecond, TailMean: 3 * time.Millisecond}
+	_, wantNows, wantTrace, wantStats := runLookahead(t, 5, 1, delay)
+	if len(wantTrace) == 0 {
+		t.Fatal("empty reference trace")
+	}
+	for _, nw := range []int{2, 4} {
+		eng, nows, trace, stats := runLookahead(t, 5, nw, delay)
+		if stats != wantStats {
+			t.Fatalf("nodeworkers=%d: stats %+v, want %+v", nw, stats, wantStats)
+		}
+		for i := range trace {
+			if trace[i] != wantTrace[i] {
+				t.Fatalf("nodeworkers=%d: delivery %d = %+v, want %+v", nw, i, trace[i], wantTrace[i])
+			}
+		}
+		for p := range nows {
+			if len(nows[p]) != len(wantNows[p]) {
+				t.Fatalf("nodeworkers=%d: node %d saw %d deliveries, want %d", nw, p, len(nows[p]), len(wantNows[p]))
+			}
+			for i := range nows[p] {
+				if nows[p][i] != wantNows[p][i] {
+					t.Fatalf("nodeworkers=%d: node %d delivery %d Now()=%v, want %v", nw, p, i, nows[p][i], wantNows[p][i])
+				}
+			}
+		}
+		if eng.lookahead != 2*time.Millisecond {
+			t.Fatalf("nodeworkers=%d: lookahead %v, want 2ms", nw, eng.lookahead)
+		}
+		// The 2ms floor must widen the windows: far fewer batches than
+		// events (exponential draws make same-timestamp ties rare, so
+		// without lookahead batches ≈ deliveries).
+		if eng.batches*2 >= stats.Delivered+stats.Suppressed {
+			t.Fatalf("nodeworkers=%d: %d batches for %d events — floor did not widen lookahead",
+				nw, eng.batches, stats.Delivered+stats.Suppressed)
+		}
+	}
+	// Degenerate configurations keep the Lookahead contract honest.
+	if (ShiftedExponentialDelay{Floor: -time.Millisecond, TailMean: time.Millisecond}).MinDelay() != 0 {
+		t.Fatal("negative floor must disable lookahead")
+	}
+}
+
+// TestShiftedExponentialFloorHolds: no draw may undercut MinDelay — the
+// engine's determinism contract rides on the promise.
+func TestShiftedExponentialFloorHolds(t *testing.T) {
+	d := ShiftedExponentialDelay{Floor: 2 * time.Millisecond, TailMean: 5 * time.Millisecond, Cap: time.Millisecond}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 10000; i++ {
+		if got := d.Delay(0, 1, 0, rng); got < d.MinDelay() {
+			t.Fatalf("draw %d: delay %v under floor %v", i, got, d.MinDelay())
+		}
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/lp"
 )
 
 // minNorm solves the minimum-norm-point problem min ‖x‖ over x ∈ conv(P)
@@ -153,11 +155,22 @@ func minNormWith(p [][]float64, sc *minNormScratch) (*minNormResult, error) {
 	return nil, errors.New("tverberg: min-norm iteration cap exceeded")
 }
 
-// affineScratch holds the dense solve buffers for affineMinNorm.
+// affineScratch holds the dense solve buffers for affineMinNorm. The KKT
+// systems are factored with the shared LU kernel of the revised simplex
+// core (lp.LUSolver), so the whole Γ-point pipeline — simplex bases and
+// Wolfe corrals alike — runs on one factorization implementation.
 type affineScratch struct {
 	m   []float64
 	rhs []float64
+	lu  lp.LUSolver
 }
+
+// kktPivotEps matches the pre-LU solveDense threshold: the corral KKT
+// systems are Gram matrices of lifted points, not the row-equilibrated
+// O(1) data the solver's default assumes, and narrowing the accepted
+// pivots by two orders would push previously solvable corrals onto the
+// expensive fallback ladder.
+const kktPivotEps = 1e-13
 
 // affineMinNorm returns the weights α (Σα = 1, unconstrained sign) of the
 // minimum-norm point of the affine hull of the selected rows, from the KKT
@@ -170,6 +183,7 @@ func (s *affineScratch) affineMinNorm(p [][]float64, sel []int) ([]float64, erro
 	clearF(m)
 	clearF(rhs)
 	rhs[0] = 1
+	s.lu.Eps = kktPivotEps
 	for i := 0; i < k; i++ {
 		m[0*n+1+i] = 1
 		m[(1+i)*n+0] = 1
@@ -179,51 +193,11 @@ func (s *affineScratch) affineMinNorm(p [][]float64, sel []int) ([]float64, erro
 			m[(1+j)*n+1+i] = g
 		}
 	}
-	if err := solveDense(m, rhs, n); err != nil {
-		return nil, fmt.Errorf("tverberg: affine min-norm system: %w", err)
+	if !s.lu.Factor(m, n) {
+		return nil, errors.New("tverberg: affine min-norm system singular")
 	}
+	s.lu.Solve(rhs)
 	return rhs[1 : 1+k], nil
-}
-
-// solveDense solves the n×n system a·x = b in place (x returned in b) with
-// partial pivoting.
-func solveDense(a, b []float64, n int) error {
-	const eps = 1e-13
-	for col := 0; col < n; col++ {
-		pivot, pv := -1, eps
-		for r := col; r < n; r++ {
-			if abs := math.Abs(a[r*n+col]); abs > pv {
-				pivot, pv = r, abs
-			}
-		}
-		if pivot < 0 {
-			return errors.New("singular system")
-		}
-		if pivot != col {
-			for c := 0; c < n; c++ {
-				a[pivot*n+c], a[col*n+c] = a[col*n+c], a[pivot*n+c]
-			}
-			b[pivot], b[col] = b[col], b[pivot]
-		}
-		inv := 1 / a[col*n+col]
-		for r := 0; r < n; r++ {
-			if r == col {
-				continue
-			}
-			f := a[r*n+col] * inv
-			if f == 0 {
-				continue
-			}
-			for c := col; c < n; c++ {
-				a[r*n+c] -= f * a[col*n+c]
-			}
-			b[r] -= f * b[col]
-		}
-	}
-	for i := 0; i < n; i++ {
-		b[i] /= a[i*n+i]
-	}
-	return nil
 }
 
 // result assembles the final point and full-length weight vector into the

@@ -24,6 +24,13 @@ const (
 	DelayUniform
 	// DelayExponential draws delays exponentially with the given Mean.
 	DelayExponential
+	// DelayShiftedExp draws delays as Min (a constant floor) plus an
+	// exponential tail with mean Mean. It keeps the heavy-tailed stress
+	// schedule while promising a positive minimum latency, so the
+	// discrete-event engine's conservative lookahead can batch whole
+	// [t, t+Min] windows — a plain exponential has infimum 0 and disables
+	// lookahead entirely.
+	DelayShiftedExp
 )
 
 // DelaySpec describes the delay model of a simulated execution.
@@ -49,6 +56,16 @@ func (d DelaySpec) model() sim.DelayModel {
 			mean = time.Millisecond
 		}
 		inner = sim.ExponentialDelay{Mean: mean}
+	case DelayShiftedExp:
+		mean := d.Mean
+		if mean <= 0 {
+			mean = time.Millisecond
+		}
+		floor := d.Min
+		if floor <= 0 {
+			floor = mean / 3
+		}
+		inner = sim.ShiftedExponentialDelay{Floor: floor, TailMean: mean}
 	case DelayConstant:
 		mean := d.Mean
 		if mean <= 0 {
