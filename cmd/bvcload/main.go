@@ -1,0 +1,447 @@
+// Command bvcload load-tests the multi-tenant live consensus service: it
+// builds an n-process service mesh over loopback TCP, drives a target
+// sustained rate of concurrent consensus instances through it open-loop,
+// and reports decision latency percentiles, achieved throughput, and the
+// service's transport counters.
+//
+// Usage:
+//
+//	bvcload                          # 5-process mesh, 250 inst/s for 2s
+//	bvcload -rate 500 -duration 5s   # heavier sustained load
+//	bvcload -policy shed             # shed (drop+count) slow peers
+//	bvcload -minrate 200             # fail unless ≥200 inst/s achieved
+//	bvcload -json                    # BENCH records instead of the summary
+//
+// Every instance's decision is checked for hull-containment validity (the
+// paper's validity condition) on every process; any error, validity
+// violation, or missed -minrate makes the exit status nonzero — the CI
+// live-smoke gate.
+//
+// With -json the output is a bvcbench-schema trajectory fragment: the
+// standard leading "calibrate" record followed by live/* records whose
+// ns_per_op carry per-instance wall time and latency percentiles, with the
+// service counters attached (docs/BENCH_FORMAT.md documents the extra
+// fields). The fragment merges into BENCH_*.json trajectories with
+// `benchdiff merge`, which rescales by the calibrate record exactly as it
+// does for bvcsweep shards.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/geometry"
+	"repro/internal/harness"
+	"repro/internal/hull"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bvcload:", err)
+		os.Exit(1)
+	}
+}
+
+// loadConfig collects the parsed flags.
+type loadConfig struct {
+	n, f, d   int
+	epsilon   float64
+	rounds    int
+	rate      float64
+	duration  time.Duration
+	instances int
+	policy    string
+	shards    int
+	seed      int64
+	timeout   time.Duration
+	minRate   float64
+	warmup    int
+	jsonOut   bool
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("bvcload", flag.ContinueOnError)
+	cfg := loadConfig{}
+	fs.IntVar(&cfg.n, "n", 5, "process count (n ≥ (d+2)f+1)")
+	fs.IntVar(&cfg.f, "f", 1, "Byzantine tolerance parameter f")
+	fs.IntVar(&cfg.d, "d", 2, "vector dimension")
+	fs.Float64Var(&cfg.epsilon, "epsilon", 0.05, "ε of ε-agreement")
+	fs.IntVar(&cfg.rounds, "rounds", 4, "fixed round horizon per instance (0 = analytic bound; hull validity holds from round 1)")
+	fs.Float64Var(&cfg.rate, "rate", 250, "target sustained instances per second (open loop)")
+	fs.DurationVar(&cfg.duration, "duration", 2*time.Second, "load duration (with -rate fixes the instance count)")
+	fs.IntVar(&cfg.instances, "instances", 0, "exact instance count (overrides rate×duration when > 0)")
+	fs.StringVar(&cfg.policy, "policy", "block", "slow-peer policy: block or shed")
+	fs.IntVar(&cfg.shards, "shards", 0, "instance shards per process (0 = service default)")
+	fs.Int64Var(&cfg.seed, "seed", 1, "master random seed for inputs")
+	fs.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-instance timeout")
+	fs.Float64Var(&cfg.minRate, "minrate", 0, "fail when achieved instances/sec is below this (0 = no gate)")
+	fs.IntVar(&cfg.warmup, "warmup", -1, "warmup instances excluded from measurement (-1 = max(10, 5% of count); cold-start tails otherwise dominate p99)")
+	fs.BoolVar(&cfg.jsonOut, "json", false, "emit bvcbench-schema JSON records instead of the summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := drive(cfg)
+	if err != nil {
+		return err
+	}
+	if cfg.jsonOut {
+		if err := emitJSON(w, cfg, res); err != nil {
+			return err
+		}
+	} else {
+		res.summarize(w, cfg)
+	}
+	return res.gate(cfg)
+}
+
+// loadResult aggregates one load run.
+type loadResult struct {
+	instances int
+	warmup    int           // unmeasured warmup instances run before the clock started
+	elapsed   time.Duration // first measured propose to last result
+	latencies []time.Duration
+
+	errs     []error // capped sample of instance errors
+	errCount int
+	invalid  int // decisions outside their instance's input hull
+
+	stats      []bvc.ServiceStats // per process, at quiesce
+	background []error            // non-nil Service.Err() values
+}
+
+func (r *loadResult) achievedRate() float64 {
+	if r.elapsed <= 0 {
+		return 0
+	}
+	return float64(r.instances) / r.elapsed.Seconds()
+}
+
+func (r *loadResult) percentile(q float64) time.Duration {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(r.latencies))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(r.latencies) {
+		idx = len(r.latencies) - 1
+	}
+	return r.latencies[idx]
+}
+
+// gate returns the run's verdict: any instance error, background transport
+// error, validity violation, or missed rate target is a failure.
+func (r *loadResult) gate(cfg loadConfig) error {
+	if r.errCount > 0 {
+		return fmt.Errorf("%d instance errors (first: %v)", r.errCount, r.errs[0])
+	}
+	if len(r.background) > 0 {
+		return fmt.Errorf("background transport errors: %v", r.background[0])
+	}
+	if r.invalid > 0 {
+		return fmt.Errorf("%d decisions violated hull-containment validity", r.invalid)
+	}
+	if cfg.minRate > 0 && r.achievedRate() < cfg.minRate {
+		return fmt.Errorf("achieved %.1f inst/s, below -minrate %.1f", r.achievedRate(), cfg.minRate)
+	}
+	return nil
+}
+
+// drive runs the load: build the mesh, pace proposals open-loop, collect
+// and validate every result, then drain and close the mesh.
+func drive(cfg loadConfig) (*loadResult, error) {
+	total := cfg.instances
+	if total <= 0 {
+		total = int(cfg.rate * cfg.duration.Seconds())
+		if total < 1 {
+			total = 1
+		}
+	}
+	policy := bvc.BlockSlowPeer
+	switch cfg.policy {
+	case "block":
+	case "shed":
+		policy = bvc.ShedSlowPeer
+	default:
+		return nil, fmt.Errorf("unknown -policy %q (want block or shed)", cfg.policy)
+	}
+
+	ccfg := bvc.Config{
+		N: cfg.n, F: cfg.f, D: cfg.d,
+		Epsilon:   cfg.epsilon,
+		Lo:        []float64{0},
+		Hi:        []float64{1},
+		MaxRounds: cfg.rounds,
+	}
+	svcs := make([]*bvc.Service, cfg.n)
+	addrs := make([]string, cfg.n)
+	defer func() {
+		for _, s := range svcs {
+			if s != nil {
+				_ = s.Close()
+			}
+		}
+	}()
+	for i := range svcs {
+		tmpl := make([]string, cfg.n)
+		for j := range tmpl {
+			tmpl[j] = "127.0.0.1:0"
+		}
+		s, err := bvc.NewService(bvc.ServiceConfig{
+			Config:          ccfg,
+			ID:              i,
+			Addrs:           tmpl,
+			Shards:          cfg.shards,
+			SlowPeer:        policy,
+			InstanceTimeout: cfg.timeout,
+			Seed:            cfg.seed + int64(i),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("process %d: %w", i, err)
+		}
+		svcs[i] = s
+		addrs[i] = s.Addr()
+	}
+	var wg sync.WaitGroup
+	estErrs := make([]error, cfg.n)
+	for i, s := range svcs {
+		i, s := i, s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			estErrs[i] = s.Establish(context.Background(), addrs)
+		}()
+	}
+	wg.Wait()
+	for i, err := range estErrs {
+		if err != nil {
+			return nil, fmt.Errorf("establish process %d: %w", i, err)
+		}
+	}
+
+	warm := cfg.warmup
+	if warm < 0 {
+		warm = total / 20
+		if warm < 10 {
+			warm = 10
+		}
+	}
+	res := &loadResult{instances: total, warmup: warm}
+	var (
+		mu        sync.Mutex
+		collected sync.WaitGroup
+	)
+	rng := rand.New(rand.NewSource(cfg.seed))
+	interval := time.Duration(float64(time.Second) / cfg.rate)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+
+	// Warmup instances (ids 1..warm) run at the same pace but are excluded
+	// from the latency sample and the throughput clock: they absorb the
+	// cold-start transient (empty frame pools, growing heap) that would
+	// otherwise dominate p99. Their errors still count — correctness does
+	// not get a warmup.
+	var start time.Time
+	grand := warm + total
+	for id := uint64(1); id <= uint64(grand); id++ {
+		if id > 1 {
+			<-ticker.C // open-loop pacing: never waits for completions
+		}
+		measured := id > uint64(warm)
+		if id == uint64(warm)+1 {
+			start = time.Now()
+		}
+		inputs := make([]geometry.Vector, cfg.n)
+		chans := make([]<-chan bvc.ServiceResult, cfg.n)
+		for i, s := range svcs {
+			v := make(geometry.Vector, cfg.d)
+			for j := range v {
+				v[j] = rng.Float64()
+			}
+			inputs[i] = v
+			ch, err := s.Propose(id, bvc.Vector(v))
+			if err != nil {
+				return nil, fmt.Errorf("propose instance %d on process %d: %w", id, i, err)
+			}
+			chans[i] = ch
+		}
+		collected.Add(1)
+		go func(id uint64, measured bool, inputs []geometry.Vector, chans []<-chan bvc.ServiceResult) {
+			defer collected.Done()
+			var worst time.Duration
+			var failure error
+			bad := 0
+			for _, ch := range chans {
+				r := <-ch
+				if r.Err != nil {
+					failure = r.Err
+					continue
+				}
+				if r.Elapsed > worst {
+					worst = r.Elapsed
+				}
+				in, err := hull.Contains(inputs, geometry.Vector(r.Decision), 1e-9)
+				if err != nil {
+					failure = err
+				} else if !in {
+					bad++
+				}
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if failure != nil {
+				res.errCount++
+				if len(res.errs) < 8 {
+					res.errs = append(res.errs, fmt.Errorf("instance %d: %w", id, failure))
+				}
+			} else if measured {
+				res.latencies = append(res.latencies, worst)
+			}
+			res.invalid += bad
+		}(id, measured, inputs, chans)
+	}
+	collected.Wait()
+	res.elapsed = time.Since(start)
+	sort.Slice(res.latencies, func(i, j int) bool { return res.latencies[i] < res.latencies[j] })
+
+	// Graceful wind-down: drain every process (all instances already
+	// finished, so this is a goodbye + bookkeeping pass), then Close via
+	// the deferred cleanup.
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i, s := range svcs {
+		if err := s.Drain(drainCtx); err != nil {
+			return nil, fmt.Errorf("drain process %d: %w", i, err)
+		}
+		if err := s.Err(); err != nil {
+			res.background = append(res.background, fmt.Errorf("process %d: %w", i, err))
+		}
+		res.stats = append(res.stats, s.Stats())
+	}
+	return res, nil
+}
+
+// summarize renders the human-readable report.
+func (r *loadResult) summarize(w io.Writer, cfg loadConfig) {
+	fmt.Fprintf(w, "bvcload: n=%d f=%d d=%d rounds=%d policy=%s\n", cfg.n, cfg.f, cfg.d, cfg.rounds, cfg.policy)
+	fmt.Fprintf(w, "instances  %d (+%d warmup) in %v (target %.0f/s, achieved %.1f/s)\n",
+		r.instances, r.warmup, r.elapsed.Round(time.Millisecond), cfg.rate, r.achievedRate())
+	fmt.Fprintf(w, "latency    p50 %v  p99 %v  max %v\n",
+		r.percentile(0.50).Round(time.Microsecond), r.percentile(0.99).Round(time.Microsecond), r.percentile(1.0).Round(time.Microsecond))
+	fmt.Fprintf(w, "errors     %d instance, %d background, %d validity violations\n",
+		r.errCount, len(r.background), r.invalid)
+	var st bvc.ServiceStats
+	for _, s := range r.stats {
+		st.FramesIn += s.FramesIn
+		st.FramesOut += s.FramesOut
+		st.BytesOut += s.BytesOut
+		st.SlowPeerSheds += s.SlowPeerSheds
+		st.WriteDrops += s.WriteDrops
+		st.PendingDropped += s.PendingDropped
+		st.Reconnects += s.Reconnects
+	}
+	fmt.Fprintf(w, "transport  %d frames out, %d in, %d bytes out, %d sheds, %d write drops, %d pending drops, %d reconnects\n",
+		st.FramesOut, st.FramesIn, st.BytesOut, st.SlowPeerSheds, st.WriteDrops, st.PendingDropped, st.Reconnects)
+}
+
+// loadRecord is one bvcload JSON record: the bvcbench benchRecord schema
+// plus live-load extension fields (ignored by benchdiff's comparator;
+// documented in docs/BENCH_FORMAT.md).
+type loadRecord struct {
+	Benchmark   string  `json:"benchmark"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Pass        bool    `json:"pass"`
+	Seconds     float64 `json:"seconds"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+
+	Processes      int     `json:"processes,omitempty"`
+	Instances      int     `json:"instances,omitempty"`
+	TargetRate     float64 `json:"target_rate,omitempty"`
+	AchievedRate   float64 `json:"achieved_rate,omitempty"`
+	FramesIn       int64   `json:"frames_in,omitempty"`
+	FramesOut      int64   `json:"frames_out,omitempty"`
+	BytesIn        int64   `json:"bytes_in,omitempty"`
+	BytesOut       int64   `json:"bytes_out,omitempty"`
+	SlowPeerSheds  int64   `json:"slow_peer_sheds,omitempty"`
+	WriteDrops     int64   `json:"write_drops,omitempty"`
+	PendingDropped int64   `json:"pending_dropped,omitempty"`
+	Reconnects     int64   `json:"reconnects,omitempty"`
+	ReadErrors     int64   `json:"read_errors,omitempty"`
+}
+
+// emitJSON writes the trajectory fragment: calibrate first (the hardware
+// normalization record every BENCH file leads with), then the live/*
+// records.
+func emitJSON(w io.Writer, cfg loadConfig, res *loadResult) error {
+	enc := json.NewEncoder(w)
+	tbl, br, _, err := harness.MeasureTable(harness.Calibrate)
+	if err != nil {
+		return fmt.Errorf("calibrate: %w", err)
+	}
+	if err := enc.Encode(loadRecord{
+		Benchmark:   "calibrate",
+		Iterations:  br.N,
+		NsPerOp:     br.NsPerOp(),
+		AllocsPerOp: br.AllocsPerOp(),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+		Pass:        tbl != nil && tbl.Pass,
+		Seconds:     br.T.Seconds(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+	}); err != nil {
+		return err
+	}
+	pass := res.gate(cfg) == nil
+	var st bvc.ServiceStats
+	for _, s := range res.stats {
+		st.FramesIn += s.FramesIn
+		st.FramesOut += s.FramesOut
+		st.BytesIn += s.BytesIn
+		st.BytesOut += s.BytesOut
+		st.SlowPeerSheds += s.SlowPeerSheds
+		st.WriteDrops += s.WriteDrops
+		st.PendingDropped += s.PendingDropped
+		st.Reconnects += s.Reconnects
+		st.ReadErrors += s.ReadErrors
+	}
+	perInstance := int64(0)
+	if res.instances > 0 {
+		perInstance = res.elapsed.Nanoseconds() / int64(res.instances)
+	}
+	records := []loadRecord{
+		{
+			Benchmark: "live/instance", Iterations: res.instances, NsPerOp: perInstance,
+			Processes: cfg.n, Instances: res.instances,
+			TargetRate: cfg.rate, AchievedRate: res.achievedRate(),
+			FramesIn: st.FramesIn, FramesOut: st.FramesOut,
+			BytesIn: st.BytesIn, BytesOut: st.BytesOut,
+			SlowPeerSheds: st.SlowPeerSheds, WriteDrops: st.WriteDrops,
+			PendingDropped: st.PendingDropped, Reconnects: st.Reconnects,
+			ReadErrors: st.ReadErrors,
+		},
+		{Benchmark: "live/latency_p50", Iterations: res.instances, NsPerOp: res.percentile(0.50).Nanoseconds()},
+		{Benchmark: "live/latency_p99", Iterations: res.instances, NsPerOp: res.percentile(0.99).Nanoseconds()},
+	}
+	for i := range records {
+		records[i].Pass = pass
+		records[i].Seconds = res.elapsed.Seconds()
+		records[i].GoMaxProcs = runtime.GOMAXPROCS(0)
+		if err := enc.Encode(records[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

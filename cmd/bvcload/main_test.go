@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestLoadJSON runs a small live load and checks the emitted trajectory
+// fragment: leading calibrate record, live/* records, all passing, with
+// the service counters attached.
+func TestLoadJSON(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-rate", "250", "-instances", "24", "-json", "-minrate", "1"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	var names []string
+	sc := bufio.NewScanner(&out)
+	for sc.Scan() {
+		var rec loadRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad record %q: %v", sc.Text(), err)
+		}
+		if !rec.Pass {
+			t.Errorf("record %s has pass=false", rec.Benchmark)
+		}
+		if rec.NsPerOp <= 0 {
+			t.Errorf("record %s has ns_per_op=%d", rec.Benchmark, rec.NsPerOp)
+		}
+		if rec.Benchmark == "live/instance" {
+			if rec.Instances != 24 || rec.Processes != 5 {
+				t.Errorf("live/instance: instances=%d processes=%d", rec.Instances, rec.Processes)
+			}
+			if rec.FramesOut == 0 || rec.BytesOut == 0 {
+				t.Errorf("live/instance: empty transport counters: %+v", rec)
+			}
+		}
+		names = append(names, rec.Benchmark)
+	}
+	want := []string{"calibrate", "live/instance", "live/latency_p50", "live/latency_p99"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("records %v, want %v", names, want)
+	}
+}
+
+// TestLoadSummary checks the human-readable mode and the shed policy path.
+func TestLoadSummary(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-rate", "250", "-instances", "12", "-policy", "shed"}, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"instances  12", "latency", "errors     0 instance"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestLoadBadFlags covers flag validation.
+func TestLoadBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-policy", "bogus", "-instances", "1"}, &out); err == nil {
+		t.Error("bogus policy accepted")
+	}
+	if err := run([]string{"-n", "4", "-instances", "1"}, &out); err == nil {
+		t.Error("n=4 < (d+2)f+1=5 accepted")
+	}
+}

@@ -1,96 +1,214 @@
-// Tcpcluster: asynchronous approximate BVC over a real TCP full mesh. Four
-// processes listen on loopback ports, establish pairwise connections, and
-// run the §3.2 algorithm end to end — the same state machines the simulator
-// drives, now fed by genuine network I/O.
+// Tcpcluster: the multi-tenant live consensus service over a real TCP
+// full mesh. Five processes each run a bvc.Service — one pooled set of
+// persistent connections per process — and three consensus instances run
+// through the shared mesh concurrently, each proposing different inputs
+// and deciding independently (§3.2 asynchronous approximate BVC).
+//
+// By default all five processes live in this one OS process, talking over
+// loopback TCP. With -id and -addrs each process runs in its own OS
+// process instead — see the README for a copy-paste five-terminal
+// session. docs/SERVICE.md documents the service itself.
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
+	"math/rand"
+	"strings"
 	"sync"
 	"time"
 
 	"repro"
 )
 
-func main() {
-	cfg := bvc.Config{
-		N: 4, F: 1, D: 2,
+const instances = 3
+
+func config(n int) bvc.Config {
+	// n = 5 = (d+2)f+1 is the §3.2 lower bound for d = 2, f = 1.
+	return bvc.Config{
+		N: n, F: 1, D: 2,
 		Epsilon: 0.05,
 		Lo:      []float64{0},
 		Hi:      []float64{1},
 	}
-	// d = 1 would give the scalar AAD bound 3f+1 = 4; for d = 2 we need
-	// (d+2)f+1 = 5 — so run with d = 2 and n = 5.
-	cfg.N = 5
-	inputs := []bvc.Vector{
-		{0.10, 0.90},
-		{0.80, 0.20},
-		{0.50, 0.50},
-		{0.30, 0.60},
-		{0.70, 0.40},
-	}
+}
 
-	// Every process listens on an ephemeral loopback port.
+// inputFor derives process id's input for one instance; every process can
+// compute its own deterministically, so the multi-process mode needs no
+// input exchange.
+func inputFor(id int, instance uint64) bvc.Vector {
+	rng := rand.New(rand.NewSource(int64(instance)<<8 | int64(id)))
+	return bvc.Vector{rng.Float64(), rng.Float64()}
+}
+
+func main() {
+	id := flag.Int("id", -1, "process id; -1 runs the whole mesh in this process")
+	addrs := flag.String("addrs", "", "comma-separated listen addresses, one per process (with -id)")
+	flag.Parse()
+	if *id >= 0 {
+		if err := runOne(*id, strings.Split(*addrs, ",")); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := runMesh(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runOne is the multi-process mode: one service, peers elsewhere.
+func runOne(id int, addrs []string) error {
+	if len(addrs) < 2 {
+		return fmt.Errorf("-addrs must list every process's address")
+	}
+	svc, err := bvc.NewService(bvc.ServiceConfig{
+		Config: config(len(addrs)),
+		ID:     id,
+		Addrs:  addrs,
+		Seed:   int64(id + 1),
+	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	fmt.Printf("p%d listening on %s, establishing mesh...\n", id, svc.Addr())
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := svc.Establish(ctx, nil); err != nil {
+		return err
+	}
+	chans := make([]<-chan bvc.ServiceResult, instances)
+	for i := range chans {
+		inst := uint64(i + 1)
+		ch, err := svc.Propose(inst, inputFor(id, inst))
+		if err != nil {
+			return err
+		}
+		chans[i] = ch
+	}
+	for _, ch := range chans {
+		r := <-ch
+		if r.Err != nil {
+			return fmt.Errorf("instance %d: %w", r.Instance, r.Err)
+		}
+		fmt.Printf("p%d instance %d → (%.4f, %.4f) in %d rounds, %v\n",
+			id, r.Instance, r.Decision[0], r.Decision[1], r.Rounds, r.Elapsed.Round(time.Millisecond))
+	}
+	return svc.Drain(ctx)
+}
+
+// runMesh is the default demo: the whole mesh in one OS process.
+func runMesh() error {
+	cfg := config(5)
 	tmpl := make([]string, cfg.N)
 	for i := range tmpl {
 		tmpl[i] = "127.0.0.1:0"
 	}
-	procs := make([]*bvc.TCPProcess, cfg.N)
+	svcs := make([]*bvc.Service, cfg.N)
 	addrs := make([]string, cfg.N)
-	for i := 0; i < cfg.N; i++ {
-		p, err := bvc.NewTCPProcess(cfg, i, tmpl, inputs[i])
-		if err != nil {
-			log.Fatal(err)
-		}
-		procs[i] = p
-		addrs[i] = p.Addr()
-	}
 	defer func() {
-		for _, p := range procs {
-			_ = p.Close()
+		for _, s := range svcs {
+			if s != nil {
+				_ = s.Close()
+			}
 		}
 	}()
+	for i := range svcs {
+		s, err := bvc.NewService(bvc.ServiceConfig{
+			Config: cfg, ID: i, Addrs: tmpl, Seed: int64(i + 1),
+		})
+		if err != nil {
+			return err
+		}
+		svcs[i] = s
+		addrs[i] = s.Addr()
+	}
 	fmt.Println("TCP mesh endpoints:")
 	for i, a := range addrs {
-		fmt.Printf("  p%d %s (input %v)\n", i+1, a, inputs[i])
+		fmt.Printf("  p%d %s\n", i, a)
 	}
-
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
-	decisions := make([]bvc.Vector, cfg.N)
-	errs := make([]error, cfg.N)
 	var wg sync.WaitGroup
-	start := time.Now()
-	for i, p := range procs {
-		i, p := i, p
+	estErrs := make([]error, cfg.N)
+	for i, s := range svcs {
+		i, s := i, s
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			decisions[i], errs[i] = p.Run(ctx, addrs)
+			estErrs[i] = s.Establish(ctx, addrs)
 		}()
 	}
 	wg.Wait()
-	for i, err := range errs {
+	for i, err := range estErrs {
 		if err != nil {
-			log.Fatalf("process %d: %v", i+1, err)
+			return fmt.Errorf("establish p%d: %w", i, err)
 		}
 	}
-	fmt.Printf("all processes decided in %v:\n", time.Since(start).Round(time.Millisecond))
-	for i, d := range decisions {
-		fmt.Printf("  p%d → (%.4f, %.4f)\n", i+1, d[0], d[1])
+
+	// All instances run concurrently over the one pooled mesh: no new
+	// connections, no per-instance goroutine mesh — the instance id in the
+	// frame header does the demultiplexing.
+	start := time.Now()
+	decisions := make([][]bvc.Vector, instances) // [instance][process]
+	chans := make([][]<-chan bvc.ServiceResult, instances)
+	for i := range chans {
+		chans[i] = make([]<-chan bvc.ServiceResult, cfg.N)
+		for p, s := range svcs {
+			ch, err := s.Propose(uint64(i+1), inputFor(p, uint64(i+1)))
+			if err != nil {
+				return fmt.Errorf("propose instance %d on p%d: %w", i+1, p, err)
+			}
+			chans[i][p] = ch
+		}
 	}
-	for i := 1; i < cfg.N; i++ {
-		for j := 0; j < cfg.D; j++ {
-			if diff := decisions[i][j] - decisions[0][j]; diff > cfg.Epsilon || diff < -cfg.Epsilon {
-				log.Fatalf("ε-agreement violated between p1 and p%d", i+1)
+	for i := range chans {
+		decisions[i] = make([]bvc.Vector, cfg.N)
+		for p, ch := range chans[i] {
+			r := <-ch
+			if r.Err != nil {
+				return fmt.Errorf("instance %d on p%d: %w", i+1, p, r.Err)
+			}
+			decisions[i][p] = r.Decision
+		}
+	}
+	fmt.Printf("all %d instances decided on all %d processes in %v:\n",
+		instances, cfg.N, time.Since(start).Round(time.Millisecond))
+
+	// Verify the paper's guarantees per instance: ε-agreement across
+	// processes, decision inside the convex hull of the inputs.
+	for i, ds := range decisions {
+		inst := uint64(i + 1)
+		for p := 1; p < cfg.N; p++ {
+			for j := 0; j < cfg.D; j++ {
+				if diff := ds[p][j] - ds[0][j]; diff > cfg.Epsilon || diff < -cfg.Epsilon {
+					return fmt.Errorf("instance %d: ε-agreement violated between p0 and p%d", inst, p)
+				}
 			}
 		}
+		inputs := make([]bvc.Vector, cfg.N)
+		for p := range inputs {
+			inputs[p] = inputFor(p, inst)
+		}
+		in, err := bvc.InConvexHull(inputs, ds[0])
+		if err != nil {
+			return err
+		}
+		if !in {
+			return fmt.Errorf("instance %d: decision outside the input hull", inst)
+		}
+		fmt.Printf("  instance %d → (%.4f, %.4f)  ε-agreement ok, validity ok\n", inst, ds[0][0], ds[0][1])
 	}
-	in, err := bvc.InConvexHull(inputs, decisions[0])
-	if err != nil {
-		log.Fatal(err)
+
+	st := svcs[0].Stats()
+	fmt.Printf("p0 transport: %d frames out / %d in over %d pooled connections (decided %d)\n",
+		st.FramesOut, st.FramesIn, cfg.N-1, st.Decided)
+	for i, s := range svcs {
+		if err := s.Drain(ctx); err != nil {
+			return fmt.Errorf("drain p%d: %w", i, err)
+		}
 	}
-	fmt.Printf("ε-agreement ok; decision inside input hull: %v\n", in)
+	return nil
 }

@@ -214,6 +214,11 @@ func (a *AsyncNode) fail(api sim.API, err error) {
 	api.Halt()
 }
 
+// Decided reports whether the node has reached its decision. When
+// HaltWhenDecided is off the node keeps serving the exchange afterwards;
+// Decided is the cheap signal callers poll to detect the transition.
+func (a *AsyncNode) Decided() bool { return a.decision != nil }
+
 // Decision returns the decided vector once the node has terminated.
 func (a *AsyncNode) Decision() (geometry.Vector, error) {
 	if a.err != nil {

@@ -1,0 +1,321 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Failure-mode coverage for the pooled transport: peer disconnect
+// mid-instance, reconnect after a connection failure, dial retry against a
+// late listener, the slow-peer shed/block policies, and graceful drain
+// with in-flight instances. All of these run under -race in CI.
+
+// TestServicePeerDisconnectMidInstance kills one process while a batch of
+// instances is in flight. The survivors are n−f = 4 of 5, which is
+// exactly the quorum the §3.2 algorithm needs, so every surviving process
+// must still decide every instance; the dead process's results surface as
+// decisions (if it finished first) or ErrServiceClosed.
+func TestServicePeerDisconnectMidInstance(t *testing.T) {
+	const n, instances = 5, 8
+	svcs := startMesh(t, n, nil)
+	rng := rand.New(rand.NewSource(19))
+
+	chans := make(map[uint64][]<-chan Result, instances)
+	for id := uint64(1); id <= instances; id++ {
+		chans[id] = proposeAll(t, svcs, id, randomInputs(rng, n, 2))
+	}
+	if err := svcs[n-1].Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	for id, chs := range chans {
+		for i, ch := range chs {
+			res := collect(t, ch, 30*time.Second)
+			if i == n-1 {
+				if res.Err != nil && !errors.Is(res.Err, ErrServiceClosed) {
+					t.Errorf("closed process, instance %d: %v", id, res.Err)
+				}
+				continue
+			}
+			if res.Err != nil {
+				t.Errorf("survivor %d, instance %d: %v", i, id, res.Err)
+			}
+		}
+	}
+	for i := 0; i < n-1; i++ {
+		if err := svcs[i].Err(); err != nil {
+			t.Errorf("survivor %d background error: %v", i, err)
+		}
+	}
+}
+
+// TestServiceReconnect force-fails one established connection and checks
+// the dialing side re-establishes it (Stats.Reconnects) and the mesh then
+// carries instances normally.
+func TestServiceReconnect(t *testing.T) {
+	const n = 5
+	svcs := startMesh(t, n, nil)
+
+	// svcs[1] dialed svcs[0] (higher id dials lower), so it owns the
+	// redial. Yank the socket out from under the link.
+	p := svcs[1].peers[0]
+	p.mu.Lock()
+	conn := p.conn
+	p.mu.Unlock()
+	if conn == nil {
+		t.Fatal("link 1→0 has no connection after Establish")
+	}
+	_ = conn.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for svcs[1].Stats().Reconnects == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("link 1→0 never reconnected")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	rng := rand.New(rand.NewSource(23))
+	inputs := randomInputs(rng, n, 2)
+	for i, ch := range proposeAll(t, svcs, 1, inputs) {
+		if res := collect(t, ch, 30*time.Second); res.Err != nil {
+			t.Fatalf("post-reconnect instance, process %d: %v", i, res.Err)
+		}
+	}
+	for i, s := range svcs {
+		if err := s.Err(); err != nil {
+			t.Errorf("service %d background error: %v", i, err)
+		}
+	}
+}
+
+// TestServiceDialRetryLateListener starts four of five processes first:
+// their dials to the missing lowest-id process must retry with backoff
+// until its listener finally appears, then Establish completes everywhere.
+func TestServiceDialRetryLateListener(t *testing.T) {
+	const n = 5
+	// Reserve an address for process 0 without keeping the listener open.
+	rsv, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("reserve: %v", err)
+	}
+	addr0 := rsv.Addr().String()
+	_ = rsv.Close()
+
+	svcs := make([]*Service, n)
+	for i := 1; i < n; i++ {
+		cfg := Config{Node: testNodeConfig(n), ID: i, Addrs: loopbackTemplate(n), Seed: int64(i + 1)}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New(%d): %v", i, err)
+		}
+		t.Cleanup(func() { _ = s.Close() })
+		svcs[i] = s
+	}
+	final := make([]string, n)
+	final[0] = addr0
+	for i := 1; i < n; i++ {
+		final[i] = svcs[i].Addr()
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 1; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = svcs[i].Establish(context.Background(), final)
+		}()
+	}
+	time.Sleep(150 * time.Millisecond) // let the dials fail and back off
+
+	cfg := Config{Node: testNodeConfig(n), ID: 0, Addrs: append([]string(nil), final...), Seed: 1}
+	s0, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(0): %v", err)
+	}
+	t.Cleanup(func() { _ = s0.Close() })
+	svcs[0] = s0
+	errs[0] = s0.Establish(context.Background(), final)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("Establish(%d): %v", i, err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(29))
+	for i, ch := range proposeAll(t, svcs, 1, randomInputs(rng, n, 2)) {
+		if res := collect(t, ch, 30*time.Second); res.Err != nil {
+			t.Fatalf("process %d: %v", i, res.Err)
+		}
+	}
+}
+
+// newBenchLink builds a detached peer link for white-box policy tests: no
+// writer goroutine runs, so the outbox never drains.
+func newBenchLink(policy Policy, depth int) (*Service, *peerLink) {
+	svc := &Service{
+		cfg:  Config{SlowPeer: policy, OutboxDepth: depth},
+		stop: make(chan struct{}),
+	}
+	return svc, newPeerLink(svc, 1, "detached")
+}
+
+func fill(p *peerLink) {
+	for i := 0; i < cap(p.outbox); i++ {
+		buf := leaseFrame()
+		*buf = append(*buf, 0)
+		p.outbox <- buf
+	}
+}
+
+// TestSlowPeerShedPolicy: a full outbox under ShedSlowPeer drops the frame
+// immediately and counts it.
+func TestSlowPeerShedPolicy(t *testing.T) {
+	svc, p := newBenchLink(ShedSlowPeer, 4)
+	fill(p)
+	buf := leaseFrame()
+	*buf = append(*buf, 0)
+	p.enqueue(buf)
+	if got := svc.ctr.sheds.Load(); got != 1 {
+		t.Fatalf("sheds = %d, want 1", got)
+	}
+	if got := len(p.outbox); got != 4 {
+		t.Fatalf("outbox len = %d, want 4", got)
+	}
+}
+
+// TestSlowPeerBlockPolicy: a full outbox under BlockSlowPeer blocks the
+// sender while the peer is connected (backpressure), resumes when space
+// frees, and sheds (as WriteDrops) once the peer is disconnected —
+// blocking on a crashed peer would stall the shard forever.
+func TestSlowPeerBlockPolicy(t *testing.T) {
+	svc, p := newBenchLink(BlockSlowPeer, 4)
+	c1, c2 := net.Pipe()
+	defer func() { _ = c1.Close(); _ = c2.Close() }()
+	p.mu.Lock()
+	p.conn = c1 // connected, but no read/write loops — pure policy test
+	p.mu.Unlock()
+
+	fill(p)
+	done := make(chan struct{})
+	go func() {
+		buf := leaseFrame()
+		*buf = append(*buf, 0)
+		p.enqueue(buf)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("enqueue returned with a full outbox on a connected peer")
+	case <-time.After(50 * time.Millisecond):
+	}
+	releaseFrame(<-p.outbox) // make room: the blocked sender must proceed
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("enqueue still blocked after outbox space freed")
+	}
+
+	// Disconnect the peer: further sends on a full outbox must shed.
+	p.mu.Lock()
+	p.conn = nil
+	p.mu.Unlock()
+	buf := leaseFrame()
+	*buf = append(*buf, 0)
+	p.enqueue(buf)
+	if got := svc.ctr.writeDrops.Load(); got != 1 {
+		t.Fatalf("writeDrops = %d, want 1", got)
+	}
+	if got := svc.ctr.sheds.Load(); got != 0 {
+		t.Fatalf("sheds = %d, want 0 under block policy", got)
+	}
+}
+
+// TestServiceShedPolicyEndToEnd runs a mesh configured with ShedSlowPeer
+// under light load: nothing should actually shed, and every instance
+// still decides — the policy changes overload behavior, not the happy
+// path.
+func TestServiceShedPolicyEndToEnd(t *testing.T) {
+	const n, instances = 5, 6
+	svcs := startMesh(t, n, func(_ int, cfg *Config) { cfg.SlowPeer = ShedSlowPeer })
+	rng := rand.New(rand.NewSource(31))
+	for id := uint64(1); id <= instances; id++ {
+		for i, ch := range proposeAll(t, svcs, id, randomInputs(rng, n, 2)) {
+			if res := collect(t, ch, 30*time.Second); res.Err != nil {
+				t.Fatalf("instance %d process %d: %v", id, i, res.Err)
+			}
+		}
+	}
+}
+
+// TestServiceDrainInFlight drains a process with instances in flight:
+// Drain must wait for them, refuse new proposals, and announce the drain
+// to peers (goodbye), which stops them from redialing the drained process
+// after it closes.
+func TestServiceDrainInFlight(t *testing.T) {
+	const n, instances = 5, 6
+	svcs := startMesh(t, n, nil)
+	rng := rand.New(rand.NewSource(37))
+	chans := make([][]<-chan Result, 0, instances)
+	for id := uint64(1); id <= instances; id++ {
+		chans = append(chans, proposeAll(t, svcs, id, randomInputs(rng, n, 2)))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svcs[0].Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if got := svcs[0].Stats().ActiveInstances; got != 0 {
+		t.Fatalf("ActiveInstances = %d after Drain", got)
+	}
+	if _, err := svcs[0].Propose(99, randomInputs(rng, n, 2)[0]); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Propose after Drain: %v, want ErrDraining", err)
+	}
+	// Every in-flight instance finished everywhere (Drain waits locally;
+	// the peers' copies decide on their own).
+	for id, chs := range chans {
+		for i, ch := range chs {
+			if res := collect(t, ch, 30*time.Second); res.Err != nil {
+				t.Errorf("instance %d process %d: %v", id+1, i, res.Err)
+			}
+		}
+	}
+	// Goodbye reached the peers: the dialing sides mark the link and will
+	// not redial once the drained process goes away.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		p := svcs[1].peers[0]
+		p.mu.Lock()
+		bye := p.goodbye
+		p.mu.Unlock()
+		if bye {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("peer 1 never saw process 0's goodbye")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := svcs[0].Close(); err != nil {
+		t.Fatalf("Close after Drain: %v", err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	p := svcs[1].peers[0]
+	p.mu.Lock()
+	redialing := p.redialing
+	p.mu.Unlock()
+	if redialing {
+		t.Error("peer 1 is redialing a drained process")
+	}
+	if got := svcs[1].Stats().Reconnects; got != 0 {
+		t.Errorf("peer 1 reconnected %d times to a drained process", got)
+	}
+}

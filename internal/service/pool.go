@@ -1,0 +1,462 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// framePool leases encode buffers to senders; writers return them after
+// the frame is copied into the coalescing write buffer. Frames are small
+// (tens of bytes), so one pool class is enough.
+var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+func leaseFrame() *[]byte    { return framePool.Get().(*[]byte) }
+func releaseFrame(b *[]byte) { *b = (*b)[:0]; framePool.Put(b) }
+
+// peerLink is one peer's slot in the connection pool: the persistent
+// connection (replaced transparently on failure), the bounded outbox its
+// writer goroutine drains, and the reconnect state. The mesh convention is
+// the transport package's: the higher id dials the lower, so exactly one
+// side owns redialing after a failure.
+type peerLink struct {
+	svc  *Service
+	id   int
+	addr string
+
+	outbox chan *[]byte
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	conn    net.Conn
+	gen     int // bumped per installed conn; stale failures are ignored
+	stopped bool
+
+	ready     chan struct{} // closed on first successful connect
+	readyOnce sync.Once
+
+	goodbye   bool // peer announced drain; no redial
+	redialing bool
+}
+
+func newPeerLink(svc *Service, id int, addr string) *peerLink {
+	p := &peerLink{
+		svc:    svc,
+		id:     id,
+		addr:   addr,
+		outbox: make(chan *[]byte, svc.cfg.OutboxDepth),
+		ready:  make(chan struct{}),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// install replaces the link's connection and starts its reader loop.
+func (p *peerLink) install(conn net.Conn) {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	if p.conn != nil {
+		_ = p.conn.Close()
+	}
+	p.conn = conn
+	p.gen++
+	gen := p.gen
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.readyOnce.Do(func() { close(p.ready) })
+
+	p.svc.wg.Add(1)
+	go func() {
+		defer p.svc.wg.Done()
+		p.readLoop(conn, gen)
+	}()
+}
+
+// failed tears down generation gen's connection (no-op when a newer one
+// is already installed) and, on the dialing side, starts the redial loop.
+func (p *peerLink) failed(gen int) {
+	p.mu.Lock()
+	if p.stopped || gen != p.gen || p.conn == nil {
+		p.mu.Unlock()
+		return
+	}
+	_ = p.conn.Close()
+	p.conn = nil
+	redial := p.svc.cfg.ID > p.id && !p.goodbye && !p.redialing
+	if redial {
+		p.redialing = true
+	}
+	p.mu.Unlock()
+	if redial {
+		p.svc.wg.Add(1)
+		go func() {
+			defer p.svc.wg.Done()
+			p.redial()
+		}()
+	}
+}
+
+// stop makes the link inert: waiting writers wake, the connection closes.
+func (p *peerLink) stop() {
+	p.mu.Lock()
+	p.stopped = true
+	if p.conn != nil {
+		_ = p.conn.Close()
+		p.conn = nil
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// sawGoodbye marks the peer as draining; the redial loop gives up on it.
+func (p *peerLink) sawGoodbye() {
+	p.mu.Lock()
+	p.goodbye = true
+	p.mu.Unlock()
+}
+
+// waitConn blocks until a connection is installed (returning it with its
+// generation) or the link stops (returning nil).
+func (p *peerLink) waitConn() (net.Conn, int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.conn == nil && !p.stopped {
+		p.cond.Wait()
+	}
+	return p.conn, p.gen
+}
+
+// connected reports whether a connection is currently installed.
+func (p *peerLink) connected() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.conn != nil
+}
+
+// enqueue queues one leased frame for transmission, applying the slow-peer
+// policy when the outbox is full: shed drops the frame (counted), block
+// waits for space — backpressure that propagates to the proposing shard.
+// Block only blocks while the peer is connected: a full outbox on a
+// disconnected link sheds instead (counted as WriteDrops), because
+// blocking on a crashed peer would stall the whole shard — the protocols
+// tolerate the loss exactly as they tolerate the crash itself.
+func (p *peerLink) enqueue(buf *[]byte) {
+	select {
+	case p.outbox <- buf:
+		return
+	default:
+	}
+	if p.svc.cfg.SlowPeer == ShedSlowPeer {
+		releaseFrame(buf)
+		p.svc.ctr.sheds.Add(1)
+		return
+	}
+	for {
+		if !p.connected() {
+			releaseFrame(buf)
+			p.svc.ctr.writeDrops.Add(1)
+			return
+		}
+		select {
+		case p.outbox <- buf:
+			return
+		case <-p.svc.stop:
+			releaseFrame(buf)
+			return
+		case <-time.After(5 * time.Millisecond):
+			// Re-check the link: the peer may have died while we waited.
+		}
+	}
+}
+
+// writeLoop drains the outbox, coalescing bursts of frames into single
+// writes (the "streamed frames" path: one syscall carries many frames).
+// A frame batch that fails mid-write is dropped — to the protocols the
+// loss looks like a crashed peer, which they tolerate; the link itself
+// reconnects underneath.
+func (p *peerLink) writeLoop() {
+	const coalesceBytes = 32 << 10
+	wbuf := make([]byte, 0, coalesceBytes+1024)
+	for {
+		var first *[]byte
+		select {
+		case first = <-p.outbox:
+		case <-p.svc.stop:
+			return
+		}
+		frames := 1
+		wbuf = append(wbuf[:0], *first...)
+		releaseFrame(first)
+	coalesce:
+		for len(wbuf) < coalesceBytes {
+			select {
+			case b := <-p.outbox:
+				wbuf = append(wbuf, *b...)
+				releaseFrame(b)
+				frames++
+			default:
+				break coalesce
+			}
+		}
+		conn, gen := p.waitConn()
+		if conn == nil {
+			return // stopped
+		}
+		if _, err := conn.Write(wbuf); err != nil {
+			p.svc.ctr.writeDrops.Add(int64(frames))
+			p.failed(gen)
+			continue
+		}
+		p.svc.ctr.framesOut.Add(int64(frames))
+		p.svc.ctr.bytesOut.Add(int64(len(wbuf)))
+	}
+}
+
+// readLoop decodes frames off one connection and routes consensus
+// messages to their instance's shard. Clean peer shutdowns (EOF, reset,
+// local close) end the loop quietly; anything else counts as a read
+// error. Either way the link is marked failed so the dialing side
+// reconnects.
+func (p *peerLink) readLoop(conn net.Conn, gen int) {
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var buf []byte
+	var dec wire.ConsensusMsg
+	for {
+		frame, nb, err := wire.ReadFrameInto(br, buf)
+		if err != nil {
+			// ErrUnexpectedEOF is a peer that crashed mid-frame — as clean
+			// a shutdown as the transport can observe.
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) &&
+				!errors.Is(err, syscall.ECONNRESET) && !errors.Is(err, net.ErrClosed) && !stopping(p.svc) {
+				p.svc.ctr.readErrors.Add(1)
+				p.svc.noteErr(fmt.Errorf("service: read from peer %d: %w", p.id, err))
+			}
+			p.failed(gen)
+			return
+		}
+		buf = nb
+		h, body, err := wire.ParseFrame(frame)
+		if err != nil {
+			p.svc.ctr.readErrors.Add(1)
+			p.svc.noteErr(fmt.Errorf("service: peer %d: %w", p.id, err))
+			p.failed(gen)
+			return
+		}
+		p.svc.ctr.framesIn.Add(1)
+		p.svc.ctr.bytesIn.Add(int64(len(frame) + 4))
+		switch h.Kind {
+		case wire.FrameConsensus:
+			if err := wire.DecodeConsensus(&dec, body); err != nil {
+				p.svc.ctr.readErrors.Add(1)
+				p.svc.noteErr(fmt.Errorf("service: peer %d: %w", p.id, err))
+				p.failed(gen)
+				return
+			}
+			m, err := fromWire(&dec)
+			if err != nil {
+				p.svc.ctr.readErrors.Add(1)
+				p.svc.noteErr(err)
+				continue
+			}
+			sh := p.svc.shardFor(h.Instance)
+			select {
+			case sh.queue <- inMsg{instance: h.Instance, from: p.id, msg: m}:
+			case <-p.svc.stop:
+				return
+			}
+		case wire.FrameGoodbye:
+			p.sawGoodbye()
+		case wire.FrameHello:
+			// Redundant hello after handshake; ignore.
+		default:
+			// Unknown frame kind: skip (forward compatibility).
+		}
+	}
+}
+
+// redial re-establishes a failed connection with capped exponential
+// backoff. It gives up when the service stops or the peer said goodbye.
+func (p *peerLink) redial() {
+	defer func() {
+		p.mu.Lock()
+		p.redialing = false
+		p.mu.Unlock()
+	}()
+	backoff := p.svc.cfg.DialBackoff
+	for {
+		p.mu.Lock()
+		done := p.stopped || p.goodbye || p.conn != nil
+		addr := p.addr
+		p.mu.Unlock()
+		if done {
+			return
+		}
+		conn, err := net.DialTimeout("tcp", addr, p.svc.cfg.EstablishTimeout)
+		if err == nil {
+			if err = writeHello(conn, uint32(p.svc.cfg.ID)); err == nil {
+				p.svc.ctr.reconnects.Add(1)
+				p.install(conn)
+				return
+			}
+			_ = conn.Close()
+		}
+		select {
+		case <-p.svc.stop:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > p.svc.cfg.MaxDialBackoff {
+			backoff = p.svc.cfg.MaxDialBackoff
+		}
+	}
+}
+
+// writeHello sends the handshake frame announcing our process id.
+func writeHello(conn net.Conn, id uint32) error {
+	buf := leaseFrame()
+	defer releaseFrame(buf)
+	*buf = wire.AppendHello((*buf)[:0], id)
+	_, err := conn.Write(*buf)
+	return err
+}
+
+func stopping(s *Service) bool {
+	select {
+	case <-s.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// acceptLoop accepts mesh connections for the service's lifetime: the
+// initial establishment from every higher-id peer, and replacement
+// connections after failures. The dialer identifies itself with a Hello
+// frame; anything else is rejected.
+func (s *Service) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if stopping(s) || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.noteErr(fmt.Errorf("service: accept: %w", err))
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handshake(conn)
+		}()
+	}
+}
+
+// handshake validates an inbound connection's Hello and installs it on
+// the peer's link.
+func (s *Service) handshake(conn net.Conn) {
+	_ = conn.SetReadDeadline(time.Now().Add(s.cfg.EstablishTimeout))
+	frame, _, err := wire.ReadFrameInto(conn, nil)
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	h, body, err := wire.ParseFrame(frame)
+	if err != nil || h.Kind != wire.FrameHello {
+		_ = conn.Close()
+		return
+	}
+	peer, err := wire.ParseHello(body)
+	if err != nil || int(peer) <= s.cfg.ID || int(peer) >= s.n {
+		_ = conn.Close()
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	s.peers[peer].install(conn)
+}
+
+// Establish builds the full mesh: dial every lower-id peer (retrying
+// until its listener is up), accept from every higher-id peer, and return
+// once every link is connected or ctx/EstablishTimeout expires. A non-nil
+// addrs overrides the construction-time address list — the port-0 flow:
+// every process listens on an ephemeral port, the bound addresses are
+// exchanged out of band, and Establish gets the final list.
+func (s *Service) Establish(ctx context.Context, addrs []string) error {
+	if addrs != nil {
+		if len(addrs) != s.n {
+			return fmt.Errorf("service: establish: %d addresses for n=%d", len(addrs), s.n)
+		}
+		for id, p := range s.peers {
+			if p != nil {
+				p.mu.Lock()
+				p.addr = addrs[id]
+				p.mu.Unlock()
+			}
+		}
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.EstablishTimeout)
+	defer cancel()
+	for id := 0; id < s.cfg.ID; id++ {
+		p := s.peers[id]
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			p.mu.Lock()
+			addr := p.addr
+			p.mu.Unlock()
+			conn, err := dialRetry(ctx, addr, s.cfg.DialBackoff, s.cfg.MaxDialBackoff)
+			if err != nil {
+				return // Establish's ready-wait reports the timeout
+			}
+			if err := writeHello(conn, uint32(s.cfg.ID)); err != nil {
+				_ = conn.Close()
+				return
+			}
+			p.install(conn)
+		}()
+	}
+	for id, p := range s.peers {
+		if p == nil {
+			continue
+		}
+		select {
+		case <-p.ready:
+		case <-ctx.Done():
+			return fmt.Errorf("service: establish: peer %d not connected: %w", id, ctx.Err())
+		case <-s.stop:
+			return ErrServiceClosed
+		}
+	}
+	return nil
+}
+
+// dialRetry dials addr until it succeeds or ctx expires, with capped
+// exponential backoff between attempts — peers come up in any order.
+func dialRetry(ctx context.Context, addr string, backoff, maxBackoff time.Duration) (net.Conn, error) {
+	var d net.Dialer
+	for {
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}

@@ -1,0 +1,724 @@
+// Package service is the multi-tenant live consensus runtime: many
+// concurrent instances of the paper's §3.2 asynchronous approximate BVC
+// algorithm multiplexed over one pooled full mesh of persistent TCP
+// connections. One Service is one process of the mesh; Propose opens an
+// instance locally, frames carry the instance id so every process's
+// traffic for all instances shares the same n−1 connections, and
+// instances are sharded across a goroutine pool by instance id.
+//
+// The architecture — instance lifecycle, connection pool, framing,
+// backpressure and slow-peer policy, drain/reconfiguration semantics, and
+// the load-test workflow with cmd/bvcload — is documented in
+// docs/SERVICE.md; the frame layout is docs/WIRE_FORMAT.md. The
+// single-tenant path (one TCP mesh per consensus run, gob envelopes)
+// remains in internal/transport + internal/runtime.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/aad"
+	"repro/internal/core"
+	"repro/internal/geometry"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Service errors.
+var (
+	// ErrServiceClosed is returned by operations on a closed service.
+	ErrServiceClosed = errors.New("service: closed")
+	// ErrDraining is returned by Propose once Drain has been called.
+	ErrDraining = errors.New("service: draining")
+	// ErrDuplicateInstance is reported for a Propose reusing a live or
+	// recently finished instance id.
+	ErrDuplicateInstance = errors.New("service: duplicate instance id")
+	// ErrInstanceTimeout is reported for instances that exceeded
+	// Config.InstanceTimeout before deciding.
+	ErrInstanceTimeout = errors.New("service: instance timed out")
+)
+
+// Policy selects the slow-peer behavior when a peer's outbox is full.
+type Policy int
+
+// Slow-peer policies.
+const (
+	// BlockSlowPeer blocks the sender until the outbox drains:
+	// backpressure propagates to the shard and ultimately to Propose.
+	// This preserves the paper's reliable-channel model.
+	BlockSlowPeer Policy = iota
+	// ShedSlowPeer drops the frame and counts it (Stats.SlowPeerSheds).
+	// To the protocols the slow peer then looks (partially) crashed,
+	// which they tolerate for up to f peers; sheds beyond that can stall
+	// instances until their timeout.
+	ShedSlowPeer
+)
+
+// Config configures one service process.
+type Config struct {
+	// Node configures the consensus algorithm every instance runs; its N
+	// must equal len(Addrs). HaltWhenDecided is forced off: the service
+	// delivers the result the moment the instance decides and then keeps
+	// the instance lingering — still serving reliable-broadcast echoes,
+	// readies, and reports — for LingerTimeout. Lingering is what keeps
+	// lagging peers live when a process crashes mid-instance: Bracha's
+	// echo quorum is ⌊(n+f)/2⌋+1, which with one peer down needs every
+	// survivor, including the ones that already decided.
+	Node core.AsyncConfig
+	// ID is this process's id, indexing Addrs.
+	ID int
+	// Addrs lists every process's listen address. Addrs[ID] may use port
+	// 0; Addr reports the bound address.
+	Addrs []string
+	// Shards is the instance-shard goroutine count (default
+	// min(GOMAXPROCS, 4)); instance id modulo Shards picks the shard.
+	Shards int
+	// OutboxDepth bounds each peer's outbox in frames (default 1024).
+	OutboxDepth int
+	// QueueDepth bounds each shard's inbound queue in frames (default
+	// 4096). A full queue blocks connection readers — backpressure that
+	// propagates to remote senders through TCP.
+	QueueDepth int
+	// PendingLimit bounds the frames buffered per instance that remote
+	// peers started before the local Propose arrived (default 4096);
+	// overflow is dropped and counted.
+	PendingLimit int
+	// SlowPeer selects the full-outbox policy (default BlockSlowPeer).
+	SlowPeer Policy
+	// InstanceTimeout fails instances that have not decided in time
+	// (default 30s); buffered pre-Propose frames expire on the same
+	// clock.
+	InstanceTimeout time.Duration
+	// LingerTimeout bounds how long a decided instance keeps serving the
+	// protocol for lagging peers before it is tombstoned (default:
+	// InstanceTimeout). Total instance lifetime is therefore at most
+	// InstanceTimeout + LingerTimeout.
+	LingerTimeout time.Duration
+	// EstablishTimeout bounds Establish and per-attempt redials
+	// (default 10s).
+	EstablishTimeout time.Duration
+	// DialBackoff/MaxDialBackoff shape dial retry (defaults 25ms/500ms).
+	DialBackoff    time.Duration
+	MaxDialBackoff time.Duration
+	// Seed feeds the per-instance PRNG streams.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+		if c.Shards > 4 {
+			c.Shards = 4
+		}
+	}
+	if c.OutboxDepth <= 0 {
+		c.OutboxDepth = 1024
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4096
+	}
+	if c.PendingLimit <= 0 {
+		c.PendingLimit = 4096
+	}
+	if c.InstanceTimeout <= 0 {
+		c.InstanceTimeout = 30 * time.Second
+	}
+	if c.LingerTimeout <= 0 {
+		c.LingerTimeout = c.InstanceTimeout
+	}
+	if c.EstablishTimeout <= 0 {
+		c.EstablishTimeout = 10 * time.Second
+	}
+	if c.DialBackoff <= 0 {
+		c.DialBackoff = 25 * time.Millisecond
+	}
+	if c.MaxDialBackoff <= 0 {
+		c.MaxDialBackoff = 500 * time.Millisecond
+	}
+	return c
+}
+
+// Result is one finished instance as seen by this process.
+type Result struct {
+	// Instance is the instance id.
+	Instance uint64
+	// Decision is the decided vector (nil when Err is set).
+	Decision geometry.Vector
+	// Rounds is the instance's termination round count.
+	Rounds int
+	// Elapsed is the local propose-to-decision latency.
+	Elapsed time.Duration
+	// Err is nil on decision; ErrInstanceTimeout, ErrServiceClosed, a
+	// duplicate-id error, or a protocol failure otherwise.
+	Err error
+}
+
+// Service is one process of a multi-tenant consensus mesh. Construct with
+// New on every process, exchange listen addresses out of band, Establish
+// the mesh, then Propose instances concurrently from any goroutine.
+type Service struct {
+	cfg    Config
+	n      int
+	ln     net.Listener
+	peers  []*peerLink // by peer id; nil at cfg.ID
+	shards []*shard
+	start  time.Time
+
+	ctr      counters
+	draining sync.Once
+	isDrain  chan struct{} // closed when draining
+	drained  chan struct{} // closed when draining and active == 0
+	drainMu  sync.Once
+
+	// proposeMu fences Propose against Close: Propose holds it shared
+	// while checking stop and enqueueing; Close acquires it exclusively
+	// after closing stop, so every request that passed the check is in a
+	// shard channel by the time Close drains them.
+	proposeMu sync.RWMutex
+	stop      chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+	wg        sync.WaitGroup
+
+	errMu    sync.Mutex
+	firstErr error
+}
+
+// New validates the configuration, opens the listener, and starts the
+// shard pool and per-peer writers. The mesh is built by Establish.
+func New(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	n := len(cfg.Addrs)
+	if cfg.ID < 0 || cfg.ID >= n {
+		return nil, fmt.Errorf("service: id %d out of range for %d addresses", cfg.ID, n)
+	}
+	if cfg.Node.N != n {
+		return nil, fmt.Errorf("service: consensus n=%d but %d addresses", cfg.Node.N, n)
+	}
+	// Lingering (not halting) at decision is load-bearing: see Config.Node.
+	cfg.Node.HaltWhenDecided = false
+	// Validate the consensus configuration once up front so Propose
+	// failures can only be per-input: build a throwaway node.
+	if _, err := core.NewAsyncNode(cfg.Node, sim.ProcID(cfg.ID), probeInput(cfg.Node)); err != nil {
+		return nil, fmt.Errorf("service: consensus config: %w", err)
+	}
+	ln, err := net.Listen("tcp", cfg.Addrs[cfg.ID])
+	if err != nil {
+		return nil, fmt.Errorf("service: listen %s: %w", cfg.Addrs[cfg.ID], err)
+	}
+	s := &Service{
+		cfg:     cfg,
+		n:       n,
+		ln:      ln,
+		peers:   make([]*peerLink, n),
+		shards:  make([]*shard, cfg.Shards),
+		start:   time.Now(),
+		isDrain: make(chan struct{}),
+		drained: make(chan struct{}),
+		stop:    make(chan struct{}),
+	}
+	for id, addr := range cfg.Addrs {
+		if id == cfg.ID {
+			continue
+		}
+		s.peers[id] = newPeerLink(s, id, addr)
+	}
+	for i := range s.shards {
+		s.shards[i] = newShard(s, i)
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop()
+	}()
+	for _, p := range s.peers {
+		if p == nil {
+			continue
+		}
+		p := p
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			p.writeLoop()
+		}()
+	}
+	for _, sh := range s.shards {
+		sh := sh
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			sh.run()
+		}()
+	}
+	return s, nil
+}
+
+// probeInput builds a valid input (the box's lower corner) for the
+// construction-time configuration probe.
+func probeInput(cfg core.AsyncConfig) geometry.Vector {
+	v := make(geometry.Vector, cfg.D)
+	lo := cfg.Bounds.Lo
+	for i := range v {
+		if i < len(lo) {
+			v[i] = lo[i]
+		}
+	}
+	return v
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Service) Addr() string { return s.ln.Addr().String() }
+
+// Err returns the first background error the service observed (failed
+// reads, malformed frames); nil while healthy. Peer disconnects and
+// reconnects are not errors.
+func (s *Service) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.firstErr
+}
+
+func (s *Service) noteErr(err error) {
+	s.errMu.Lock()
+	if s.firstErr == nil {
+		s.firstErr = err
+	}
+	s.errMu.Unlock()
+}
+
+func (s *Service) shardFor(instance uint64) *shard {
+	return s.shards[instance%uint64(len(s.shards))]
+}
+
+func (s *Service) drainingNow() bool {
+	select {
+	case <-s.isDrain:
+		return true
+	default:
+		return false
+	}
+}
+
+// Propose opens consensus instance id with this process's input. Every
+// process of the mesh must eventually propose the same instance id (their
+// traffic is buffered briefly otherwise). The result — decision or error
+// — is delivered exactly once on the returned channel.
+func (s *Service) Propose(id uint64, input geometry.Vector) (<-chan Result, error) {
+	if stopping(s) {
+		return nil, ErrServiceClosed
+	}
+	if s.drainingNow() {
+		return nil, ErrDraining
+	}
+	node, err := core.NewAsyncNode(s.cfg.Node, sim.ProcID(s.cfg.ID), input)
+	if err != nil {
+		return nil, fmt.Errorf("service: instance %d: %w", id, err)
+	}
+	res := make(chan Result, 1)
+	req := proposeReq{id: id, node: node, res: res}
+	s.proposeMu.RLock()
+	defer s.proposeMu.RUnlock()
+	if stopping(s) {
+		return nil, ErrServiceClosed
+	}
+	select {
+	case s.shardFor(id).propose <- req:
+	case <-s.stop:
+		return nil, ErrServiceClosed
+	}
+	return res, nil
+}
+
+// Drain gracefully winds the service down: new proposals are refused, a
+// goodbye frame tells every peer to stop redialing this process, and
+// Drain returns once every in-flight instance has finished (decided,
+// failed, or timed out) or ctx expires. Reconfiguration is drain-and-
+// replace: drain, Close, then start a new Service with the new address
+// set (see docs/SERVICE.md).
+func (s *Service) Drain(ctx context.Context) error {
+	s.draining.Do(func() {
+		close(s.isDrain)
+		for _, p := range s.peers {
+			if p == nil {
+				continue
+			}
+			buf := leaseFrame()
+			*buf = wire.AppendGoodbye((*buf)[:0])
+			p.enqueue(buf)
+		}
+	})
+	s.checkDrained()
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain: %w (%d instances still active)", ctx.Err(), s.ctr.active.Load())
+	case <-s.stop:
+		return ErrServiceClosed
+	}
+}
+
+// checkDrained closes the drained latch once draining with no active
+// instances; called after every instance retirement and by Drain itself.
+func (s *Service) checkDrained() {
+	if s.drainingNow() && s.ctr.active.Load() == 0 {
+		s.drainMu.Do(func() { close(s.drained) })
+	}
+}
+
+// Close releases the listener, connections, and goroutines. In-flight
+// instances fail with ErrServiceClosed; use Drain first for a graceful
+// stop.
+func (s *Service) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		s.proposeMu.Lock() // barrier: no Propose is mid-enqueue past here
+		s.proposeMu.Unlock()
+		err := s.ln.Close()
+		for _, p := range s.peers {
+			if p != nil {
+				p.stop()
+			}
+		}
+		s.wg.Wait()
+		// The shards are gone; answer any requests still in their inboxes.
+		for _, sh := range s.shards {
+		drain:
+			for {
+				select {
+				case req := <-sh.propose:
+					req.res <- Result{Instance: req.id, Err: ErrServiceClosed}
+				default:
+					break drain
+				}
+			}
+		}
+		if err != nil && !errors.Is(err, net.ErrClosed) {
+			s.closeErr = err
+		}
+	})
+	return s.closeErr
+}
+
+// inMsg is one routed consensus delivery.
+type inMsg struct {
+	instance uint64
+	from     int
+	msg      aad.Msg
+}
+
+// proposeReq opens an instance on its shard.
+type proposeReq struct {
+	id   uint64
+	node *core.AsyncNode
+	res  chan Result
+}
+
+// localMsg is a self-send awaiting delivery on the shard's local FIFO.
+type localMsg struct {
+	inst *instance
+	msg  aad.Msg
+}
+
+// instance is one open consensus instance owned by a shard. After done it
+// lingers: the result has been delivered, but the node keeps serving the
+// exchange for lagging peers until lingerUntil.
+type instance struct {
+	id          uint64
+	node        *core.AsyncNode
+	res         chan Result
+	started     time.Time
+	deadline    time.Time
+	done        bool
+	lingerUntil time.Time
+	api         instAPI
+}
+
+// pendingBox buffers frames for an instance peers started before the
+// local Propose arrived.
+type pendingBox struct {
+	since time.Time
+	msgs  []inMsg
+}
+
+// shard owns a partition of the instance space: its goroutine is the only
+// one that touches its instances, so node callbacks are serial per
+// instance by construction.
+type shard struct {
+	svc     *Service
+	idx     int
+	queue   chan inMsg
+	propose chan proposeReq
+
+	local     []localMsg
+	instances map[uint64]*instance
+	pending   map[uint64]*pendingBox
+	tombs     map[uint64]time.Time
+
+	enc wire.ConsensusMsg // sender-side encode scratch
+}
+
+func newShard(s *Service, idx int) *shard {
+	return &shard{
+		svc:       s,
+		idx:       idx,
+		queue:     make(chan inMsg, s.cfg.QueueDepth),
+		propose:   make(chan proposeReq, 16),
+		instances: make(map[uint64]*instance),
+		pending:   make(map[uint64]*pendingBox),
+		tombs:     make(map[uint64]time.Time),
+	}
+}
+
+// tick is the shard housekeeping cadence: instance expiry, pending and
+// tombstone GC.
+const tick = 20 * time.Millisecond
+
+func (sh *shard) run() {
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case m := <-sh.queue:
+			sh.deliver(m)
+		case req := <-sh.propose:
+			sh.open(req)
+		case <-ticker.C:
+			sh.expire(time.Now())
+		case <-sh.svc.stop:
+			for _, inst := range sh.instances {
+				if inst.done {
+					continue // result already delivered; it was only lingering
+				}
+				inst.res <- Result{Instance: inst.id, Err: ErrServiceClosed}
+				sh.svc.ctr.active.Add(-1)
+			}
+			return
+		}
+		sh.drainLocal()
+	}
+}
+
+// drainLocal delivers queued self-sends; deliveries may enqueue more.
+func (sh *shard) drainLocal() {
+	for len(sh.local) > 0 {
+		l := sh.local[0]
+		sh.local = sh.local[1:]
+		inst := l.inst
+		if _, open := sh.instances[inst.id]; !open {
+			continue // instance finished while the self-send waited
+		}
+		inst.node.OnMessage(&inst.api, sim.ProcID(sh.svc.cfg.ID), l.msg)
+		sh.afterStep(inst)
+	}
+	if len(sh.local) == 0 && cap(sh.local) > 1024 {
+		sh.local = nil // don't let a burst pin a large backing array
+	}
+}
+
+// deliver routes one network delivery to its instance, or buffers it when
+// the local Propose has not arrived yet.
+func (sh *shard) deliver(m inMsg) {
+	if inst, ok := sh.instances[m.instance]; ok {
+		inst.node.OnMessage(&inst.api, sim.ProcID(m.from), m.msg)
+		sh.afterStep(inst)
+		return
+	}
+	if _, dead := sh.tombs[m.instance]; dead {
+		return // finished here; peers catching up need nothing from us
+	}
+	if sh.svc.drainingNow() {
+		return // no local Propose can arrive anymore
+	}
+	box := sh.pending[m.instance]
+	if box == nil {
+		box = &pendingBox{since: time.Now()}
+		sh.pending[m.instance] = box
+	}
+	if len(box.msgs) >= sh.svc.cfg.PendingLimit {
+		sh.svc.ctr.pendingDropped.Add(1)
+		return
+	}
+	box.msgs = append(box.msgs, m)
+	sh.svc.ctr.pendingFrames.Add(1)
+}
+
+// open starts an instance: register, init (round 1 broadcasts), then
+// replay any frames that arrived ahead of the proposal.
+func (sh *shard) open(req proposeReq) {
+	if _, live := sh.instances[req.id]; live {
+		req.res <- Result{Instance: req.id, Err: ErrDuplicateInstance}
+		return
+	}
+	if _, dead := sh.tombs[req.id]; dead {
+		req.res <- Result{Instance: req.id, Err: ErrDuplicateInstance}
+		return
+	}
+	now := time.Now()
+	inst := &instance{
+		id:       req.id,
+		node:     req.node,
+		res:      req.res,
+		started:  now,
+		deadline: now.Add(sh.svc.cfg.InstanceTimeout),
+	}
+	inst.api = instAPI{sh: sh, inst: inst,
+		rng: rand.New(rand.NewSource(sh.svc.cfg.Seed ^ int64(req.id*0x9e3779b97f4a7c15) ^ int64(sh.svc.cfg.ID+1)))}
+	sh.instances[req.id] = inst
+	sh.svc.ctr.active.Add(1)
+	sh.svc.ctr.proposed.Add(1)
+
+	inst.node.Init(&inst.api)
+	sh.afterStep(inst)
+	if box, ok := sh.pending[req.id]; ok {
+		delete(sh.pending, req.id)
+		sh.svc.ctr.pendingFrames.Add(-int64(len(box.msgs)))
+		for _, m := range box.msgs {
+			if _, open := sh.instances[req.id]; !open {
+				break // decided mid-replay
+			}
+			inst.node.OnMessage(&inst.api, sim.ProcID(m.from), m.msg)
+			sh.afterStep(inst)
+		}
+	}
+}
+
+// afterStep moves the instance along its lifecycle after a node callback:
+// a halted node failed (with lingering forced on, fail() is the only Halt
+// caller) and is retired with its error; a decided node delivers its
+// result and transitions to lingering — it stays registered, serving the
+// exchange for lagging peers, until expire tombstones it.
+func (sh *shard) afterStep(inst *instance) {
+	if inst.done {
+		return
+	}
+	if inst.api.halted {
+		_, err := inst.node.Decision()
+		sh.svc.ctr.failed.Add(1)
+		sh.retire(inst, Result{
+			Instance: inst.id,
+			Rounds:   inst.node.Rounds(),
+			Elapsed:  time.Since(inst.started),
+			Err:      err,
+		})
+		return
+	}
+	if !inst.node.Decided() {
+		return
+	}
+	dec, err := inst.node.Decision()
+	if err != nil {
+		sh.svc.ctr.failed.Add(1)
+		sh.retire(inst, Result{Instance: inst.id, Rounds: inst.node.Rounds(), Elapsed: time.Since(inst.started), Err: err})
+		return
+	}
+	inst.done = true
+	inst.lingerUntil = time.Now().Add(sh.svc.cfg.LingerTimeout)
+	sh.svc.ctr.decided.Add(1)
+	sh.svc.ctr.lingering.Add(1)
+	inst.res <- Result{
+		Instance: inst.id,
+		Decision: dec,
+		Rounds:   inst.node.Rounds(),
+		Elapsed:  time.Since(inst.started),
+	}
+	sh.svc.ctr.active.Add(-1)
+	sh.svc.checkDrained()
+}
+
+// retire delivers the result, tombstones the id, and updates gauges.
+func (sh *shard) retire(inst *instance, res Result) {
+	delete(sh.instances, inst.id)
+	sh.tombs[inst.id] = time.Now()
+	inst.res <- res
+	sh.svc.ctr.active.Add(-1)
+	sh.svc.checkDrained()
+}
+
+// expire enforces instance deadlines, tombstones lingering instances whose
+// window closed, and garbage-collects pending boxes and tombstones.
+func (sh *shard) expire(now time.Time) {
+	for _, inst := range sh.instances {
+		if inst.done {
+			if now.After(inst.lingerUntil) {
+				delete(sh.instances, inst.id)
+				sh.tombs[inst.id] = now
+				sh.svc.ctr.lingering.Add(-1)
+			}
+			continue
+		}
+		if now.After(inst.deadline) {
+			sh.svc.ctr.timedOut.Add(1)
+			sh.retire(inst, Result{Instance: inst.id, Elapsed: now.Sub(inst.started), Err: ErrInstanceTimeout})
+		}
+	}
+	pendingTTL := sh.svc.cfg.InstanceTimeout
+	for id, box := range sh.pending {
+		if now.Sub(box.since) > pendingTTL {
+			sh.svc.ctr.pendingFrames.Add(-int64(len(box.msgs)))
+			sh.svc.ctr.pendingDropped.Add(int64(len(box.msgs)))
+			delete(sh.pending, id)
+		}
+	}
+	tombTTL := 2 * sh.svc.cfg.InstanceTimeout
+	for id, at := range sh.tombs {
+		if now.Sub(at) > tombTTL {
+			delete(sh.tombs, id)
+		}
+	}
+}
+
+// instAPI implements sim.API for one instance: sends become framed
+// transmissions on the pooled mesh, self-sends loop through the shard's
+// local FIFO (pushing to our own bounded queue from the shard goroutine
+// could deadlock).
+type instAPI struct {
+	sh     *shard
+	inst   *instance
+	rng    *rand.Rand
+	halted bool
+}
+
+var _ sim.API = (*instAPI)(nil)
+
+func (a *instAPI) ID() sim.ProcID { return sim.ProcID(a.sh.svc.cfg.ID) }
+func (a *instAPI) N() int         { return a.sh.svc.n }
+
+func (a *instAPI) Send(to sim.ProcID, msg sim.Message) {
+	m, ok := msg.(aad.Msg)
+	if !ok {
+		a.sh.svc.noteErr(fmt.Errorf("service: instance %d sent %T, want aad.Msg", a.inst.id, msg))
+		return
+	}
+	if int(to) == a.sh.svc.cfg.ID {
+		a.sh.local = append(a.sh.local, localMsg{inst: a.inst, msg: m})
+		return
+	}
+	sh := a.sh
+	if err := toWire(m, &sh.enc); err != nil {
+		sh.svc.noteErr(err)
+		return
+	}
+	buf := leaseFrame()
+	*buf = wire.AppendConsensus((*buf)[:0], a.inst.id, &sh.enc)
+	sh.svc.peers[to].enqueue(buf)
+}
+
+func (a *instAPI) Broadcast(msg sim.Message) {
+	for to := 0; to < a.sh.svc.n; to++ {
+		a.Send(sim.ProcID(to), msg)
+	}
+}
+
+func (a *instAPI) Halt() { a.halted = true }
+
+func (a *instAPI) Rand() *rand.Rand { return a.rng }
+
+func (a *instAPI) Now() time.Duration { return time.Since(a.sh.svc.start) }

@@ -1,0 +1,88 @@
+package service
+
+import "sync/atomic"
+
+// counters is the service's internal atomic counter block. Everything is
+// monotone except active (a gauge); Stats snapshots it for callers and
+// cmd/bvcload stamps the snapshot into its BENCH records.
+type counters struct {
+	active    atomic.Int64
+	lingering atomic.Int64
+	proposed  atomic.Int64
+	decided   atomic.Int64
+	timedOut  atomic.Int64
+	failed    atomic.Int64
+
+	framesIn  atomic.Int64
+	framesOut atomic.Int64
+	bytesIn   atomic.Int64
+	bytesOut  atomic.Int64
+
+	sheds          atomic.Int64
+	writeDrops     atomic.Int64
+	pendingFrames  atomic.Int64
+	pendingDropped atomic.Int64
+	reconnects     atomic.Int64
+	readErrors     atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of one service process's counters.
+type Stats struct {
+	// ActiveInstances is the number of currently open, undecided instances
+	// (gauge). Lingering counts decided instances still serving the
+	// exchange for lagging peers (gauge; see Config.LingerTimeout).
+	ActiveInstances int64
+	Lingering       int64
+	// Proposed/Decided/TimedOut/Failed count instance outcomes: proposals
+	// accepted, decisions delivered, per-instance timeouts, and protocol
+	// failures.
+	Proposed, Decided, TimedOut, Failed int64
+	// FramesIn/FramesOut/BytesIn/BytesOut count v2 frames and payload
+	// bytes crossing this process's pooled connections (self-sends are
+	// delivered in memory and not counted).
+	FramesIn, FramesOut, BytesIn, BytesOut int64
+	// SlowPeerSheds counts frames dropped by the shed policy on a full
+	// peer outbox; WriteDrops counts frames lost because a connection
+	// failed mid-write (they are retransmitted by no one — the protocols
+	// tolerate it as a crashed peer would be tolerated).
+	SlowPeerSheds, WriteDrops int64
+	// PendingFrames is the current number of frames buffered for
+	// instances not yet proposed locally (gauge); PendingDropped counts
+	// frames discarded because a pending buffer overflowed or expired.
+	PendingFrames, PendingDropped int64
+	// Reconnects counts successful re-establishments of failed peer
+	// connections; ReadErrors counts reader-loop failures beyond clean
+	// peer shutdowns.
+	Reconnects, ReadErrors int64
+	// QueueDepth is the current total number of frames sitting in peer
+	// outboxes (gauge) — the live measure of backpressure.
+	QueueDepth int
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		ActiveInstances: s.ctr.active.Load(),
+		Lingering:       s.ctr.lingering.Load(),
+		Proposed:        s.ctr.proposed.Load(),
+		Decided:         s.ctr.decided.Load(),
+		TimedOut:        s.ctr.timedOut.Load(),
+		Failed:          s.ctr.failed.Load(),
+		FramesIn:        s.ctr.framesIn.Load(),
+		FramesOut:       s.ctr.framesOut.Load(),
+		BytesIn:         s.ctr.bytesIn.Load(),
+		BytesOut:        s.ctr.bytesOut.Load(),
+		SlowPeerSheds:   s.ctr.sheds.Load(),
+		WriteDrops:      s.ctr.writeDrops.Load(),
+		PendingFrames:   s.ctr.pendingFrames.Load(),
+		PendingDropped:  s.ctr.pendingDropped.Load(),
+		Reconnects:      s.ctr.reconnects.Load(),
+		ReadErrors:      s.ctr.readErrors.Load(),
+	}
+	for _, p := range s.peers {
+		if p != nil {
+			st.QueueDepth += len(p.outbox)
+		}
+	}
+	return st
+}

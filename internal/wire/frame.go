@@ -1,0 +1,234 @@
+package wire
+
+// Version-2 framing: the multi-tenant service path (internal/service)
+// speaks a binary, instance-multiplexed frame layout instead of the gob
+// envelopes used by the single-tenant transport above. The layout is
+// specified in docs/WIRE_FORMAT.md and pinned byte-for-byte by the golden
+// test in frame_test.go; change either only together with the other and
+// with a version bump.
+//
+// A frame is a 4-byte big-endian length prefix (counting everything after
+// the prefix) followed by a fixed 10-byte header — version, frame kind,
+// 8-byte instance id — and a kind-specific body. Sender identity is
+// carried by the connection (established by the Hello frame), not by each
+// frame. All integers are big-endian; vectors are IEEE-754 float64 bits.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// FrameVersion is the current frame-layout version; it occupies the first
+// header byte of every frame. Peers speaking a different version are
+// rejected at handshake (see docs/WIRE_FORMAT.md for the compatibility
+// rules).
+const FrameVersion = 2
+
+// FrameKind discriminates the frame families of the service protocol.
+type FrameKind uint8
+
+// Frame kinds. Unknown kinds parse successfully (header plus opaque body)
+// so receivers can skip them — the forward-compatibility rule that lets a
+// newer peer add frame kinds without breaking an older one.
+const (
+	// FrameHello is the connection handshake: the dialer announces its
+	// process id (body: uint32). Instance id is 0.
+	FrameHello FrameKind = 1
+	// FrameConsensus carries one consensus-protocol message for the
+	// instance named in the header (body: see ConsensusMsg).
+	FrameConsensus FrameKind = 2
+	// FrameGoodbye announces a graceful drain: the sender stops opening
+	// instances and will close once in-flight instances finish. Empty
+	// body, instance id 0. Receivers stop redialing a peer that said
+	// goodbye.
+	FrameGoodbye FrameKind = 3
+)
+
+// FrameHeaderLen is the fixed header length following the length prefix.
+const FrameHeaderLen = 10
+
+// FrameHeader is the decoded fixed header of a v2 frame.
+type FrameHeader struct {
+	Version  uint8
+	Kind     FrameKind
+	Instance uint64
+}
+
+// Consensus body kinds (first body byte of a FrameConsensus frame),
+// mirroring the two families of the AAD witness exchange.
+const (
+	// ConsensusRBC is a Bracha reliable-broadcast message:
+	// phase(u8) origin(u32) round(u32) dim(u16) dim×float64.
+	ConsensusRBC uint8 = 1
+	// ConsensusReport is a witness report: round(u32) origin(u32).
+	ConsensusReport uint8 = 2
+)
+
+// ConsensusMsg is the wire-level form of one consensus message. It is a
+// flattened, dependency-free mirror of the aad/broadcast message structs
+// (internal/service converts between the two) so the wire package stays
+// importable by the protocol packages that register gob types with it.
+type ConsensusMsg struct {
+	// Kind is ConsensusRBC or ConsensusReport.
+	Kind uint8
+	// Phase is the RBC phase (ConsensusRBC only).
+	Phase uint8
+	// Origin is the originating process id.
+	Origin uint32
+	// Round is the protocol round (the RBC tag for ConsensusRBC).
+	Round uint32
+	// Value is the carried vector (ConsensusRBC only; nil for reports).
+	Value []float64
+}
+
+// appendFramePrefix reserves the length prefix and appends the header,
+// returning the extended slice and the prefix offset for backfilling.
+func appendFramePrefix(dst []byte, kind FrameKind, instance uint64) ([]byte, int) {
+	at := len(dst)
+	dst = append(dst, 0, 0, 0, 0, FrameVersion, byte(kind))
+	dst = binary.BigEndian.AppendUint64(dst, instance)
+	return dst, at
+}
+
+// backfillLen writes the length prefix for a frame started at offset at.
+func backfillLen(dst []byte, at int) []byte {
+	binary.BigEndian.PutUint32(dst[at:], uint32(len(dst)-at-4))
+	return dst
+}
+
+// AppendFrame appends one complete frame — length prefix, header, body —
+// to dst and returns the extended slice. Callers reuse dst across frames;
+// appending to a buffer leased from a pool is the zero-steady-state-
+// allocation path the service writers use.
+func AppendFrame(dst []byte, kind FrameKind, instance uint64, body []byte) []byte {
+	dst, at := appendFramePrefix(dst, kind, instance)
+	dst = append(dst, body...)
+	return backfillLen(dst, at)
+}
+
+// AppendHello appends a FrameHello announcing process id peer.
+func AppendHello(dst []byte, peer uint32) []byte {
+	dst, at := appendFramePrefix(dst, FrameHello, 0)
+	dst = binary.BigEndian.AppendUint32(dst, peer)
+	return backfillLen(dst, at)
+}
+
+// AppendGoodbye appends a FrameGoodbye.
+func AppendGoodbye(dst []byte) []byte {
+	dst, at := appendFramePrefix(dst, FrameGoodbye, 0)
+	return backfillLen(dst, at)
+}
+
+// AppendConsensus appends a FrameConsensus carrying m for the given
+// instance, encoding the body in place (no intermediate buffer).
+func AppendConsensus(dst []byte, instance uint64, m *ConsensusMsg) []byte {
+	dst, at := appendFramePrefix(dst, FrameConsensus, instance)
+	dst = append(dst, m.Kind)
+	switch m.Kind {
+	case ConsensusRBC:
+		dst = append(dst, m.Phase)
+		dst = binary.BigEndian.AppendUint32(dst, m.Origin)
+		dst = binary.BigEndian.AppendUint32(dst, m.Round)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Value)))
+		for _, v := range m.Value {
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+	case ConsensusReport:
+		dst = binary.BigEndian.AppendUint32(dst, m.Origin)
+		dst = binary.BigEndian.AppendUint32(dst, m.Round)
+	}
+	return backfillLen(dst, at)
+}
+
+// ParseFrame splits a frame (without its length prefix) into header and
+// body. Unknown kinds parse fine; only the version is checked here.
+func ParseFrame(frame []byte) (FrameHeader, []byte, error) {
+	if len(frame) < FrameHeaderLen {
+		return FrameHeader{}, nil, fmt.Errorf("wire: frame shorter than header (%d bytes)", len(frame))
+	}
+	h := FrameHeader{
+		Version:  frame[0],
+		Kind:     FrameKind(frame[1]),
+		Instance: binary.BigEndian.Uint64(frame[2:10]),
+	}
+	if h.Version != FrameVersion {
+		return FrameHeader{}, nil, fmt.Errorf("wire: frame version %d, want %d", h.Version, FrameVersion)
+	}
+	return h, frame[FrameHeaderLen:], nil
+}
+
+// ParseHello decodes a FrameHello body.
+func ParseHello(body []byte) (peer uint32, err error) {
+	if len(body) != 4 {
+		return 0, fmt.Errorf("wire: hello body %d bytes, want 4", len(body))
+	}
+	return binary.BigEndian.Uint32(body), nil
+}
+
+// DecodeConsensus decodes a FrameConsensus body into m, reusing m.Value's
+// capacity. The decoded Value aliases m's buffer — callers that retain it
+// (protocol state machines do) must pass a fresh m or copy the vector.
+func DecodeConsensus(m *ConsensusMsg, body []byte) error {
+	if len(body) < 1 {
+		return fmt.Errorf("wire: empty consensus body")
+	}
+	m.Kind = body[0]
+	body = body[1:]
+	switch m.Kind {
+	case ConsensusRBC:
+		if len(body) < 11 {
+			return fmt.Errorf("wire: rbc body %d bytes, want >= 11", len(body))
+		}
+		m.Phase = body[0]
+		m.Origin = binary.BigEndian.Uint32(body[1:5])
+		m.Round = binary.BigEndian.Uint32(body[5:9])
+		dim := int(binary.BigEndian.Uint16(body[9:11]))
+		body = body[11:]
+		if len(body) != 8*dim {
+			return fmt.Errorf("wire: rbc vector %d bytes, want %d", len(body), 8*dim)
+		}
+		if cap(m.Value) < dim {
+			m.Value = make([]float64, dim)
+		}
+		m.Value = m.Value[:dim]
+		for i := 0; i < dim; i++ {
+			m.Value[i] = math.Float64frombits(binary.BigEndian.Uint64(body[8*i:]))
+		}
+	case ConsensusReport:
+		if len(body) != 8 {
+			return fmt.Errorf("wire: report body %d bytes, want 8", len(body))
+		}
+		m.Phase, m.Value = 0, m.Value[:0]
+		m.Origin = binary.BigEndian.Uint32(body[0:4])
+		m.Round = binary.BigEndian.Uint32(body[4:8])
+	default:
+		return fmt.Errorf("wire: unknown consensus kind %d", m.Kind)
+	}
+	return nil
+}
+
+// ReadFrameInto reads one length-prefixed frame into buf (grown when too
+// small) and returns the frame bytes (header + body, prefix stripped)
+// aliasing buf — the reuse path that keeps the service's reader loops
+// allocation-free in the steady state. It mirrors ReadFrame's error
+// contract: io.EOF passes through unwrapped for clean-shutdown detection.
+func ReadFrameInto(r io.Reader, buf []byte) (frame, newBuf []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, buf, err // preserve io.EOF
+	}
+	size := int(binary.BigEndian.Uint32(hdr[:]))
+	if size > MaxFrameSize {
+		return nil, buf, ErrFrameTooLarge
+	}
+	if cap(buf) < size {
+		buf = make([]byte, size)
+	}
+	buf = buf[:size]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, buf, fmt.Errorf("wire: read body: %w", err)
+	}
+	return buf, buf, nil
+}

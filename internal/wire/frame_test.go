@@ -1,0 +1,143 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/hex"
+	"io"
+	"testing"
+)
+
+// TestFrameGoldenBytes pins the v2 frame layout byte-for-byte. These
+// literals are the layout documented in docs/WIRE_FORMAT.md; if this test
+// needs updating, the document (and FrameVersion) must change with it.
+func TestFrameGoldenBytes(t *testing.T) {
+	cases := []struct {
+		name string
+		got  []byte
+		want string // hex
+	}{
+		{
+			name: "hello",
+			got:  AppendHello(nil, 3),
+			// len=14 | v2 kind=1 instance=0 | peer=3
+			want: "0000000e" + "0201" + "0000000000000000" + "00000003",
+		},
+		{
+			name: "goodbye",
+			got:  AppendGoodbye(nil),
+			want: "0000000a" + "0203" + "0000000000000000",
+		},
+		{
+			name: "report",
+			got: AppendConsensus(nil, 0x0102030405060708, &ConsensusMsg{
+				Kind: ConsensusReport, Origin: 4, Round: 7,
+			}),
+			// len=19 | v2 kind=2 instance | kind=2 origin=4 round=7
+			want: "00000013" + "0202" + "0102030405060708" + "02" + "00000004" + "00000007",
+		},
+		{
+			name: "rbc",
+			got: AppendConsensus(nil, 42, &ConsensusMsg{
+				Kind: ConsensusRBC, Phase: 1, Origin: 2, Round: 9,
+				Value: []float64{0.5, -1},
+			}),
+			// len=38 | v2 kind=2 instance=42 |
+			// kind=1 phase=1 origin=2 round=9 dim=2 | 0.5 | -1
+			want: "00000026" + "0202" + "000000000000002a" +
+				"01" + "01" + "00000002" + "00000009" + "0002" +
+				"3fe0000000000000" + "bff0000000000000",
+		},
+	}
+	for _, tc := range cases {
+		want, err := hex.DecodeString(tc.want)
+		if err != nil {
+			t.Fatalf("%s: bad test literal: %v", tc.name, err)
+		}
+		if !bytes.Equal(tc.got, want) {
+			t.Errorf("%s frame:\n got %x\nwant %x", tc.name, tc.got, want)
+		}
+	}
+}
+
+func TestFrameV2RoundTrip(t *testing.T) {
+	msgs := []ConsensusMsg{
+		{Kind: ConsensusRBC, Phase: 2, Origin: 1, Round: 3, Value: []float64{0.25, 0.75, -0.5}},
+		{Kind: ConsensusReport, Origin: 6, Round: 11},
+		{Kind: ConsensusRBC, Phase: 3, Origin: 0, Round: 1, Value: nil},
+	}
+	var stream []byte
+	for i := range msgs {
+		stream = AppendConsensus(stream, uint64(100+i), &msgs[i])
+	}
+	stream = AppendGoodbye(stream)
+
+	r := bytes.NewReader(stream)
+	var buf []byte
+	var dec ConsensusMsg // reused across frames: exercises Value reuse
+	for i := range msgs {
+		frame, nb, err := ReadFrameInto(r, buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		buf = nb
+		h, body, err := ParseFrame(frame)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if h.Kind != FrameConsensus || h.Instance != uint64(100+i) {
+			t.Fatalf("frame %d: header %+v", i, h)
+		}
+		if err := DecodeConsensus(&dec, body); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		want := msgs[i]
+		if dec.Kind != want.Kind || dec.Phase != want.Phase || dec.Origin != want.Origin || dec.Round != want.Round {
+			t.Fatalf("frame %d: decoded %+v want %+v", i, dec, want)
+		}
+		if len(dec.Value) != len(want.Value) {
+			t.Fatalf("frame %d: value %v want %v", i, dec.Value, want.Value)
+		}
+		for j := range want.Value {
+			if dec.Value[j] != want.Value[j] {
+				t.Fatalf("frame %d: value %v want %v", i, dec.Value, want.Value)
+			}
+		}
+	}
+	frame, _, err := ReadFrameInto(r, buf)
+	if err != nil {
+		t.Fatalf("goodbye: %v", err)
+	}
+	if h, _, err := ParseFrame(frame); err != nil || h.Kind != FrameGoodbye {
+		t.Fatalf("goodbye: header %+v err %v", h, err)
+	}
+	if _, _, err := ReadFrameInto(r, buf); err != io.EOF {
+		t.Fatalf("stream end: err %v, want io.EOF", err)
+	}
+}
+
+func TestFrameErrors(t *testing.T) {
+	if _, _, err := ParseFrame([]byte{2, 1}); err == nil {
+		t.Error("short frame: no error")
+	}
+	bad := AppendHello(nil, 1)
+	bad[4] = 99 // corrupt version byte
+	if _, _, err := ParseFrame(bad[4:]); err == nil {
+		t.Error("bad version: no error")
+	}
+	// Unknown frame kinds must parse (forward compatibility).
+	fut := AppendFrame(nil, FrameKind(200), 7, []byte{1, 2, 3})
+	h, body, err := ParseFrame(fut[4:])
+	if err != nil || h.Kind != FrameKind(200) || h.Instance != 7 || len(body) != 3 {
+		t.Errorf("future kind: h=%+v body=%d err=%v", h, len(body), err)
+	}
+	var m ConsensusMsg
+	if err := DecodeConsensus(&m, []byte{9}); err == nil {
+		t.Error("unknown consensus kind: no error")
+	}
+	if err := DecodeConsensus(&m, []byte{ConsensusRBC, 1, 0, 0, 0, 1}); err == nil {
+		t.Error("truncated rbc: no error")
+	}
+	if err := DecodeConsensus(&m, []byte{ConsensusReport, 0, 0}); err == nil {
+		t.Error("truncated report: no error")
+	}
+}

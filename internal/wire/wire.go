@@ -1,11 +1,15 @@
-// Package wire defines the on-the-wire representation used by the live
-// transports: a gob-encoded envelope carrying an opaque protocol payload,
-// framed with a 4-byte big-endian length prefix.
+// Package wire defines the on-the-wire representations used by the live
+// transports; docs/WIRE_FORMAT.md is the normative specification of both
+// generations. This file is the v1 format — a gob-encoded envelope
+// carrying an opaque protocol payload, framed with a 4-byte big-endian
+// length prefix — used by the single-tenant transport. frame.go is the
+// v2 format: binary, instance-multiplexed frames for the multi-tenant
+// service path, pinned byte-for-byte by the golden test in frame_test.go.
 //
 // Payload types cross package boundaries as interface values, so every
-// concrete payload type must be registered (Register) before encoding or
-// decoding; the algorithm packages register their message types at init,
-// which is the sanctioned use of init for encoding registries.
+// concrete v1 payload type must be registered (Register) before encoding
+// or decoding; the algorithm packages register their message types at
+// init, which is the sanctioned use of init for encoding registries.
 package wire
 
 import (

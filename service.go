@@ -1,0 +1,225 @@
+package bvc
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/service"
+)
+
+// This file is the public face of the multi-tenant live consensus service
+// (internal/service): many concurrent instances of the §3.2 asynchronous
+// approximate algorithm multiplexed over one pooled full mesh of
+// persistent TCP connections. Operator documentation — lifecycle, wire
+// protocol, backpressure policy, load testing — lives in docs/SERVICE.md
+// and docs/WIRE_FORMAT.md.
+
+// Service errors, re-exported for errors.Is against ServiceResult.Err.
+var (
+	// ErrServiceClosed is returned by operations on a closed service and
+	// reported for instances in flight when it closed.
+	ErrServiceClosed = service.ErrServiceClosed
+	// ErrServiceDraining is returned by Propose after Drain.
+	ErrServiceDraining = service.ErrDraining
+	// ErrDuplicateInstance is reported for a Propose reusing a live or
+	// recently finished instance id.
+	ErrDuplicateInstance = service.ErrDuplicateInstance
+	// ErrInstanceTimeout is reported for instances that exceeded
+	// ServiceConfig.InstanceTimeout before deciding.
+	ErrInstanceTimeout = service.ErrInstanceTimeout
+)
+
+// SlowPeerPolicy selects the service's behavior when a peer cannot keep up
+// with its outbound frame queue.
+type SlowPeerPolicy int
+
+// Slow-peer policies.
+const (
+	// BlockSlowPeer (the default) blocks the sender until the peer's
+	// queue drains: backpressure propagates to Propose and the reliable-
+	// channel model of the paper is preserved while the peer is up.
+	BlockSlowPeer SlowPeerPolicy = iota
+	// ShedSlowPeer drops frames to the slow peer and counts them
+	// (ServiceStats.SlowPeerSheds). The slow peer then looks partially
+	// crashed, which the algorithm tolerates for up to f peers.
+	ShedSlowPeer
+)
+
+// ServiceConfig configures one process of a consensus service mesh.
+type ServiceConfig struct {
+	// Config is the consensus configuration every instance runs (the
+	// asynchronous §3.2 variant); its N must equal len(Addrs).
+	Config
+	// ID is this process's id, indexing Addrs.
+	ID int
+	// Addrs lists every process's listen address; Addrs[ID] may use port 0
+	// (Addr reports the bound address, Establish takes the final list).
+	Addrs []string
+	// Shards is the instance-shard goroutine count; 0 means
+	// min(GOMAXPROCS, 4). Instance id modulo Shards picks the shard.
+	Shards int
+	// OutboxDepth bounds each peer's outbound frame queue (default 1024).
+	OutboxDepth int
+	// QueueDepth bounds each shard's inbound frame queue (default 4096).
+	QueueDepth int
+	// PendingLimit bounds per-instance buffering of frames that arrive
+	// before the local Propose (default 4096).
+	PendingLimit int
+	// SlowPeer selects the full-outbox policy (default BlockSlowPeer).
+	SlowPeer SlowPeerPolicy
+	// InstanceTimeout fails undecided instances after this long (default
+	// 30s). LingerTimeout bounds how long a decided instance keeps
+	// serving the protocol for lagging peers (default: InstanceTimeout).
+	InstanceTimeout time.Duration
+	LingerTimeout   time.Duration
+	// EstablishTimeout bounds mesh establishment and reconnect attempts
+	// (default 10s); DialBackoff/MaxDialBackoff shape dial retry
+	// (defaults 25ms/500ms).
+	EstablishTimeout time.Duration
+	DialBackoff      time.Duration
+	MaxDialBackoff   time.Duration
+	// Seed feeds the per-instance PRNG streams.
+	Seed int64
+}
+
+// ServiceResult is one finished instance as seen by this process.
+type ServiceResult struct {
+	// Instance is the instance id.
+	Instance uint64
+	// Decision is the decided vector (nil when Err is set).
+	Decision Vector
+	// Rounds is the instance's termination round count.
+	Rounds int
+	// Elapsed is the local propose-to-decision latency.
+	Elapsed time.Duration
+	// Err is nil on decision, or one of the Err* sentinels / a protocol
+	// failure.
+	Err error
+}
+
+// ServiceStats is a point-in-time snapshot of one service process's
+// counters; see the field docs on the internal/service Stats type for the
+// exact semantics of each counter.
+type ServiceStats struct {
+	// ActiveInstances counts open undecided instances; Lingering counts
+	// decided instances still serving lagging peers (both gauges).
+	ActiveInstances, Lingering int64
+	// Proposed/Decided/TimedOut/Failed count instance outcomes.
+	Proposed, Decided, TimedOut, Failed int64
+	// FramesIn/FramesOut/BytesIn/BytesOut count wire traffic.
+	FramesIn, FramesOut, BytesIn, BytesOut int64
+	// SlowPeerSheds/WriteDrops count frames lost to the shed policy and to
+	// connection failures; PendingFrames/PendingDropped track pre-Propose
+	// buffering; Reconnects/ReadErrors track link health.
+	SlowPeerSheds, WriteDrops     int64
+	PendingFrames, PendingDropped int64
+	Reconnects, ReadErrors        int64
+	// QueueDepth is the total frames currently queued toward peers.
+	QueueDepth int
+}
+
+// Service is one process of a multi-tenant live consensus mesh: Propose
+// opens instances concurrently from any goroutine, and all instances share
+// the process's n−1 pooled connections. Construct with NewService on every
+// process, exchange addresses out of band, then Establish.
+type Service struct {
+	inner *service.Service
+}
+
+// NewService validates the configuration, binds the listener, and starts
+// the service's shard pool and connection writers; Establish builds the
+// mesh.
+func NewService(cfg ServiceConfig) (*Service, error) {
+	acfg, err := cfg.Config.asyncConfig()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := service.New(service.Config{
+		Node:             acfg,
+		ID:               cfg.ID,
+		Addrs:            cfg.Addrs,
+		Shards:           cfg.Shards,
+		OutboxDepth:      cfg.OutboxDepth,
+		QueueDepth:       cfg.QueueDepth,
+		PendingLimit:     cfg.PendingLimit,
+		SlowPeer:         service.Policy(cfg.SlowPeer),
+		InstanceTimeout:  cfg.InstanceTimeout,
+		LingerTimeout:    cfg.LingerTimeout,
+		EstablishTimeout: cfg.EstablishTimeout,
+		DialBackoff:      cfg.DialBackoff,
+		MaxDialBackoff:   cfg.MaxDialBackoff,
+		Seed:             cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Service{inner: inner}, nil
+}
+
+// Addr returns the bound listen address (useful with port-0 configs).
+func (s *Service) Addr() string { return s.inner.Addr() }
+
+// Establish connects the full mesh and returns once every link is up or
+// the establish timeout expires. A non-nil addrs overrides the
+// construction-time address list (the port-0 flow).
+func (s *Service) Establish(ctx context.Context, addrs []string) error {
+	return s.inner.Establish(ctx, addrs)
+}
+
+// Propose opens consensus instance id with this process's input. Every
+// process of the mesh must eventually propose the same id. The result is
+// delivered exactly once on the returned channel.
+func (s *Service) Propose(id uint64, input Vector) (<-chan ServiceResult, error) {
+	ch, err := s.inner.Propose(id, toGeometry(input))
+	if err != nil {
+		return nil, err
+	}
+	out := make(chan ServiceResult, 1)
+	go func() {
+		r := <-ch
+		out <- ServiceResult{
+			Instance: r.Instance,
+			Decision: fromGeometry(r.Decision),
+			Rounds:   r.Rounds,
+			Elapsed:  r.Elapsed,
+			Err:      r.Err,
+		}
+	}()
+	return out, nil
+}
+
+// Drain refuses new proposals, announces the wind-down to peers, and
+// returns once every in-flight instance finished or ctx expired.
+func (s *Service) Drain(ctx context.Context) error { return s.inner.Drain(ctx) }
+
+// Close releases the listener, connections, and goroutines; in-flight
+// instances fail with ErrServiceClosed. Drain first for a graceful stop.
+func (s *Service) Close() error { return s.inner.Close() }
+
+// Err returns the first background transport error the service observed
+// (nil while healthy; peer disconnects and reconnects are not errors).
+func (s *Service) Err() error { return s.inner.Err() }
+
+// Stats returns a snapshot of the service's counters.
+func (s *Service) Stats() ServiceStats {
+	st := s.inner.Stats()
+	return ServiceStats{
+		ActiveInstances: st.ActiveInstances,
+		Lingering:       st.Lingering,
+		Proposed:        st.Proposed,
+		Decided:         st.Decided,
+		TimedOut:        st.TimedOut,
+		Failed:          st.Failed,
+		FramesIn:        st.FramesIn,
+		FramesOut:       st.FramesOut,
+		BytesIn:         st.BytesIn,
+		BytesOut:        st.BytesOut,
+		SlowPeerSheds:   st.SlowPeerSheds,
+		WriteDrops:      st.WriteDrops,
+		PendingFrames:   st.PendingFrames,
+		PendingDropped:  st.PendingDropped,
+		Reconnects:      st.Reconnects,
+		ReadErrors:      st.ReadErrors,
+		QueueDepth:      st.QueueDepth,
+	}
+}
