@@ -39,6 +39,22 @@ func fingerprint(t *testing.T, res *bvc.Result) []float64 {
 	return out
 }
 
+// logReplayOnFailure arranges for a failing subtest to print everything
+// needed to replay it standalone: the master seed of the input stream (the
+// shared rng is consumed in case-declaration order, so the seed plus the
+// subtest name pin the inputs), the per-run simulation seed, and the
+// config tuple. Keep the printed tuple in sync when adding cases.
+func logReplayOnFailure(t *testing.T, masterSeed, simSeed int64, cfg bvc.Config, extra string) {
+	t.Helper()
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		t.Logf("replay standalone: go test -run '%s' .  [master input seed %d (inputs drawn in case order), sim seed %d, config n=%d d=%d f=%d eps=%g maxRounds=%d%s]",
+			t.Name(), masterSeed, simSeed, cfg.N, cfg.D, cfg.F, cfg.Epsilon, cfg.MaxRounds, extra)
+	})
+}
+
 func requireSameFingerprint(t *testing.T, label string, want, got []float64) {
 	t.Helper()
 	if len(got) != len(want) {
@@ -73,11 +89,13 @@ func TestSimulateDeterministicAcrossEngineOptions(t *testing.T) {
 	}
 
 	cases := map[string]runFn{}
+	caseCfgs := map[string]bvc.Config{}
 	{
 		d, f := 2, 2
 		n := bvc.MinProcesses(bvc.ExactSync, d, f)
 		cfg := bvc.Config{N: n, F: f, D: d}
 		inputs := mkInputs(n, d)
+		caseCfgs["exact_d2f2"] = cfg
 		cases["exact_d2f2"] = func(opts bvc.SimOptions) (*bvc.Result, error) {
 			return bvc.SimulateExact(cfg, inputs, nil, opts)
 		}
@@ -87,6 +105,7 @@ func TestSimulateDeterministicAcrossEngineOptions(t *testing.T) {
 		n := bvc.MinProcesses(bvc.RestrictedSync, d, f)
 		cfg := bvc.Config{N: n, F: f, D: d, Epsilon: 0.2, Lo: []float64{0}, Hi: []float64{1}}
 		inputs := mkInputs(n, d)
+		caseCfgs["restricted_sync_d2f1"] = cfg
 		cases["restricted_sync_d2f1"] = func(opts bvc.SimOptions) (*bvc.Result, error) {
 			return bvc.SimulateRestrictedSync(cfg, inputs, nil, opts)
 		}
@@ -96,6 +115,7 @@ func TestSimulateDeterministicAcrossEngineOptions(t *testing.T) {
 		n := bvc.MinProcesses(bvc.ApproxAsync, d, f)
 		cfg := bvc.Config{N: n, F: f, D: d, Epsilon: 0.1, Lo: []float64{0}, Hi: []float64{1}, MaxRounds: 3}
 		inputs := mkInputs(n, d)
+		caseCfgs["approx_async_d1f2"] = cfg
 		cases["approx_async_d1f2"] = func(opts bvc.SimOptions) (*bvc.Result, error) {
 			return bvc.SimulateApproxAsync(cfg, inputs, nil, opts)
 		}
@@ -103,6 +123,7 @@ func TestSimulateDeterministicAcrossEngineOptions(t *testing.T) {
 
 	for name, run := range cases {
 		t.Run(name, func(t *testing.T) {
+			logReplayOnFailure(t, 99, 5, caseCfgs[name], "")
 			var want []float64
 			for _, workers := range workerSets {
 				for _, noCache := range []bool{false, true} {
@@ -249,6 +270,8 @@ func TestSimulateDeterministicAcrossNodeWorkers(t *testing.T) {
 				byz := adv.mk(n, vc.d)
 				inputs := mkInputs(n, vc.d, byz)
 				t.Run(fmt.Sprintf("%s/%s/%s", vc.name, dk.name, adv.name), func(t *testing.T) {
+					logReplayOnFailure(t, 41, 7, cfg,
+						fmt.Sprintf(" delay=%s adversary=%s workers=%v", dk.name, adv.name, nodeWorkerSets))
 					var want []float64
 					for _, nw := range nodeWorkerSets {
 						res, err := vc.run(cfg, inputs, byz, bvc.SimOptions{

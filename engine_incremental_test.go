@@ -128,6 +128,8 @@ func TestIncrementalGammaMatchesFromScratch(t *testing.T) {
 				inputs[b.ID] = nil
 			}
 			t.Run(fmt.Sprintf("%s/%s", vc.name, adv.name), func(t *testing.T) {
+				logReplayOnFailure(t, 23, 11, cfg,
+					fmt.Sprintf(" delay=uniform[1ms,7ms] adversary=%s workers=%v", adv.name, workerSets))
 				// From-scratch reference: cache off, serial.
 				ref, err := vc.run(cfg, inputs, byz, bvc.SimOptions{
 					Seed: 11, Delay: delay, Workers: 1, DisableGammaCache: true,

@@ -1,0 +1,520 @@
+package adversary
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geometry"
+	"repro/internal/hull"
+	"repro/internal/sim"
+)
+
+// This file is the adaptive adversary: instead of sampling Byzantine
+// behaviours and message schedules, Search *optimizes* them. A candidate
+// execution is a Genome — per-directed-link delay boosts plus the values
+// the Byzantine processes advertise — evaluated by running the restricted
+// asynchronous algorithm (the variant whose Bi sets are decided by message
+// arrival order, so schedule perturbations genuinely change the protocol's
+// trajectory) under a deterministic discrete-event engine. The score
+// rewards executions that push decisions toward (or past) the correct-
+// input hull boundary and that slow the per-round contraction — the two
+// failure directions the paper's Theorems exclude at the resilience
+// bound. Greedy hill-climbing with annealed acceptance over seeded
+// randomness keeps the whole search replayable bit-for-bit; Minimize
+// strips a found genome to the components that matter; Instance /
+// ReplayInstance serialize survivors into the regression corpus replayed
+// by internal/verify.
+
+// SearchSpec configures the schedule/value search. All randomness — the
+// correct processes' inputs, the initial genome, mutation and acceptance —
+// derives from Seed.
+type SearchSpec struct {
+	// N, F, D, Epsilon, MaxRounds parameterize the restricted
+	// asynchronous run (inputs in the unit box).
+	N, F, D   int
+	Epsilon   float64
+	MaxRounds int
+	// Seed drives every random stream of the search.
+	Seed int64
+	// Iterations is the annealing length per restart; Restarts the number
+	// of independent starting genomes.
+	Iterations int
+	Restarts   int
+	// BaseDelay is the floor link delay; link boosts are multiples of
+	// BaseDelay/4 up to MaxExtra units.
+	BaseDelay time.Duration
+	MaxExtra  int
+}
+
+// WithDefaults fills unset knobs.
+func (s SearchSpec) WithDefaults() SearchSpec {
+	if s.Epsilon == 0 {
+		s.Epsilon = 0.05
+	}
+	if s.MaxRounds == 0 {
+		s.MaxRounds = 4
+	}
+	if s.Iterations == 0 {
+		s.Iterations = 50
+	}
+	if s.BaseDelay == 0 {
+		s.BaseDelay = time.Millisecond
+	}
+	if s.MaxExtra == 0 {
+		s.MaxExtra = 12
+	}
+	return s
+}
+
+func (s SearchSpec) params() core.Params {
+	return core.Params{
+		N: s.N, F: s.F, D: s.D,
+		Epsilon:   s.Epsilon,
+		Bounds:    geometry.UniformBox(s.D, 0, 1),
+		MaxRounds: s.MaxRounds,
+	}
+}
+
+// Genome is one candidate adversarial execution.
+type Genome struct {
+	// LinkExtra[from*N+to] boosts the from→to link delay by that many
+	// quarter-BaseDelay units (0 = the base schedule).
+	LinkExtra []int
+	// ByzIDs are the f Byzantine process ids, strictly increasing.
+	ByzIDs []int
+	// Targets holds two advertised vectors per Byzantine process
+	// (equivocation: even-numbered receivers get Targets[2k], odd get
+	// Targets[2k+1]). Values may lie outside the input box — receivers
+	// only check dimension and finiteness, exactly like a real attacker.
+	Targets [][]float64
+}
+
+func (g Genome) clone() Genome {
+	out := Genome{
+		LinkExtra: append([]int(nil), g.LinkExtra...),
+		ByzIDs:    append([]int(nil), g.ByzIDs...),
+		Targets:   make([][]float64, len(g.Targets)),
+	}
+	for i, t := range g.Targets {
+		out.Targets[i] = append([]float64(nil), t...)
+	}
+	return out
+}
+
+// Result is an evaluated genome. Score is minimized by the search: the
+// validity margin (how far inside the correct-input hull the worst
+// decision sits, radially) plus the contraction slack (1 − the worst
+// per-round spread ratio); a validity violation or a stall subtracts a
+// large constant, making real counterexamples dominate everything else.
+type Result struct {
+	Spec   SearchSpec
+	Genome Genome
+	Score  float64
+	// MinMargin is the worst decision's radial hull margin (≤ 0 means at
+	// or beyond the correct-input radius); Slack is 1 − max per-round
+	// spread ratio (≈ 0 means a round barely contracted).
+	MinMargin float64
+	Slack     float64
+	// Violation is the exact validity oracle: some correct decision left
+	// the hull of correct inputs. Stalled means a correct process failed
+	// to decide (or the engine hit its event cap).
+	Violation bool
+	Stalled   bool
+}
+
+// scheduleDelay is the genome's delay model: constant base plus the
+// per-directed-link boost. Deterministic, so the schedule is a pure
+// function of the genome.
+type scheduleDelay struct {
+	n     int
+	base  time.Duration
+	unit  time.Duration
+	extra []int
+}
+
+// Delay implements sim.DelayModel.
+func (s scheduleDelay) Delay(from, to sim.ProcID, _ time.Duration, _ *rand.Rand) time.Duration {
+	return s.base + time.Duration(s.extra[int(from)*s.n+int(to)])*s.unit
+}
+
+// MinDelay implements sim.Lookahead.
+func (s scheduleDelay) MinDelay() time.Duration { return s.base }
+
+// Evaluate runs one genome and scores the execution. Errors are
+// configuration-level only (bad spec); protocol-level trouble is part of
+// the Result.
+func Evaluate(spec SearchSpec, g Genome) (*Result, error) {
+	spec = spec.WithDefaults()
+	params := spec.params()
+	byz := make(map[int]int, len(g.ByzIDs)) // id → genome slot
+	for k, id := range g.ByzIDs {
+		if id < 0 || id >= spec.N {
+			return nil, fmt.Errorf("adversary: byz id %d out of range n=%d", id, spec.N)
+		}
+		byz[id] = k
+	}
+	if len(byz) != spec.F {
+		return nil, fmt.Errorf("adversary: want %d distinct byz ids, got %d", spec.F, len(byz))
+	}
+	if len(g.LinkExtra) != spec.N*spec.N {
+		return nil, fmt.Errorf("adversary: LinkExtra length %d, want %d", len(g.LinkExtra), spec.N*spec.N)
+	}
+
+	// Correct inputs are a pure function of the spec seed, so every
+	// genome fights the same honest population.
+	inRng := rand.New(rand.NewSource(spec.Seed))
+	inputs := make([]geometry.Vector, spec.N)
+	for i := range inputs {
+		inputs[i] = RandomVector(inRng, params.Bounds)
+	}
+
+	nodes := make([]sim.Node, spec.N)
+	correct := make([]*core.RestrictedAsyncNode, spec.N)
+	for i := 0; i < spec.N; i++ {
+		if slot, ok := byz[i]; ok {
+			nodes[i] = byzScheduleNode(spec, g, slot)
+			continue
+		}
+		node, err := core.NewRestrictedAsyncNode(params, sim.ProcID(i), inputs[i])
+		if err != nil {
+			return nil, err
+		}
+		correct[i] = node
+		nodes[i] = node
+	}
+
+	eng, err := sim.NewEngine(sim.Config{
+		N: spec.N,
+		Delay: scheduleDelay{
+			n: spec.N, base: spec.BaseDelay, unit: spec.BaseDelay / 4,
+			extra: g.LinkExtra,
+		},
+		Seed:      spec.Seed,
+		MaxEvents: 4 * spec.N * spec.N * (spec.MaxRounds + 2) * (spec.MaxExtra + 4),
+	}, nodes)
+	if err != nil {
+		return nil, err
+	}
+	_, runErr := eng.Run()
+
+	res := &Result{Spec: spec, Genome: g.clone(), Stalled: runErr != nil}
+	var correctPts []geometry.Vector
+	for i, node := range correct {
+		if node != nil {
+			correctPts = append(correctPts, inputs[i])
+		}
+	}
+	var decisions []geometry.Vector
+	var histories [][]geometry.Vector
+	for _, node := range correct {
+		if node == nil {
+			continue
+		}
+		histories = append(histories, node.History())
+		dec, derr := node.Decision()
+		if derr != nil {
+			res.Stalled = true
+			continue
+		}
+		decisions = append(decisions, dec)
+	}
+	res.MinMargin, res.Violation = validityMargin(correctPts, decisions)
+	res.Slack = contractionSlack(histories)
+	res.Score = res.MinMargin + res.Slack
+	if res.Violation {
+		res.Score -= 100
+	}
+	if res.Stalled {
+		res.Score -= 1000
+	}
+	return res, nil
+}
+
+// byzScheduleNode front-loads the genome's advertised states: on Init it
+// sends round-t StateMsgs for every round up to the horizon, equivocating
+// between the slot's two target vectors by receiver parity. Front-loading
+// means the Byzantine values are always among the first arrivals, the
+// strongest position under the first-(n−f) collection rule.
+func byzScheduleNode(spec SearchSpec, g Genome, slot int) sim.Node {
+	ta := geometry.Vector(g.Targets[2*slot]).Clone()
+	tb := geometry.Vector(g.Targets[2*slot+1]).Clone()
+	return &FuncAsync{
+		OnInit: func(api sim.API) {
+			for r := 1; r <= spec.MaxRounds; r++ {
+				for to := 0; to < spec.N; to++ {
+					v := ta
+					if to%2 == 1 {
+						v = tb
+					}
+					api.Send(sim.ProcID(to), core.StateMsg{Round: r, Value: v.Clone()})
+				}
+			}
+		},
+	}
+}
+
+// validityMargin returns the worst radial margin of the decisions against
+// the correct-input set and the exact hull-containment verdict. The margin
+// is the search gradient (smooth-ish, cheap); the verdict is the oracle.
+func validityMargin(correct, decisions []geometry.Vector) (float64, bool) {
+	if len(decisions) == 0 || len(correct) == 0 {
+		return 0, false
+	}
+	d := correct[0].Dim()
+	c := geometry.NewVector(d)
+	for _, p := range correct {
+		for l := 0; l < d; l++ {
+			c[l] += p[l] / float64(len(correct))
+		}
+	}
+	var maxR float64
+	for _, p := range correct {
+		maxR = math.Max(maxR, p.DistInf(c))
+	}
+	if maxR == 0 {
+		maxR = 1
+	}
+	margin := math.Inf(1)
+	violated := false
+	for _, z := range decisions {
+		margin = math.Min(margin, 1-z.DistInf(c)/maxR)
+		if in, err := hull.Contains(correct, z, hull.DefaultTol); err == nil && !in {
+			violated = true
+		}
+	}
+	return margin, violated
+}
+
+// contractionSlack returns 1 − the maximum per-round spread ratio across
+// the correct histories: near zero means the adversary found a round that
+// barely contracted, the termination-stalling direction.
+func contractionSlack(histories [][]geometry.Vector) float64 {
+	if len(histories) == 0 {
+		return 1
+	}
+	rounds := math.MaxInt
+	for _, h := range histories {
+		rounds = min(rounds, len(h))
+	}
+	var maxRatio float64
+	for t := 1; t < rounds; t++ {
+		prev := roundSpread(histories, t-1)
+		curr := roundSpread(histories, t)
+		if prev > 1e-12 {
+			maxRatio = math.Max(maxRatio, curr/prev)
+		}
+	}
+	return 1 - maxRatio
+}
+
+func roundSpread(histories [][]geometry.Vector, t int) float64 {
+	var spread float64
+	for i := range histories {
+		for j := i + 1; j < len(histories); j++ {
+			spread = math.Max(spread, histories[i][t].DistInf(histories[j][t]))
+		}
+	}
+	return spread
+}
+
+// Search runs the annealed schedule/value search and returns the
+// worst-scoring (most adversarial) evaluated genome.
+func Search(spec SearchSpec) (*Result, error) {
+	spec = spec.WithDefaults()
+	rng := rand.New(rand.NewSource(spec.Seed ^ 0x5eed))
+	var best *Result
+	for restart := 0; restart <= spec.Restarts; restart++ {
+		cur, err := Evaluate(spec, randomGenome(spec, rng))
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || cur.Score < best.Score {
+			best = cur
+		}
+		temp := 0.2
+		for it := 0; it < spec.Iterations; it++ {
+			cand, err := Evaluate(spec, mutate(spec, cur.Genome, rng))
+			if err != nil {
+				return nil, err
+			}
+			if cand.Score < cur.Score || rng.Float64() < math.Exp((cur.Score-cand.Score)/temp) {
+				cur = cand
+			}
+			if cand.Score < best.Score {
+				best = cand
+			}
+			temp *= 0.96
+		}
+	}
+	return best, nil
+}
+
+// randomGenome draws a fresh genome: sparse link boosts, the Byzantine
+// ids a random f-subset, targets at inflated-box corners (the strongest
+// lure positions).
+func randomGenome(spec SearchSpec, rng *rand.Rand) Genome {
+	g := Genome{LinkExtra: make([]int, spec.N*spec.N)}
+	for i := range g.LinkExtra {
+		if rng.Float64() < 0.25 {
+			g.LinkExtra[i] = rng.Intn(spec.MaxExtra + 1)
+		}
+	}
+	g.ByzIDs = rng.Perm(spec.N)[:spec.F]
+	sortInts(g.ByzIDs)
+	for k := 0; k < 2*spec.F; k++ {
+		g.Targets = append(g.Targets, cornerTarget(spec, rng))
+	}
+	return g
+}
+
+// cornerTarget picks a vertex of the inflated box [−1, 2]^d (occasionally
+// an interior point), the value placements that pull hardest.
+func cornerTarget(spec SearchSpec, rng *rand.Rand) []float64 {
+	t := make([]float64, spec.D)
+	for l := range t {
+		switch rng.Intn(4) {
+		case 0:
+			t[l] = -1
+		case 1:
+			t[l] = 2
+		case 2:
+			t[l] = 0
+		default:
+			t[l] = rng.Float64()
+		}
+	}
+	return t
+}
+
+// mutate perturbs one genome component.
+func mutate(spec SearchSpec, g Genome, rng *rand.Rand) Genome {
+	out := g.clone()
+	switch rng.Intn(6) {
+	case 0, 1: // bump a link boost
+		i := rng.Intn(len(out.LinkExtra))
+		out.LinkExtra[i] = rng.Intn(spec.MaxExtra + 1)
+	case 2: // clear a link boost
+		out.LinkExtra[rng.Intn(len(out.LinkExtra))] = 0
+	case 3: // re-place one Byzantine id
+		out.ByzIDs = rng.Perm(spec.N)[:spec.F]
+		sortInts(out.ByzIDs)
+	case 4: // resample a whole target
+		out.Targets[rng.Intn(len(out.Targets))] = cornerTarget(spec, rng)
+	default: // nudge one target coordinate
+		t := out.Targets[rng.Intn(len(out.Targets))]
+		t[rng.Intn(len(t))] += rng.NormFloat64() * 0.3
+	}
+	return out
+}
+
+// Minimize strips a found result to its essential genome: link boosts are
+// zeroed and targets snapped to the box center greedily, keeping every
+// change whose re-evaluated score stays within tol of the found score
+// (and whose Violation/Stalled flags match). The result is the smallest
+// schedule the regression corpus needs to reproduce the behaviour.
+func Minimize(res *Result, tol float64) (*Result, error) {
+	best := res
+	tryKeep := func(g Genome) (bool, error) {
+		cand, err := Evaluate(best.Spec, g)
+		if err != nil {
+			return false, err
+		}
+		if cand.Violation == best.Violation && cand.Stalled == best.Stalled &&
+			cand.Score <= best.Score+tol {
+			best = cand
+			return true, nil
+		}
+		return false, nil
+	}
+	for i := range best.Genome.LinkExtra {
+		if best.Genome.LinkExtra[i] == 0 {
+			continue
+		}
+		g := best.Genome.clone()
+		g.LinkExtra[i] = 0
+		if _, err := tryKeep(g); err != nil {
+			return nil, err
+		}
+	}
+	for k := range best.Genome.Targets {
+		g := best.Genome.clone()
+		for l := range g.Targets[k] {
+			g.Targets[k][l] = 0.5
+		}
+		if _, err := tryKeep(g); err != nil {
+			return nil, err
+		}
+	}
+	return best, nil
+}
+
+// Instance is the JSON-serializable regression-corpus form of a Result:
+// enough to re-run the execution exactly, plus the recorded outcome the
+// replay asserts against.
+type Instance struct {
+	N, F, D     int
+	Epsilon     float64
+	MaxRounds   int
+	Seed        int64
+	BaseDelayNS int64
+	MaxExtra    int
+
+	LinkExtra []int
+	ByzIDs    []int
+	Targets   [][]float64
+
+	Score     float64
+	MinMargin float64
+	Slack     float64
+	Violation bool
+	Stalled   bool
+	// Note is free-form provenance (search settings, date found).
+	Note string `json:",omitempty"`
+}
+
+// Instance converts a Result for serialization.
+func (r *Result) Instance(note string) Instance {
+	return Instance{
+		N: r.Spec.N, F: r.Spec.F, D: r.Spec.D,
+		Epsilon:     r.Spec.Epsilon,
+		MaxRounds:   r.Spec.MaxRounds,
+		Seed:        r.Spec.Seed,
+		BaseDelayNS: int64(r.Spec.BaseDelay),
+		MaxExtra:    r.Spec.MaxExtra,
+		LinkExtra:   r.Genome.LinkExtra,
+		ByzIDs:      r.Genome.ByzIDs,
+		Targets:     r.Genome.Targets,
+		Score:       r.Score,
+		MinMargin:   r.MinMargin,
+		Slack:       r.Slack,
+		Violation:   r.Violation,
+		Stalled:     r.Stalled,
+		Note:        note,
+	}
+}
+
+// ReplayInstance re-runs a serialized instance and returns the fresh
+// evaluation (the caller compares it against the recorded fields).
+func ReplayInstance(inst Instance) (*Result, error) {
+	spec := SearchSpec{
+		N: inst.N, F: inst.F, D: inst.D,
+		Epsilon:   inst.Epsilon,
+		MaxRounds: inst.MaxRounds,
+		Seed:      inst.Seed,
+		BaseDelay: time.Duration(inst.BaseDelayNS),
+		MaxExtra:  inst.MaxExtra,
+	}
+	g := Genome{LinkExtra: inst.LinkExtra, ByzIDs: inst.ByzIDs, Targets: inst.Targets}
+	return Evaluate(spec, g)
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

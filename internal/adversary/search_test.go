@@ -1,0 +1,147 @@
+package adversary
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+)
+
+func testSpec(seed int64) SearchSpec {
+	return SearchSpec{
+		N: 7, F: 1, D: 2,
+		Epsilon:    0.05,
+		MaxRounds:  3,
+		Seed:       seed,
+		Iterations: 12,
+		Restarts:   1,
+		BaseDelay:  time.Millisecond,
+		MaxExtra:   8,
+	}
+}
+
+// TestEvaluateBaseline: the unperturbed schedule (zero genome) satisfies
+// the theorem — every correct process decides inside the correct-input
+// hull with positive margin and every round contracts.
+func TestEvaluateBaseline(t *testing.T) {
+	spec := testSpec(3).WithDefaults()
+	g := Genome{
+		LinkExtra: make([]int, spec.N*spec.N),
+		ByzIDs:    []int{spec.N - 1},
+		Targets:   [][]float64{{0.5, 0.5}, {0.5, 0.5}},
+	}
+	res, err := Evaluate(spec, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation || res.Stalled {
+		t.Fatalf("baseline schedule broke the protocol: %+v", res)
+	}
+	if !(res.Slack > 0) || math.IsInf(res.MinMargin, 0) {
+		t.Fatalf("degenerate baseline scores: %+v", res)
+	}
+}
+
+// TestSearchDeterministic: the whole annealed search is a pure function
+// of the spec — bit-identical scores and genomes across runs.
+func TestSearchDeterministic(t *testing.T) {
+	a, err := Search(testSpec(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(testSpec(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Score != b.Score || a.MinMargin != b.MinMargin || a.Slack != b.Slack {
+		t.Fatalf("search not deterministic: %+v vs %+v", a, b)
+	}
+	ja, _ := json.Marshal(a.Genome)
+	jb, _ := json.Marshal(b.Genome)
+	if string(ja) != string(jb) {
+		t.Fatalf("genomes diverged:\n%s\n%s", ja, jb)
+	}
+}
+
+// TestSearchFindsAdversarialSchedule: the searcher must do at least as
+// well as the unperturbed schedule, and across a few seeds it must
+// strictly improve on it — otherwise it is not searching.
+func TestSearchFindsAdversarialSchedule(t *testing.T) {
+	improved := false
+	for seed := int64(1); seed <= 3; seed++ {
+		spec := testSpec(seed).WithDefaults()
+		base, err := Evaluate(spec, Genome{
+			LinkExtra: make([]int, spec.N*spec.N),
+			ByzIDs:    []int{spec.N - 1},
+			Targets:   [][]float64{{0.5, 0.5}, {0.5, 0.5}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		found, err := Search(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if found.Score > base.Score+1e-12 {
+			t.Fatalf("seed %d: search (%.4f) worse than baseline (%.4f)", seed, found.Score, base.Score)
+		}
+		if found.Score < base.Score-1e-9 {
+			improved = true
+		}
+		// Whatever the search found, the theorem must hold at the
+		// resilience bound: no validity violation, no stall.
+		if found.Violation || found.Stalled {
+			t.Fatalf("seed %d: search broke the protocol at the resilience bound: %+v", seed, found)
+		}
+	}
+	if !improved {
+		t.Fatal("search never improved on the baseline schedule across 3 seeds")
+	}
+}
+
+// TestMinimizeAndReplay: minimization preserves the outcome while
+// shrinking the genome, and the serialized instance replays bit-for-bit.
+func TestMinimizeAndReplay(t *testing.T) {
+	found, err := Search(testSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	minimized, err := Minimize(found, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minimized.Violation != found.Violation || minimized.Stalled != found.Stalled {
+		t.Fatalf("minimization changed the outcome: %+v vs %+v", minimized, found)
+	}
+	if nz(minimized.Genome.LinkExtra) > nz(found.Genome.LinkExtra) {
+		t.Fatalf("minimization grew the schedule: %d → %d boosts",
+			nz(found.Genome.LinkExtra), nz(minimized.Genome.LinkExtra))
+	}
+	inst := minimized.Instance("unit test")
+	blob, err := json.Marshal(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Instance
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := ReplayInstance(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed.Score != minimized.Score || replayed.Violation != minimized.Violation ||
+		replayed.Stalled != minimized.Stalled {
+		t.Fatalf("replay diverged: %+v vs %+v", replayed, minimized)
+	}
+}
+
+func nz(a []int) int {
+	c := 0
+	for _, v := range a {
+		if v != 0 {
+			c++
+		}
+	}
+	return c
+}

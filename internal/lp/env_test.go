@@ -1,0 +1,48 @@
+package lp
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestEnvCoreHelper is not a test: when re-exec'd by
+// TestEnvSelectsCore with LP_ENV_HELPER=1 it prints the core the
+// process booted with and exits. The init-time REPRO_LP_CORE read can
+// only be observed from a fresh process — by the time any test runs in
+// this one, init already fired under this environment.
+func TestEnvCoreHelper(t *testing.T) {
+	if os.Getenv("LP_ENV_HELPER") != "1" {
+		t.Skip("helper process for TestEnvSelectsCore")
+	}
+	fmt.Printf("active-core=%s\n", ActiveCore())
+}
+
+// TestEnvSelectsCore asserts the REPRO_LP_CORE escape hatch: a process
+// started with REPRO_LP_CORE=dense boots on the legacy dense tableau,
+// and one started without it boots on the revised core.
+func TestEnvSelectsCore(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("os.Executable: %v", err)
+	}
+	for _, tc := range []struct {
+		env  string
+		want string
+	}{
+		{"dense", "active-core=dense"},
+		{"", "active-core=revised"},
+	} {
+		cmd := exec.Command(exe, "-test.run", "^TestEnvCoreHelper$", "-test.v")
+		cmd.Env = append(os.Environ(), "LP_ENV_HELPER=1", "REPRO_LP_CORE="+tc.env)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("REPRO_LP_CORE=%q: helper failed: %v\n%s", tc.env, err, out)
+		}
+		if !strings.Contains(string(out), tc.want) {
+			t.Errorf("REPRO_LP_CORE=%q: helper reported %q, want %q", tc.env, out, tc.want)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package verify
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geometry"
+	"repro/internal/safearea"
+)
+
+// This file is the stateful model for safearea.Incremental: the SUT is an
+// Incremental instance mutated in place by Add/Remove/Swap deltas; the
+// reference model is a plain vector slice rebuilt into a fresh Incremental
+// after every command. The shared invariants are bit-identity of the
+// canonical key, the Γ-point, and the emptiness/containment verdicts —
+// exactly the contract the Γ engine's memo tables rely on (a cross-round
+// delta must land in the same state as a from-scratch build, or memoized
+// results poison later rounds).
+
+// IncSystem is the Incremental-vs-rebuild System. The zero value is not
+// usable; construct with NewIncSystem.
+type IncSystem struct {
+	d, f   int
+	minLen int // Lemma-1 floor (d+1)f+1: Γ stays nonempty, Point stays legal
+	maxLen int
+
+	// faultAfter, when positive, arms the mutation check: the faultAfter-th
+	// Swap applied to the SUT perturbs its vector by 2⁻³⁰ in coordinate 0
+	// while the model keeps the exact value — a seeded incremental-vs-
+	// rebuild divergence the harness must find and shrink.
+	faultAfter int
+	swaps      int
+
+	inc    *safearea.Incremental
+	mirror []geometry.Vector
+}
+
+// NewIncSystem builds the system for dimension d and fault bound f. The
+// live size is kept in [(d+1)f+1, (d+1)f+1+slack].
+func NewIncSystem(d, f, slack int) *IncSystem {
+	min := (d+1)*f + 1
+	return &IncSystem{d: d, f: f, minLen: min, maxLen: min + slack}
+}
+
+// ArmFault makes the k-th Swap diverge (mutation check); k ≤ 0 disarms.
+func (s *IncSystem) ArmFault(k int) { s.faultAfter = k }
+
+// CmdAdd appends a point to the multiset.
+type CmdAdd struct{ V []float64 }
+
+func (c CmdAdd) String() string { return fmt.Sprintf("Add(%v)", c.V) }
+
+// CmdRemove deletes slot I.
+type CmdRemove struct{ I int }
+
+func (c CmdRemove) String() string { return fmt.Sprintf("Remove(%d)", c.I) }
+
+// CmdSwap replaces slot I with V.
+type CmdSwap struct {
+	I int
+	V []float64
+}
+
+func (c CmdSwap) String() string { return fmt.Sprintf("Swap(%d, %v)", c.I, c.V) }
+
+// Simplify proposes lower slot indices with the same payload.
+func (c CmdSwap) Simplify() []Command {
+	var out []Command
+	for i := 0; i < c.I; i++ {
+		out = append(out, CmdSwap{I: i, V: c.V})
+	}
+	return out
+}
+
+// CmdQuery probes Contains(Z) on both sides without mutating.
+type CmdQuery struct{ Z []float64 }
+
+func (c CmdQuery) String() string { return fmt.Sprintf("Query(%v)", c.Z) }
+
+// Reset implements System: a seed-determined threshold-size multiset.
+func (s *IncSystem) Reset(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	s.swaps = 0
+	s.mirror = s.mirror[:0]
+	ms := geometry.NewMultiset(s.d)
+	for i := 0; i < s.minLen; i++ {
+		v := randVec(rng, s.d)
+		s.mirror = append(s.mirror, geometry.Vector(v).Clone())
+		if err := ms.Add(v); err != nil {
+			panic(err) // dimensions are correct by construction
+		}
+	}
+	inc, err := safearea.NewIncremental(ms, s.f)
+	if err != nil {
+		panic(err) // size ≥ (d+1)f+1 by construction
+	}
+	s.inc = inc
+}
+
+// Apply implements System. Structurally inapplicable commands (index out of
+// range, size leaving the legal window) are skipped so shrinking stays
+// sound.
+func (s *IncSystem) Apply(cmd Command) error {
+	switch c := cmd.(type) {
+	case CmdAdd:
+		if len(s.mirror) >= s.maxLen || len(c.V) != s.d {
+			return nil
+		}
+		v := geometry.Vector(c.V).Clone()
+		if err := s.inc.Add(v.Clone()); err != nil {
+			return fmt.Errorf("%s: SUT Add failed: %w", c, err)
+		}
+		s.mirror = append(s.mirror, v)
+	case CmdRemove:
+		if c.I < 0 || c.I >= len(s.mirror) || len(s.mirror) <= s.minLen {
+			return nil
+		}
+		if err := s.inc.Remove(c.I); err != nil {
+			return fmt.Errorf("%s: SUT Remove failed: %w", c, err)
+		}
+		s.mirror = append(s.mirror[:c.I], s.mirror[c.I+1:]...)
+	case CmdSwap:
+		if c.I < 0 || c.I >= len(s.mirror) || len(c.V) != s.d {
+			return nil
+		}
+		v := geometry.Vector(c.V).Clone()
+		sut := v.Clone()
+		s.swaps++
+		if s.faultAfter > 0 && s.swaps == s.faultAfter {
+			sut[0] += 1.0 / (1 << 30) // seeded divergence (mutation check)
+		}
+		if err := s.inc.Swap(c.I, sut); err != nil {
+			return fmt.Errorf("%s: SUT Swap failed: %w", c, err)
+		}
+		s.mirror[c.I] = v
+	case CmdQuery:
+		if len(c.Z) != s.d {
+			return nil
+		}
+		return s.checkQuery(geometry.Vector(c.Z))
+	default:
+		return fmt.Errorf("verify: unknown command %T", cmd)
+	}
+	return s.checkAll(cmd)
+}
+
+// scratch rebuilds an Incremental from the model state.
+func (s *IncSystem) scratch() *safearea.Incremental {
+	ms := geometry.NewMultiset(s.d)
+	for _, v := range s.mirror {
+		if err := ms.Add(v.Clone()); err != nil {
+			panic(err)
+		}
+	}
+	inc, err := safearea.NewIncremental(ms, s.f)
+	if err != nil {
+		panic(err)
+	}
+	return inc
+}
+
+// checkAll compares the mutated SUT against a from-scratch rebuild:
+// canonical key, Γ-point, and emptiness must be bit-identical, plus a
+// containment probe at the model centroid.
+func (s *IncSystem) checkAll(cmd Command) error {
+	ref := s.scratch()
+	if got, want := s.inc.Len(), ref.Len(); got != want {
+		return fmt.Errorf("%s: Len %d, rebuild %d", cmd, got, want)
+	}
+	if got, want := s.inc.Groups(), ref.Groups(); got != want {
+		return fmt.Errorf("%s: Groups %d, rebuild %d", cmd, got, want)
+	}
+	if got, want := s.inc.Key(nil), ref.Key(nil); !bytes.Equal(got, want) {
+		return fmt.Errorf("%s: canonical key diverged from rebuild", cmd)
+	}
+	p1, err1 := s.inc.Point(safearea.MethodAuto)
+	p2, err2 := ref.Point(safearea.MethodAuto)
+	if (err1 == nil) != (err2 == nil) {
+		return fmt.Errorf("%s: Point errors diverged: SUT %v, rebuild %v", cmd, err1, err2)
+	}
+	if err1 == nil && !p1.Equal(p2) {
+		return fmt.Errorf("%s: Γ-point diverged: SUT %v, rebuild %v", cmd, p1, p2)
+	}
+	e1, err1 := s.inc.IsEmpty()
+	e2, err2 := ref.IsEmpty()
+	if (err1 == nil) != (err2 == nil) || e1 != e2 {
+		return fmt.Errorf("%s: IsEmpty diverged: SUT (%v,%v), rebuild (%v,%v)", cmd, e1, err1, e2, err2)
+	}
+	return s.checkQuery(centroid(s.mirror, s.d))
+}
+
+// checkQuery compares one containment verdict between SUT and rebuild.
+func (s *IncSystem) checkQuery(z geometry.Vector) error {
+	ref := s.scratch()
+	c1, err1 := s.inc.Contains(z, 0)
+	c2, err2 := ref.Contains(z, 0)
+	if (err1 == nil) != (err2 == nil) || c1 != c2 {
+		return fmt.Errorf("Query(%v): Contains diverged: SUT (%v,%v), rebuild (%v,%v)", z, c1, err1, c2, err2)
+	}
+	return nil
+}
+
+// IncGenerator is the default command mix: mutation-heavy with
+// interspersed containment probes.
+func (s *IncSystem) IncGenerator() Generator {
+	return func(rng *rand.Rand, _ int) Command {
+		switch k := rng.Intn(10); {
+		case k < 2:
+			return CmdAdd{V: randVec(rng, s.d)}
+		case k < 4:
+			return CmdRemove{I: rng.Intn(s.maxLen)}
+		case k < 8:
+			return CmdSwap{I: rng.Intn(s.maxLen), V: randVec(rng, s.d)}
+		default:
+			return CmdQuery{Z: randVec(rng, s.d)}
+		}
+	}
+}
+
+func randVec(rng *rand.Rand, d int) []float64 {
+	v := make([]float64, d)
+	for i := range v {
+		v[i] = rng.Float64()
+	}
+	return v
+}
+
+func centroid(pts []geometry.Vector, d int) geometry.Vector {
+	c := geometry.NewVector(d)
+	if len(pts) == 0 {
+		return c
+	}
+	for _, p := range pts {
+		for i := 0; i < d; i++ {
+			c[i] += p[i]
+		}
+	}
+	for i := range c {
+		c[i] /= float64(len(pts))
+	}
+	return c
+}

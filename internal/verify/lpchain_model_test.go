@@ -1,0 +1,20 @@
+package verify
+
+import "testing"
+
+// TestLPChainStateful drives the warm-start layer: membership and joint-Γ
+// programs re-solved through a carried Basis while the point set mutates,
+// and a Hot tableau accumulating appended rows and objective swaps, each
+// checked against cold from-scratch solves after every command.
+func TestLPChainStateful(t *testing.T) {
+	seeds, steps := 4, 50
+	if testing.Short() {
+		seeds, steps = 2, 25
+	}
+	sys := NewLPSystem(2, 6, 2, 5)
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		if fail := Run(sys, sys.LPGenerator(), seed, steps); fail != nil {
+			t.Fatal(fail.Report())
+		}
+	}
+}
