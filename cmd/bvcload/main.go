@@ -11,11 +11,21 @@
 //	bvcload -policy shed             # shed (drop+count) slow peers
 //	bvcload -minrate 200             # fail unless ≥200 inst/s achieved
 //	bvcload -json                    # BENCH records instead of the summary
+//	bvcload -chaos scenario.json     # replay a fault timeline under load
 //
 // Every instance's decision is checked for hull-containment validity (the
 // paper's validity condition) on every process; any error, validity
 // violation, or missed -minrate makes the exit status nonzero — the CI
 // live-smoke gate.
+//
+// -chaos loads an internal/chaos scenario and replays its deterministic
+// fault timeline (latency, loss, corruption, partitions, crash/restart)
+// against the mesh while the load runs: the gate then proves the service
+// decides every surviving instance with zero validity violations under
+// that fault schedule. Crashed processes sit instances out (the survivors
+// stay ≥ n−f for ≤ f concurrent crashes) and results lost to a scheduled
+// crash are counted separately, not as errors. cmd/bvcload/testdata/
+// holds the committed scenarios CI replays.
 //
 // With -json the output is a bvcbench-schema trajectory fragment: the
 // standard leading "calibrate" record followed by live/* records whose
@@ -29,6 +39,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -40,6 +51,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/chaos"
 	"repro/internal/geometry"
 	"repro/internal/harness"
 	"repro/internal/hull"
@@ -66,7 +78,9 @@ type loadConfig struct {
 	timeout   time.Duration
 	minRate   float64
 	warmup    int
+	outbox    int
 	jsonOut   bool
+	chaosPath string
 }
 
 func run(args []string, w io.Writer) error {
@@ -86,7 +100,9 @@ func run(args []string, w io.Writer) error {
 	fs.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-instance timeout")
 	fs.Float64Var(&cfg.minRate, "minrate", 0, "fail when achieved instances/sec is below this (0 = no gate)")
 	fs.IntVar(&cfg.warmup, "warmup", -1, "warmup instances excluded from measurement (-1 = max(10, 5% of count); cold-start tails otherwise dominate p99)")
+	fs.IntVar(&cfg.outbox, "outbox", 0, "per-peer outbox depth in frames (0 = service default); partitions queue traffic here, so size it as rate x frames-per-instance x longest partition")
 	fs.BoolVar(&cfg.jsonOut, "json", false, "emit bvcbench-schema JSON records instead of the summary")
+	fs.StringVar(&cfg.chaosPath, "chaos", "", "chaos scenario JSON (internal/chaos): replay its fault timeline under load")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -117,6 +133,10 @@ type loadResult struct {
 
 	stats      []bvc.ServiceStats // per process, at quiesce
 	background []error            // non-nil Service.Err() values
+
+	chaosMode    bool
+	crashAborted int            // per-process results lost to a scheduled crash
+	chaos        chaos.Counters // mesh-wide injected-fault totals
 }
 
 func (r *loadResult) achievedRate() float64 {
@@ -141,7 +161,10 @@ func (r *loadResult) percentile(q float64) time.Duration {
 }
 
 // gate returns the run's verdict: any instance error, background transport
-// error, validity violation, or missed rate target is a failure.
+// error, validity violation, or missed rate target is a failure. Under
+// -chaos, results lost to a scheduled crash are expected and excluded, and
+// read errors are injected damage; on a clean network a read error means
+// the wire path itself is broken, so it fails the run.
 func (r *loadResult) gate(cfg loadConfig) error {
 	if r.errCount > 0 {
 		return fmt.Errorf("%d instance errors (first: %v)", r.errCount, r.errs[0])
@@ -151,6 +174,15 @@ func (r *loadResult) gate(cfg loadConfig) error {
 	}
 	if r.invalid > 0 {
 		return fmt.Errorf("%d decisions violated hull-containment validity", r.invalid)
+	}
+	if !r.chaosMode {
+		var readErrs int64
+		for _, s := range r.stats {
+			readErrs += s.ReadErrors
+		}
+		if readErrs > 0 {
+			return fmt.Errorf("%d read errors on a fault-free network", readErrs)
+		}
 	}
 	if cfg.minRate > 0 && r.achievedRate() < cfg.minRate {
 		return fmt.Errorf("achieved %.1f inst/s, below -minrate %.1f", r.achievedRate(), cfg.minRate)
@@ -177,6 +209,30 @@ func drive(cfg loadConfig) (*loadResult, error) {
 		return nil, fmt.Errorf("unknown -policy %q (want block or shed)", cfg.policy)
 	}
 
+	var scn *chaos.Scenario
+	var injs []*chaos.Injector
+	if cfg.chaosPath != "" {
+		var err error
+		scn, err = chaos.Load(cfg.chaosPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := scn.Validate(cfg.n); err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", scn.Name, err)
+		}
+		injs = make([]*chaos.Injector, cfg.n)
+		for i := range injs {
+			if injs[i], err = chaos.NewInjector(scn, cfg.n, i); err != nil {
+				return nil, err
+			}
+		}
+		defer func() {
+			for _, inj := range injs {
+				inj.Stop()
+			}
+		}()
+	}
+
 	ccfg := bvc.Config{
 		N: cfg.n, F: cfg.f, D: cfg.d,
 		Epsilon:   cfg.epsilon,
@@ -185,8 +241,28 @@ func drive(cfg loadConfig) (*loadResult, error) {
 		MaxRounds: cfg.rounds,
 	}
 	svcs := make([]*bvc.Service, cfg.n)
+	crashed := make([]bool, cfg.n)
+	var crashMu sync.Mutex // guards svcs and crashed once the crash driver runs
 	addrs := make([]string, cfg.n)
+	newProc := func(i int, tmpl []string) (*bvc.Service, error) {
+		scfg := bvc.ServiceConfig{
+			Config:          ccfg,
+			ID:              i,
+			Addrs:           tmpl,
+			Shards:          cfg.shards,
+			SlowPeer:        policy,
+			OutboxDepth:     cfg.outbox,
+			InstanceTimeout: cfg.timeout,
+			Seed:            cfg.seed + int64(i),
+		}
+		if injs != nil {
+			scfg.Transport = injs[i]
+		}
+		return bvc.NewService(scfg)
+	}
 	defer func() {
+		crashMu.Lock()
+		defer crashMu.Unlock()
 		for _, s := range svcs {
 			if s != nil {
 				_ = s.Close()
@@ -198,15 +274,7 @@ func drive(cfg loadConfig) (*loadResult, error) {
 		for j := range tmpl {
 			tmpl[j] = "127.0.0.1:0"
 		}
-		s, err := bvc.NewService(bvc.ServiceConfig{
-			Config:          ccfg,
-			ID:              i,
-			Addrs:           tmpl,
-			Shards:          cfg.shards,
-			SlowPeer:        policy,
-			InstanceTimeout: cfg.timeout,
-			Seed:            cfg.seed + int64(i),
-		})
+		s, err := newProc(i, tmpl)
 		if err != nil {
 			return nil, fmt.Errorf("process %d: %w", i, err)
 		}
@@ -230,6 +298,60 @@ func drive(cfg loadConfig) (*loadResult, error) {
 		}
 	}
 
+	// The fault clock starts only after a clean establish, so the scenario
+	// timeline is measured from a whole mesh.
+	t0 := time.Now()
+	eventsDone := make(chan struct{})
+	var eventsErr error
+	if scn != nil {
+		for _, inj := range injs {
+			inj.Start(t0)
+		}
+		go func() {
+			defer close(eventsDone)
+			// Crash/restart events are the driver's half of the scenario:
+			// a crash closes the process abruptly, a restart rebuilds it on
+			// the same address and re-establishes against the live mesh.
+			for _, ev := range scn.ProcEvents() {
+				time.Sleep(time.Until(t0.Add(ev.At.D())))
+				switch ev.Action {
+				case chaos.ActionCrash:
+					crashMu.Lock()
+					s := svcs[ev.Proc]
+					crashed[ev.Proc] = true
+					crashMu.Unlock()
+					_ = s.Close()
+				case chaos.ActionRestart:
+					var s *bvc.Service
+					var err error
+					for attempt := 0; attempt < 40; attempt++ {
+						if s, err = newProc(ev.Proc, addrs); err == nil {
+							break
+						}
+						time.Sleep(50 * time.Millisecond) // address may linger briefly
+					}
+					if err != nil {
+						eventsErr = fmt.Errorf("restart process %d: %w", ev.Proc, err)
+						return
+					}
+					// Alive again from here: proposals may include the
+					// process while Establish completes — its frames queue
+					// in the outboxes and flush as each link comes up.
+					crashMu.Lock()
+					svcs[ev.Proc] = s
+					crashed[ev.Proc] = false
+					crashMu.Unlock()
+					if err := s.Establish(context.Background(), addrs); err != nil {
+						eventsErr = fmt.Errorf("re-establish process %d: %w", ev.Proc, err)
+						return
+					}
+				}
+			}
+		}()
+	} else {
+		close(eventsDone)
+	}
+
 	warm := cfg.warmup
 	if warm < 0 {
 		warm = total / 20
@@ -237,7 +359,7 @@ func drive(cfg loadConfig) (*loadResult, error) {
 			warm = 10
 		}
 	}
-	res := &loadResult{instances: total, warmup: warm}
+	res := &loadResult{instances: total, warmup: warm, chaosMode: scn != nil}
 	var (
 		mu        sync.Mutex
 		collected sync.WaitGroup
@@ -262,19 +384,40 @@ func drive(cfg loadConfig) (*loadResult, error) {
 		if id == uint64(warm)+1 {
 			start = time.Now()
 		}
-		inputs := make([]geometry.Vector, cfg.n)
-		chans := make([]<-chan bvc.ServiceResult, cfg.n)
+		// Crashed processes sit the instance out: the survivors are still
+		// ≥ n−f for ≤ f concurrently crashed, so the instance decides, and
+		// validity is checked against the inputs actually proposed.
+		crashMu.Lock()
+		targets := make([]*bvc.Service, cfg.n)
 		for i, s := range svcs {
+			if !crashed[i] {
+				targets[i] = s
+			}
+		}
+		crashMu.Unlock()
+		inputs := make([]geometry.Vector, 0, cfg.n)
+		chans := make([]<-chan bvc.ServiceResult, 0, cfg.n)
+		for i, s := range targets {
 			v := make(geometry.Vector, cfg.d)
 			for j := range v {
 				v[j] = rng.Float64()
 			}
-			inputs[i] = v
+			if s == nil {
+				continue
+			}
 			ch, err := s.Propose(id, bvc.Vector(v))
 			if err != nil {
+				if scn != nil && errors.Is(err, bvc.ErrServiceClosed) {
+					// Lost the race with a scheduled crash.
+					mu.Lock()
+					res.crashAborted++
+					mu.Unlock()
+					continue
+				}
 				return nil, fmt.Errorf("propose instance %d on process %d: %w", id, i, err)
 			}
-			chans[i] = ch
+			inputs = append(inputs, v)
+			chans = append(chans, ch)
 		}
 		collected.Add(1)
 		go func(id uint64, measured bool, inputs []geometry.Vector, chans []<-chan bvc.ServiceResult) {
@@ -285,6 +428,13 @@ func drive(cfg loadConfig) (*loadResult, error) {
 			for _, ch := range chans {
 				r := <-ch
 				if r.Err != nil {
+					if scn != nil && errors.Is(r.Err, bvc.ErrServiceClosed) {
+						// In flight on a process when its crash fired.
+						mu.Lock()
+						res.crashAborted++
+						mu.Unlock()
+						continue
+					}
 					failure = r.Err
 					continue
 				}
@@ -315,12 +465,25 @@ func drive(cfg loadConfig) (*loadResult, error) {
 	res.elapsed = time.Since(start)
 	sort.Slice(res.latencies, func(i, j int) bool { return res.latencies[i] < res.latencies[j] })
 
+	// Let the scenario's crash/restart schedule finish (every committed
+	// scenario restarts what it crashed), then total the injected faults.
+	<-eventsDone
+	if eventsErr != nil {
+		return nil, eventsErr
+	}
+	for _, inj := range injs {
+		res.chaos.Add(inj.Counters())
+	}
+
 	// Graceful wind-down: drain every process (all instances already
 	// finished, so this is a goodbye + bookkeeping pass), then Close via
 	// the deferred cleanup.
 	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	for i, s := range svcs {
+	crashMu.Lock()
+	final := append([]*bvc.Service(nil), svcs...)
+	crashMu.Unlock()
+	for i, s := range final {
 		if err := s.Drain(drainCtx); err != nil {
 			return nil, fmt.Errorf("drain process %d: %w", i, err)
 		}
@@ -348,11 +511,22 @@ func (r *loadResult) summarize(w io.Writer, cfg loadConfig) {
 		st.BytesOut += s.BytesOut
 		st.SlowPeerSheds += s.SlowPeerSheds
 		st.WriteDrops += s.WriteDrops
+		st.WriteRetries += s.WriteRetries
 		st.PendingDropped += s.PendingDropped
 		st.Reconnects += s.Reconnects
+		st.ReadErrors += s.ReadErrors
+		st.DialFailures += s.DialFailures
+		st.LingerExtensions += s.LingerExtensions
 	}
-	fmt.Fprintf(w, "transport  %d frames out, %d in, %d bytes out, %d sheds, %d write drops, %d pending drops, %d reconnects\n",
-		st.FramesOut, st.FramesIn, st.BytesOut, st.SlowPeerSheds, st.WriteDrops, st.PendingDropped, st.Reconnects)
+	fmt.Fprintf(w, "transport  %d frames out, %d in, %d bytes out, %d sheds, %d write drops, %d write retries, %d pending drops, %d reconnects\n",
+		st.FramesOut, st.FramesIn, st.BytesOut, st.SlowPeerSheds, st.WriteDrops, st.WriteRetries, st.PendingDropped, st.Reconnects)
+	if r.chaosMode {
+		fmt.Fprintf(w, "degraded   %d read errors, %d dial failures, %d linger extensions, %d crash-aborted results\n",
+			st.ReadErrors, st.DialFailures, st.LingerExtensions, r.crashAborted)
+		c := r.chaos
+		fmt.Fprintf(w, "chaos      %d frames seen: %d delayed, %d dropped, %d dup, %d reordered, %d corrupted, %d blackholed; %d conns killed, %d dials refused\n",
+			c.Frames, c.Delayed, c.Dropped, c.Duplicated, c.Reordered, c.Corrupted, c.Blackholed, c.KilledConns, c.RefusedDials)
+	}
 }
 
 // loadRecord is one bvcload JSON record: the bvcbench benchRecord schema
@@ -378,9 +552,15 @@ type loadRecord struct {
 	BytesOut       int64   `json:"bytes_out,omitempty"`
 	SlowPeerSheds  int64   `json:"slow_peer_sheds,omitempty"`
 	WriteDrops     int64   `json:"write_drops,omitempty"`
+	WriteRetries   int64   `json:"write_retries,omitempty"`
 	PendingDropped int64   `json:"pending_dropped,omitempty"`
 	Reconnects     int64   `json:"reconnects,omitempty"`
 	ReadErrors     int64   `json:"read_errors,omitempty"`
+
+	ChaosFrames    int64 `json:"chaos_frames,omitempty"`
+	ChaosDropped   int64 `json:"chaos_dropped,omitempty"`
+	ChaosCorrupted int64 `json:"chaos_corrupted,omitempty"`
+	CrashAborted   int64 `json:"crash_aborted,omitempty"`
 }
 
 // emitJSON writes the trajectory fragment: calibrate first (the hardware
@@ -413,6 +593,7 @@ func emitJSON(w io.Writer, cfg loadConfig, res *loadResult) error {
 		st.BytesOut += s.BytesOut
 		st.SlowPeerSheds += s.SlowPeerSheds
 		st.WriteDrops += s.WriteDrops
+		st.WriteRetries += s.WriteRetries
 		st.PendingDropped += s.PendingDropped
 		st.Reconnects += s.Reconnects
 		st.ReadErrors += s.ReadErrors
@@ -429,8 +610,11 @@ func emitJSON(w io.Writer, cfg loadConfig, res *loadResult) error {
 			FramesIn: st.FramesIn, FramesOut: st.FramesOut,
 			BytesIn: st.BytesIn, BytesOut: st.BytesOut,
 			SlowPeerSheds: st.SlowPeerSheds, WriteDrops: st.WriteDrops,
+			WriteRetries:   st.WriteRetries,
 			PendingDropped: st.PendingDropped, Reconnects: st.Reconnects,
-			ReadErrors: st.ReadErrors,
+			ReadErrors:  st.ReadErrors,
+			ChaosFrames: res.chaos.Frames, ChaosDropped: res.chaos.Dropped,
+			ChaosCorrupted: res.chaos.Corrupted, CrashAborted: int64(res.crashAborted),
 		},
 		{Benchmark: "live/latency_p50", Iterations: res.instances, NsPerOp: res.percentile(0.50).Nanoseconds()},
 		{Benchmark: "live/latency_p99", Iterations: res.instances, NsPerOp: res.percentile(0.99).Nanoseconds()},

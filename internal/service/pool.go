@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"syscall"
@@ -22,11 +23,17 @@ var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b
 func leaseFrame() *[]byte    { return framePool.Get().(*[]byte) }
 func releaseFrame(b *[]byte) { *b = (*b)[:0]; framePool.Put(b) }
 
+// pressureSuspectAfter is the consecutive-outbox-stall count past which a
+// connected peer is suspected: the link is up but the peer is not keeping
+// pace, so quorum math should stop counting on it.
+const pressureSuspectAfter = 64
+
 // peerLink is one peer's slot in the connection pool: the persistent
 // connection (replaced transparently on failure), the bounded outbox its
-// writer goroutine drains, and the reconnect state. The mesh convention is
-// the transport package's: the higher id dials the lower, so exactly one
-// side owns redialing after a failure.
+// writer goroutine drains, the reconnect state, and the health ladder
+// (consecutive dial failures and outbox pressure feeding suspicion). The
+// mesh convention is the transport package's: the higher id dials the
+// lower, so exactly one side owns redialing after a failure.
 type peerLink struct {
 	svc  *Service
 	id   int
@@ -45,6 +52,15 @@ type peerLink struct {
 
 	goodbye   bool // peer announced drain; no redial
 	redialing bool
+
+	// Health ladder (guarded by mu). dialFails counts consecutive failed
+	// dial/handshake attempts; pressure counts consecutive full-outbox
+	// stalls; downSince timestamps the last disconnect; rng jitters the
+	// redial backoff (seeded per link, so schedules are replayable).
+	dialFails int
+	pressure  int
+	downSince time.Time
+	rng       *rand.Rand
 }
 
 func newPeerLink(svc *Service, id int, addr string) *peerLink {
@@ -54,9 +70,63 @@ func newPeerLink(svc *Service, id int, addr string) *peerLink {
 		addr:   addr,
 		outbox: make(chan *[]byte, svc.cfg.OutboxDepth),
 		ready:  make(chan struct{}),
+		rng:    rand.New(rand.NewSource(svc.cfg.Seed ^ int64(uint64(id+1)*0x9e3779b97f4a7c15))),
 	}
 	p.cond = sync.NewCond(&p.mu)
 	return p
+}
+
+// suspectedNow reports the link's current suspicion verdict: repeated
+// dial failures, a sustained disconnect (the accept side cannot dial, so
+// elapsed downtime stands in for failed attempts), or sustained outbox
+// pressure. Suspicion is recomputed on read — it clears the moment the
+// underlying condition does.
+func (p *peerLink) suspectedNow(now time.Time) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.pressure >= pressureSuspectAfter {
+		return true
+	}
+	if p.conn != nil {
+		return false
+	}
+	if p.dialFails >= p.svc.cfg.SuspectAfter {
+		return true
+	}
+	return !p.downSince.IsZero() &&
+		now.Sub(p.downSince) >= time.Duration(p.svc.cfg.SuspectAfter)*2*p.svc.cfg.MaxDialBackoff
+}
+
+// noteDialFail records one failed dial/handshake attempt and returns the
+// jittered backoff to sleep before the next one: uniform in
+// [backoff/2, backoff], so a healed partition is not hammered by
+// synchronized redials from every survivor.
+func (p *peerLink) noteDialFail(backoff time.Duration) time.Duration {
+	p.svc.ctr.dialFailures.Add(1)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dialFails++
+	half := int64(backoff / 2)
+	if half <= 0 {
+		return backoff
+	}
+	return time.Duration(half + p.rng.Int63n(half+1))
+}
+
+// noteStall records one full-outbox stall on a connected link.
+func (p *peerLink) noteStall() {
+	p.svc.ctr.outboxStalls.Add(1)
+	p.mu.Lock()
+	p.pressure++
+	p.mu.Unlock()
+}
+
+// clearPressure resets the pressure ladder after the writer drained a
+// batch — the peer is keeping pace again.
+func (p *peerLink) clearPressure() {
+	p.mu.Lock()
+	p.pressure = 0
+	p.mu.Unlock()
 }
 
 // install replaces the link's connection and starts its reader loop.
@@ -73,6 +143,9 @@ func (p *peerLink) install(conn net.Conn) {
 	p.conn = conn
 	p.gen++
 	gen := p.gen
+	p.dialFails = 0
+	p.pressure = 0
+	p.downSince = time.Time{}
 	p.cond.Broadcast()
 	p.mu.Unlock()
 	p.readyOnce.Do(func() { close(p.ready) })
@@ -94,6 +167,7 @@ func (p *peerLink) failed(gen int) {
 	}
 	_ = p.conn.Close()
 	p.conn = nil
+	p.downSince = time.Now()
 	redial := p.svc.cfg.ID > p.id && !p.goodbye && !p.redialing
 	if redial {
 		p.redialing = true
@@ -163,6 +237,7 @@ func (p *peerLink) enqueue(buf *[]byte) {
 		p.svc.ctr.sheds.Add(1)
 		return
 	}
+	p.noteStall()
 	for {
 		if !p.connected() {
 			releaseFrame(buf)
@@ -183,31 +258,39 @@ func (p *peerLink) enqueue(buf *[]byte) {
 
 // writeLoop drains the outbox, coalescing bursts of frames into single
 // writes (the "streamed frames" path: one syscall carries many frames).
-// A frame batch that fails mid-write is dropped — to the protocols the
-// loss looks like a crashed peer, which they tolerate; the link itself
-// reconnects underneath.
+// A batch that fails mid-write is RETAINED and resent on the next
+// connection generation: the receiver discards any torn frame with the
+// dead conn (framing is per-conn), and whole frames it already consumed
+// arrive again as duplicates, which the protocols dedup exactly as they
+// dedup injected duplicate faults. Delivery is therefore at-least-once
+// per link while the peer is reachable; frames are lost only when the
+// outbox itself overflows against a down peer (see enqueue).
 func (p *peerLink) writeLoop() {
 	const coalesceBytes = 32 << 10
 	wbuf := make([]byte, 0, coalesceBytes+1024)
+	frames := 0
+	retained := false
 	for {
-		var first *[]byte
-		select {
-		case first = <-p.outbox:
-		case <-p.svc.stop:
-			return
-		}
-		frames := 1
-		wbuf = append(wbuf[:0], *first...)
-		releaseFrame(first)
-	coalesce:
-		for len(wbuf) < coalesceBytes {
+		if !retained {
+			var first *[]byte
 			select {
-			case b := <-p.outbox:
-				wbuf = append(wbuf, *b...)
-				releaseFrame(b)
-				frames++
-			default:
-				break coalesce
+			case first = <-p.outbox:
+			case <-p.svc.stop:
+				return
+			}
+			frames = 1
+			wbuf = append(wbuf[:0], *first...)
+			releaseFrame(first)
+		coalesce:
+			for len(wbuf) < coalesceBytes {
+				select {
+				case b := <-p.outbox:
+					wbuf = append(wbuf, *b...)
+					releaseFrame(b)
+					frames++
+				default:
+					break coalesce
+				}
 			}
 		}
 		conn, gen := p.waitConn()
@@ -215,10 +298,13 @@ func (p *peerLink) writeLoop() {
 			return // stopped
 		}
 		if _, err := conn.Write(wbuf); err != nil {
-			p.svc.ctr.writeDrops.Add(int64(frames))
+			p.svc.ctr.writeRetries.Add(int64(frames))
 			p.failed(gen)
+			retained = true
 			continue
 		}
+		retained = false
+		p.clearPressure()
 		p.svc.ctr.framesOut.Add(int64(frames))
 		p.svc.ctr.bytesOut.Add(int64(len(wbuf)))
 	}
@@ -229,6 +315,12 @@ func (p *peerLink) writeLoop() {
 // local close) end the loop quietly; anything else counts as a read
 // error. Either way the link is marked failed so the dialing side
 // reconnects.
+//
+// Malformed or undecodable frames are peer-attributable faults — line
+// corruption or a hostile sender, both of which the protocols tolerate
+// within f — so they count in Stats.ReadErrors and tear the conn down
+// for a clean resync, but do not poison Err(): that channel is reserved
+// for local/structural failures (see Service.Err).
 func (p *peerLink) readLoop(conn net.Conn, gen int) {
 	br := bufio.NewReaderSize(conn, 64<<10)
 	var buf []byte
@@ -241,7 +333,6 @@ func (p *peerLink) readLoop(conn net.Conn, gen int) {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) &&
 				!errors.Is(err, syscall.ECONNRESET) && !errors.Is(err, net.ErrClosed) && !stopping(p.svc) {
 				p.svc.ctr.readErrors.Add(1)
-				p.svc.noteErr(fmt.Errorf("service: read from peer %d: %w", p.id, err))
 			}
 			p.failed(gen)
 			return
@@ -250,7 +341,6 @@ func (p *peerLink) readLoop(conn net.Conn, gen int) {
 		h, body, err := wire.ParseFrame(frame)
 		if err != nil {
 			p.svc.ctr.readErrors.Add(1)
-			p.svc.noteErr(fmt.Errorf("service: peer %d: %w", p.id, err))
 			p.failed(gen)
 			return
 		}
@@ -260,14 +350,12 @@ func (p *peerLink) readLoop(conn net.Conn, gen int) {
 		case wire.FrameConsensus:
 			if err := wire.DecodeConsensus(&dec, body); err != nil {
 				p.svc.ctr.readErrors.Add(1)
-				p.svc.noteErr(fmt.Errorf("service: peer %d: %w", p.id, err))
 				p.failed(gen)
 				return
 			}
 			m, err := fromWire(&dec)
 			if err != nil {
 				p.svc.ctr.readErrors.Add(1)
-				p.svc.noteErr(err)
 				continue
 			}
 			sh := p.svc.shardFor(h.Instance)
@@ -286,8 +374,11 @@ func (p *peerLink) readLoop(conn net.Conn, gen int) {
 	}
 }
 
-// redial re-establishes a failed connection with capped exponential
-// backoff. It gives up when the service stops or the peer said goodbye.
+// redial re-establishes a failed connection with jittered capped
+// exponential backoff: attempt k sleeps uniform in [b/2, b] where
+// b = min(DialBackoff·2^k, MaxDialBackoff), and every failed attempt
+// (dial or handshake) climbs the suspicion ladder. It gives up when the
+// service stops or the peer said goodbye.
 func (p *peerLink) redial() {
 	defer func() {
 		p.mu.Lock()
@@ -303,24 +394,53 @@ func (p *peerLink) redial() {
 		if done {
 			return
 		}
-		conn, err := net.DialTimeout("tcp", addr, p.svc.cfg.EstablishTimeout)
-		if err == nil {
-			if err = writeHello(conn, uint32(p.svc.cfg.ID)); err == nil {
-				p.svc.ctr.reconnects.Add(1)
-				p.install(conn)
-				return
-			}
-			_ = conn.Close()
+		if conn, err := p.svc.dialPeer(p.id, addr); err == nil {
+			p.svc.ctr.reconnects.Add(1)
+			p.install(conn)
+			return
 		}
+		sleep := p.noteDialFail(backoff)
 		select {
 		case <-p.svc.stop:
 			return
-		case <-time.After(backoff):
+		case <-time.After(sleep):
 		}
 		if backoff *= 2; backoff > p.svc.cfg.MaxDialBackoff {
 			backoff = p.svc.cfg.MaxDialBackoff
 		}
 	}
+}
+
+// dialPeer runs one complete outbound connection attempt: transport dial
+// plus the client half of the handshake. The returned conn is installed
+// by the caller.
+func (s *Service) dialPeer(peer int, addr string) (net.Conn, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.EstablishTimeout)
+	defer cancel()
+	conn, err := s.tr.Dial(ctx, peer, addr)
+	if err != nil {
+		return nil, err
+	}
+	_ = conn.SetDeadline(s.handshakeDeadline())
+	if err := s.clientHandshake(conn, peer); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	_ = conn.SetDeadline(time.Time{})
+	return conn, nil
+}
+
+// handshakeDeadline bounds one handshake exchange. It is deliberately far
+// shorter than EstablishTimeout: a handshake frame lost in transit (a
+// lossy link swallowing a Hello) must recycle the connection quickly so
+// the dialer's redial ladder retries, instead of pinning both endpoints
+// for the whole establish window.
+func (s *Service) handshakeDeadline() time.Time {
+	d := 2 * time.Second
+	if s.cfg.EstablishTimeout < d {
+		d = s.cfg.EstablishTimeout
+	}
+	return time.Now().Add(d)
 }
 
 // writeHello sends the handshake frame announcing our process id.
@@ -363,27 +483,21 @@ func (s *Service) acceptLoop() {
 	}
 }
 
-// handshake validates an inbound connection's Hello and installs it on
-// the peer's link.
+// handshake validates an inbound connection's Hello — running the keyed
+// challenge/response when Config.AuthKey is set — wraps the conn through
+// the transport, and installs it on the peer's link.
 func (s *Service) handshake(conn net.Conn) {
-	_ = conn.SetReadDeadline(time.Now().Add(s.cfg.EstablishTimeout))
-	frame, _, err := wire.ReadFrameInto(conn, nil)
-	if err != nil {
+	_ = conn.SetDeadline(s.handshakeDeadline())
+	peer, err := s.serverHandshake(conn)
+	if err != nil || peer <= s.cfg.ID || peer >= s.n {
+		if errors.Is(err, ErrAuthFailed) {
+			s.ctr.authFailures.Add(1)
+		}
 		_ = conn.Close()
 		return
 	}
-	h, body, err := wire.ParseFrame(frame)
-	if err != nil || h.Kind != wire.FrameHello {
-		_ = conn.Close()
-		return
-	}
-	peer, err := wire.ParseHello(body)
-	if err != nil || int(peer) <= s.cfg.ID || int(peer) >= s.n {
-		_ = conn.Close()
-		return
-	}
-	_ = conn.SetReadDeadline(time.Time{})
-	s.peers[peer].install(conn)
+	_ = conn.SetDeadline(time.Time{})
+	s.peers[peer].install(s.tr.Accepted(peer, conn))
 }
 
 // Establish builds the full mesh: dial every lower-id peer (retrying
@@ -415,13 +529,9 @@ func (s *Service) Establish(ctx context.Context, addrs []string) error {
 			p.mu.Lock()
 			addr := p.addr
 			p.mu.Unlock()
-			conn, err := dialRetry(ctx, addr, s.cfg.DialBackoff, s.cfg.MaxDialBackoff)
+			conn, err := p.dialRetry(ctx, addr)
 			if err != nil {
 				return // Establish's ready-wait reports the timeout
-			}
-			if err := writeHello(conn, uint32(s.cfg.ID)); err != nil {
-				_ = conn.Close()
-				return
 			}
 			p.install(conn)
 		}()
@@ -441,22 +551,30 @@ func (s *Service) Establish(ctx context.Context, addrs []string) error {
 	return nil
 }
 
-// dialRetry dials addr until it succeeds or ctx expires, with capped
+// dialRetry dials the peer until a connection establishes (transport
+// dial plus client handshake) or ctx expires, with jittered capped
 // exponential backoff between attempts — peers come up in any order.
-func dialRetry(ctx context.Context, addr string, backoff, maxBackoff time.Duration) (net.Conn, error) {
-	var d net.Dialer
+func (p *peerLink) dialRetry(ctx context.Context, addr string) (net.Conn, error) {
+	s := p.svc
+	backoff := s.cfg.DialBackoff
 	for {
-		conn, err := d.DialContext(ctx, "tcp", addr)
+		conn, err := s.tr.Dial(ctx, p.id, addr)
 		if err == nil {
-			return conn, nil
+			_ = conn.SetDeadline(s.handshakeDeadline())
+			if err = s.clientHandshake(conn, p.id); err == nil {
+				_ = conn.SetDeadline(time.Time{})
+				return conn, nil
+			}
+			_ = conn.Close()
 		}
+		sleep := p.noteDialFail(backoff)
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-time.After(backoff):
+		case <-time.After(sleep):
 		}
-		if backoff *= 2; backoff > maxBackoff {
-			backoff = maxBackoff
+		if backoff *= 2; backoff > s.cfg.MaxDialBackoff {
+			backoff = s.cfg.MaxDialBackoff
 		}
 	}
 }

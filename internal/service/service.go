@@ -105,10 +105,25 @@ type Config struct {
 	// (default 10s).
 	EstablishTimeout time.Duration
 	// DialBackoff/MaxDialBackoff shape dial retry (defaults 25ms/500ms).
+	// Sleeps are jittered uniform in [b/2, b] so redials desynchronize.
 	DialBackoff    time.Duration
 	MaxDialBackoff time.Duration
 	// Seed feeds the per-instance PRNG streams.
 	Seed int64
+	// Transport supplies the network surface (nil: plain TCP). The
+	// fault-injection layer internal/chaos implements it.
+	Transport Transport
+	// AuthKey, when non-nil, enables the mutual HMAC-SHA256
+	// challenge/response handshake: every connection must prove knowledge
+	// of the shared key before it is installed (see auth.go). All
+	// processes of a mesh must agree on the key; keyless and keyed
+	// processes refuse each other.
+	AuthKey []byte
+	// SuspectAfter is the consecutive-dial-failure count past which a
+	// disconnected peer is suspected (default 3). Suspicion feeds
+	// Stats.SuspectedPeers and the partition-aware linger extension; it
+	// clears on reconnect.
+	SuspectAfter int
 }
 
 func (c Config) withDefaults() Config {
@@ -142,6 +157,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxDialBackoff <= 0 {
 		c.MaxDialBackoff = 500 * time.Millisecond
 	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 3
+	}
+	if c.Transport == nil {
+		c.Transport = netTransport{}
+	}
 	return c
 }
 
@@ -166,6 +187,7 @@ type Result struct {
 type Service struct {
 	cfg    Config
 	n      int
+	tr     Transport
 	ln     net.Listener
 	peers  []*peerLink // by peer id; nil at cfg.ID
 	shards []*shard
@@ -209,13 +231,14 @@ func New(cfg Config) (*Service, error) {
 	if _, err := core.NewAsyncNode(cfg.Node, sim.ProcID(cfg.ID), probeInput(cfg.Node)); err != nil {
 		return nil, fmt.Errorf("service: consensus config: %w", err)
 	}
-	ln, err := net.Listen("tcp", cfg.Addrs[cfg.ID])
+	ln, err := cfg.Transport.Listen(cfg.Addrs[cfg.ID])
 	if err != nil {
 		return nil, fmt.Errorf("service: listen %s: %w", cfg.Addrs[cfg.ID], err)
 	}
 	s := &Service{
 		cfg:     cfg,
 		n:       n,
+		tr:      cfg.Transport,
 		ln:      ln,
 		peers:   make([]*peerLink, n),
 		shards:  make([]*shard, cfg.Shards),
@@ -276,9 +299,48 @@ func probeInput(cfg core.AsyncConfig) geometry.Vector {
 // Addr returns the bound listen address (useful with port 0).
 func (s *Service) Addr() string { return s.ln.Addr().String() }
 
-// Err returns the first background error the service observed (failed
-// reads, malformed frames); nil while healthy. Peer disconnects and
-// reconnects are not errors.
+// KillConn force-closes the current connection to peer; a no-op when
+// none is installed. It is a fault-injection hook for chaos tests and
+// verify.ServiceSystem: the link reacts exactly as if the connection had
+// failed — the dialing side redials with backoff, climbing the suspicion
+// ladder while the peer stays unreachable.
+func (s *Service) KillConn(peer int) {
+	if peer < 0 || peer >= s.n || peer == s.cfg.ID {
+		return
+	}
+	p := s.peers[peer]
+	p.mu.Lock()
+	conn := p.conn
+	p.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+}
+
+// reachable counts the processes this one can currently count on for
+// quorum: itself plus every peer with an installed, unsuspected
+// connection.
+func (s *Service) reachable() int {
+	count := 1
+	for _, p := range s.peers {
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		up := p.conn != nil && p.pressure < pressureSuspectAfter
+		p.mu.Unlock()
+		if up {
+			count++
+		}
+	}
+	return count
+}
+
+// Err returns the first structural error the service observed (accept
+// failures, protocol-type mismatches on the send path); nil while
+// healthy. Peer disconnects, reconnects, and malformed inbound frames
+// are not errors here — the latter are peer-attributable faults counted
+// in Stats.ReadErrors.
 func (s *Service) Err() error {
 	s.errMu.Lock()
 	defer s.errMu.Unlock()
@@ -431,14 +493,15 @@ type localMsg struct {
 // lingers: the result has been delivered, but the node keeps serving the
 // exchange for lagging peers until lingerUntil.
 type instance struct {
-	id          uint64
-	node        *core.AsyncNode
-	res         chan Result
-	started     time.Time
-	deadline    time.Time
-	done        bool
-	lingerUntil time.Time
-	api         instAPI
+	id            uint64
+	node          *core.AsyncNode
+	res           chan Result
+	started       time.Time
+	deadline      time.Time
+	done          bool
+	lingerUntil   time.Time
+	lingerExtends int // partition-aware extensions granted so far
+	api           instAPI
 }
 
 // pendingBox buffers frames for an instance peers started before the
@@ -642,12 +705,29 @@ func (sh *shard) retire(inst *instance, res Result) {
 	sh.svc.checkDrained()
 }
 
+// maxLingerExtends caps the partition-aware linger extensions per
+// instance, bounding a decided instance's lifetime even through an
+// unhealed partition.
+const maxLingerExtends = 4
+
 // expire enforces instance deadlines, tombstones lingering instances whose
 // window closed, and garbage-collects pending boxes and tombstones.
+// Decided instances whose linger window closes while the mesh is degraded
+// (fewer than n−f reachable processes) extend their linger instead of
+// tombstoning — lagging peers behind a partition still need this
+// process's echoes once the partition heals — up to maxLingerExtends
+// windows.
 func (sh *shard) expire(now time.Time) {
 	for _, inst := range sh.instances {
 		if inst.done {
 			if now.After(inst.lingerUntil) {
+				if inst.lingerExtends < maxLingerExtends &&
+					sh.svc.reachable() < sh.svc.n-sh.svc.cfg.Node.F {
+					inst.lingerExtends++
+					inst.lingerUntil = now.Add(sh.svc.cfg.LingerTimeout)
+					sh.svc.ctr.lingerExtensions.Add(1)
+					continue
+				}
 				delete(sh.instances, inst.id)
 				sh.tombs[inst.id] = now
 				sh.svc.ctr.lingering.Add(-1)

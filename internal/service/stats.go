@@ -1,6 +1,9 @@
 package service
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // counters is the service's internal atomic counter block. Everything is
 // monotone except active (a gauge); Stats snapshots it for callers and
@@ -20,10 +23,16 @@ type counters struct {
 
 	sheds          atomic.Int64
 	writeDrops     atomic.Int64
+	writeRetries   atomic.Int64
 	pendingFrames  atomic.Int64
 	pendingDropped atomic.Int64
 	reconnects     atomic.Int64
 	readErrors     atomic.Int64
+
+	dialFailures     atomic.Int64
+	outboxStalls     atomic.Int64
+	lingerExtensions atomic.Int64
+	authFailures     atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of one service process's counters.
@@ -42,18 +51,39 @@ type Stats struct {
 	// delivered in memory and not counted).
 	FramesIn, FramesOut, BytesIn, BytesOut int64
 	// SlowPeerSheds counts frames dropped by the shed policy on a full
-	// peer outbox; WriteDrops counts frames lost because a connection
-	// failed mid-write (they are retransmitted by no one — the protocols
-	// tolerate it as a crashed peer would be tolerated).
-	SlowPeerSheds, WriteDrops int64
+	// peer outbox; WriteDrops counts frames lost because the outbox
+	// overflowed while the peer was disconnected (blocking on a down
+	// peer would stall the shard, so the overflow sheds — the protocols
+	// tolerate it as a crashed peer would be tolerated). WriteRetries
+	// counts frames retained after a failed write and resent on the next
+	// connection generation: delivery on a live link is at-least-once,
+	// and the retried frames the peer already consumed are deduped like
+	// any duplicate.
+	SlowPeerSheds, WriteDrops, WriteRetries int64
 	// PendingFrames is the current number of frames buffered for
 	// instances not yet proposed locally (gauge); PendingDropped counts
 	// frames discarded because a pending buffer overflowed or expired.
 	PendingFrames, PendingDropped int64
 	// Reconnects counts successful re-establishments of failed peer
 	// connections; ReadErrors counts reader-loop failures beyond clean
-	// peer shutdowns.
+	// peer shutdowns — including malformed or corrupted inbound frames,
+	// which are peer-attributable faults and do not poison Err().
 	Reconnects, ReadErrors int64
+	// DialFailures counts failed outbound connection attempts (dial or
+	// handshake); OutboxStalls counts full-outbox stalls under the block
+	// policy. Both feed the per-peer suspicion ladder.
+	DialFailures, OutboxStalls int64
+	// LingerExtensions counts decided instances whose linger window was
+	// extended because fewer than n−f processes were reachable — the
+	// partition-aware degradation path.
+	LingerExtensions int64
+	// AuthFailures counts inbound connections rejected by the keyed
+	// handshake (wrong or missing key).
+	AuthFailures int64
+	// SuspectedPeers is the number of peers currently suspected (gauge):
+	// repeated dial failures, sustained disconnect, or sustained outbox
+	// pressure. Suspicion clears the moment the condition does.
+	SuspectedPeers int
 	// QueueDepth is the current total number of frames sitting in peer
 	// outboxes (gauge) — the live measure of backpressure.
 	QueueDepth int
@@ -62,26 +92,35 @@ type Stats struct {
 // Stats returns a snapshot of the service counters.
 func (s *Service) Stats() Stats {
 	st := Stats{
-		ActiveInstances: s.ctr.active.Load(),
-		Lingering:       s.ctr.lingering.Load(),
-		Proposed:        s.ctr.proposed.Load(),
-		Decided:         s.ctr.decided.Load(),
-		TimedOut:        s.ctr.timedOut.Load(),
-		Failed:          s.ctr.failed.Load(),
-		FramesIn:        s.ctr.framesIn.Load(),
-		FramesOut:       s.ctr.framesOut.Load(),
-		BytesIn:         s.ctr.bytesIn.Load(),
-		BytesOut:        s.ctr.bytesOut.Load(),
-		SlowPeerSheds:   s.ctr.sheds.Load(),
-		WriteDrops:      s.ctr.writeDrops.Load(),
-		PendingFrames:   s.ctr.pendingFrames.Load(),
-		PendingDropped:  s.ctr.pendingDropped.Load(),
-		Reconnects:      s.ctr.reconnects.Load(),
-		ReadErrors:      s.ctr.readErrors.Load(),
+		ActiveInstances:  s.ctr.active.Load(),
+		Lingering:        s.ctr.lingering.Load(),
+		Proposed:         s.ctr.proposed.Load(),
+		Decided:          s.ctr.decided.Load(),
+		TimedOut:         s.ctr.timedOut.Load(),
+		Failed:           s.ctr.failed.Load(),
+		FramesIn:         s.ctr.framesIn.Load(),
+		FramesOut:        s.ctr.framesOut.Load(),
+		BytesIn:          s.ctr.bytesIn.Load(),
+		BytesOut:         s.ctr.bytesOut.Load(),
+		SlowPeerSheds:    s.ctr.sheds.Load(),
+		WriteDrops:       s.ctr.writeDrops.Load(),
+		WriteRetries:     s.ctr.writeRetries.Load(),
+		PendingFrames:    s.ctr.pendingFrames.Load(),
+		PendingDropped:   s.ctr.pendingDropped.Load(),
+		Reconnects:       s.ctr.reconnects.Load(),
+		ReadErrors:       s.ctr.readErrors.Load(),
+		DialFailures:     s.ctr.dialFailures.Load(),
+		OutboxStalls:     s.ctr.outboxStalls.Load(),
+		LingerExtensions: s.ctr.lingerExtensions.Load(),
+		AuthFailures:     s.ctr.authFailures.Load(),
 	}
+	now := time.Now()
 	for _, p := range s.peers {
 		if p != nil {
 			st.QueueDepth += len(p.outbox)
+			if p.suspectedNow(now) {
+				st.SuspectedPeers++
+			}
 		}
 	}
 	return st

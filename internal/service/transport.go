@@ -1,0 +1,33 @@
+package service
+
+import (
+	"context"
+	"net"
+)
+
+// Transport is the network surface the service builds its mesh on. The
+// default (nil Config.Transport) is plain TCP; fault-injection layers
+// (internal/chaos.Injector) implement the same surface to subject the
+// mesh to hostile networks without the service knowing.
+type Transport interface {
+	// Listen opens this process's mesh listener.
+	Listen(addr string) (net.Listener, error)
+	// Dial connects to peer at addr; ctx carries the attempt deadline.
+	Dial(ctx context.Context, peer int, addr string) (net.Conn, error)
+	// Accepted wraps an inbound conn once the handshake has identified
+	// the dialing peer (the acceptor only learns the peer id from the
+	// Hello frame); return conn unchanged for no wrapping.
+	Accepted(peer int, conn net.Conn) net.Conn
+}
+
+// netTransport is the default plain-TCP transport.
+type netTransport struct{}
+
+func (netTransport) Listen(addr string) (net.Listener, error) { return net.Listen("tcp", addr) }
+
+func (netTransport) Dial(ctx context.Context, _ int, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr)
+}
+
+func (netTransport) Accepted(_ int, conn net.Conn) net.Conn { return conn }

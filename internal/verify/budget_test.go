@@ -1,0 +1,85 @@
+package verify
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestFragileCorpusBudget replays every committed FuzzLPDifferential seed
+// entry through the differential body and holds the documented fragility
+// classes to the counted budget in fragilityBudget. The corpus is
+// deterministic, so the counts are exact: exceeding a class budget means
+// the dense core regressed on inputs it previously survived, and any
+// sighting outside the table fails inside noteFragility before the
+// accounting is even reached.
+func TestFragileCorpusBudget(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzLPDifferential")
+	entries, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatalf("no committed corpus under %s", dir)
+	}
+	sort.Strings(entries)
+	before := snapshotFragility()
+	for _, path := range entries {
+		data, err := readCorpusEntry(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		diffLPOnce(t, data)
+	}
+	after := snapshotFragility()
+	total := 0
+	for _, class := range sortedClasses() {
+		got := after[class] - before[class]
+		total += got
+		if budget := fragilityBudget[class]; got != budget {
+			t.Errorf("fragility class %s: %d sightings, budget %d (corpus replay is deterministic; above budget = solver regression, below = stale budget or corpus)", class, got, budget)
+		} else {
+			t.Logf("fragility class %s: %d/%d", class, got, budget)
+		}
+	}
+	t.Logf("%d entries replayed, %d documented-fragility sightings", len(entries), total)
+}
+
+func sortedClasses() []string {
+	out := make([]string, 0, len(fragilityBudget))
+	for class := range fragilityBudget {
+		out = append(out, class)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// readCorpusEntry parses one `go test fuzz v1` corpus file holding a
+// single []byte argument — the format TestRegenSeedCorpus writes and the
+// fuzz engine replays.
+func readCorpusEntry(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.SplitN(strings.TrimSuffix(string(raw), "\n"), "\n", 2)
+	if len(lines) != 2 || lines[0] != "go test fuzz v1" {
+		return nil, errCorpusFormat{path, "missing version header"}
+	}
+	arg := strings.TrimSpace(lines[1])
+	if !strings.HasPrefix(arg, "[]byte(") || !strings.HasSuffix(arg, ")") {
+		return nil, errCorpusFormat{path, "argument is not a []byte literal"}
+	}
+	s, err := strconv.Unquote(strings.TrimSuffix(strings.TrimPrefix(arg, "[]byte("), ")"))
+	if err != nil {
+		return nil, err
+	}
+	return []byte(s), nil
+}
+
+type errCorpusFormat [2]string
+
+func (e errCorpusFormat) Error() string { return e[0] + ": " + e[1] }

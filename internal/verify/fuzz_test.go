@@ -2,11 +2,20 @@ package verify
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math"
+	"reflect"
+	"strings"
+	"sync"
 	"testing"
 
+	"repro/internal/aad"
+	"repro/internal/broadcast"
+	"repro/internal/core"
+	"repro/internal/geometry"
 	"repro/internal/lp"
+	"repro/internal/sim"
 	"repro/internal/wire"
 )
 
@@ -38,68 +47,168 @@ func FuzzLPDifferential(f *testing.F) {
 	f.Add(EncodeGammaInstance(2, [][]float64{
 		{0.25, 0.75}, {0.5, 0.5}, {0.75, 0.25}, {0.25, 0.25}, {0.75, 0.75}, {0.5, 0.1}, {0.1, 0.5},
 	}))
-	f.Fuzz(func(t *testing.T, data []byte) {
-		spec := DecodeProgram(data)
-		if spec == nil {
+	f.Fuzz(diffLPOnce)
+}
+
+// diffLPOnce is the differential body shared by FuzzLPDifferential and
+// TestFragileCorpusBudget: decode, solve under both cores, cross-check.
+func diffLPOnce(t *testing.T, data []byte) {
+	spec := DecodeProgram(data)
+	if spec == nil {
+		return
+	}
+	rsol, rerr := solveUnder(lp.CoreRevised, spec)
+	if spec.NumRows() > denseRowCap {
+		if rerr != nil {
 			return
 		}
-		rsol, rerr := solveUnder(lp.CoreRevised, spec)
-		if spec.NumRows() > denseRowCap {
-			if rerr != nil {
-				return
-			}
-			if rsol.Status == lp.Optimal {
-				if err := checkFeasible(spec, rsol); err != nil {
-					t.Fatalf("revised solution infeasible: %v", err)
-				}
-			}
-			return
-		}
-		dsol, derr := solveUnder(lp.CoreDense, spec)
-		switch {
-		case derr != nil && rerr != nil:
-			return // both rejected the program identically hard
-		case rerr != nil:
-			t.Fatalf("revised core failed where dense succeeded: %v\nprogram: %d rows", rerr, spec.NumRows())
-		case derr != nil:
-			t.Logf("dense core failed where revised succeeded (known fragility): %v", derr)
-			return
-		}
-		// The revised core's claimed optimum must certify unconditionally.
 		if rsol.Status == lp.Optimal {
 			if err := checkFeasible(spec, rsol); err != nil {
 				t.Fatalf("revised solution infeasible: %v", err)
 			}
 		}
-		denseCertified := dsol.Status != lp.Optimal || checkFeasible(spec, dsol) == nil
-		if dsol.Status != rsol.Status {
-			// Adjudicate by certificate. A demonstrably wrong dense result
-			// — an uncertifiable optimum, or an Infeasible verdict refuted
-			// by the revised core's verified feasible point — is the
-			// legacy fragility this corpus exists to document, not a
-			// regression. Everything else is a genuine divergence.
-			switch {
-			case dsol.Status == lp.Optimal && !denseCertified:
-				t.Logf("dense optimum uncertifiable where revised says %v (known fragility)", rsol.Status)
-			case dsol.Status == lp.Infeasible && rsol.Status == lp.Optimal:
-				t.Logf("dense Infeasible refuted by certified revised optimum (known fragility)")
-			default:
-				t.Fatalf("verdicts disagree: dense %v, revised %v (%d rows)", dsol.Status, rsol.Status, spec.NumRows())
-			}
-			return
+		return
+	}
+	dsol, derr := solveUnder(lp.CoreDense, spec)
+	switch {
+	case derr != nil && rerr != nil:
+		return // both rejected the program identically hard
+	case rerr != nil:
+		t.Fatalf("revised core failed where dense succeeded: %v\nprogram: %d rows", rerr, spec.NumRows())
+	case derr != nil:
+		class := classifyDenseErr(derr)
+		if class == "" {
+			t.Fatalf("dense core failed with an undocumented error class where revised succeeded: %v", derr)
 		}
-		if dsol.Status != lp.Optimal {
-			return
+		noteFragility(t, class, fmt.Sprintf("dense core failed where revised succeeded: %v", derr))
+		return
+	}
+	// The revised core's claimed optimum must certify unconditionally.
+	if rsol.Status == lp.Optimal {
+		if err := checkFeasible(spec, rsol); err != nil {
+			t.Fatalf("revised solution infeasible: %v", err)
 		}
-		if !denseCertified {
-			t.Logf("dense optimum infeasible at the shared verdict (known fragility)")
-			return
+	}
+	denseCertified := dsol.Status != lp.Optimal || checkFeasible(spec, dsol) == nil
+	if dsol.Status != rsol.Status {
+		// Adjudicate by certificate. A demonstrably wrong dense result
+		// — an uncertifiable optimum, or an Infeasible verdict refuted
+		// by the revised core's verified feasible point — is the
+		// legacy fragility this corpus exists to document, not a
+		// regression. Everything else is a genuine divergence.
+		switch {
+		case dsol.Status == lp.Optimal && !denseCertified:
+			noteFragility(t, fragUncertifiedOptimum,
+				fmt.Sprintf("dense optimum uncertifiable where revised says %v", rsol.Status))
+		case dsol.Status == lp.Infeasible && rsol.Status == lp.Optimal:
+			noteFragility(t, fragRefutedInfeasible,
+				"dense Infeasible refuted by certified revised optimum")
+		default:
+			t.Fatalf("verdicts disagree: dense %v, revised %v (%d rows)", dsol.Status, rsol.Status, spec.NumRows())
 		}
-		scale := math.Max(1, math.Abs(dsol.Objective))
-		if math.Abs(dsol.Objective-rsol.Objective) > 1e-5*scale {
-			t.Fatalf("objectives disagree: dense %g, revised %g", dsol.Objective, rsol.Objective)
-		}
-	})
+		return
+	}
+	if dsol.Status != lp.Optimal {
+		return
+	}
+	if !denseCertified {
+		noteFragility(t, fragSharedVerdictInfeasible,
+			"dense optimum infeasible at the shared verdict")
+		return
+	}
+	scale := math.Max(1, math.Abs(dsol.Objective))
+	if math.Abs(dsol.Objective-rsol.Objective) > 1e-5*scale {
+		t.Fatalf("objectives disagree: dense %g, revised %g", dsol.Objective, rsol.Objective)
+	}
+}
+
+// Documented dense-core fragility classes. Every known-fragility sighting
+// in diffLPOnce must land in exactly one of these; anything else is an
+// undocumented failure class and fails the input outright. The classes
+// mirror the dense tableau's retirement rationale from PR 5: it loses to
+// degeneracy (singular bases, pivot stalls at the iteration cap,
+// unbounded pivot directions on bounded programs) and to certification
+// (optima that do not satisfy their own program).
+const (
+	fragSingularBasis           = "dense-error:singular-basis"
+	fragIterationCap            = "dense-error:iteration-cap"
+	fragUnboundedPivot          = "dense-error:unbounded-pivot"
+	fragNotSolved               = "dense-error:not-solved"
+	fragUncertifiedOptimum      = "dense-status:uncertified-optimum"
+	fragRefutedInfeasible       = "dense-status:refuted-infeasible"
+	fragSharedVerdictInfeasible = "dense-status:shared-verdict-infeasible"
+)
+
+// fragilityBudget is the counted per-class budget for one replay of the
+// committed FuzzLPDifferential seed corpus (TestFragileCorpusBudget). The
+// corpus is deterministic, so these are exact counts, not tolerances: a
+// count above budget means the dense core regressed on inputs it used to
+// survive. The non-zero classes are pinned by the harvested fragile_*
+// corpus entries (see TestRegenSeedCorpus); zero-budget classes are
+// documented — live fuzzing tolerates them — but have no committed
+// trigger yet, so a corpus sighting would mean the corpus changed.
+var fragilityBudget = map[string]int{
+	fragSingularBasis:           0,
+	fragIterationCap:            3,
+	fragUnboundedPivot:          0,
+	fragNotSolved:               0,
+	fragUncertifiedOptimum:      0,
+	fragRefutedInfeasible:       3,
+	fragSharedVerdictInfeasible: 3,
+}
+
+// fragilityCounts tallies sightings per class within one test process.
+// Fuzz workers each keep their own tally; the budget is only asserted
+// against the deterministic corpus replay, never against live fuzzing.
+var fragilityCounts = struct {
+	mu sync.Mutex
+	n  map[string]int
+}{n: make(map[string]int)}
+
+// noteFragility records one documented-fragility sighting. Classes
+// outside fragilityBudget fail immediately: an undocumented failure mode
+// must be triaged and either fixed or added to the table, never logged
+// into oblivion.
+func noteFragility(t *testing.T, class, detail string) {
+	t.Helper()
+	if _, ok := fragilityBudget[class]; !ok {
+		t.Fatalf("undocumented fragility class %q: %s", class, detail)
+	}
+	fragilityCounts.mu.Lock()
+	fragilityCounts.n[class]++
+	n := fragilityCounts.n[class]
+	fragilityCounts.mu.Unlock()
+	t.Logf("known fragility %s (#%d this process): %s", class, n, detail)
+}
+
+// snapshotFragility copies the current per-class tallies.
+func snapshotFragility() map[string]int {
+	fragilityCounts.mu.Lock()
+	defer fragilityCounts.mu.Unlock()
+	out := make(map[string]int, len(fragilityCounts.n))
+	for k, v := range fragilityCounts.n {
+		out[k] = v
+	}
+	return out
+}
+
+// classifyDenseErr maps a dense-core solve error to its documented class,
+// or "" when the error matches none. lp.ErrNotSolved is exported and
+// matched structurally; the solver-internal sentinels (singular basis,
+// iteration cap, unbounded pivot) are unexported, so their documented
+// message texts are the classification key.
+func classifyDenseErr(err error) string {
+	switch msg := err.Error(); {
+	case errors.Is(err, lp.ErrNotSolved):
+		return fragNotSolved
+	case strings.Contains(msg, "basis factorization singular"):
+		return fragSingularBasis
+	case strings.Contains(msg, "iteration cap"):
+		return fragIterationCap
+	case strings.Contains(msg, "unbounded pivot"):
+		return fragUnboundedPivot
+	}
+	return ""
 }
 
 // solveUnder builds a fresh copy of the program and solves it with the
@@ -217,6 +326,87 @@ func checkFrame(t *testing.T, frame []byte) {
 		if !consensusEqual(&m, &m2) {
 			t.Fatalf("consensus round trip diverged: %+v vs %+v", m, m2)
 		}
+	}
+}
+
+// FuzzGobV1 covers the legacy v1 wire path — gob-encoded envelopes under
+// 4-byte length-prefix framing, still spoken by the single-tenant
+// transport. The contract: no input may panic the frame reader or the gob
+// decoder (gob's decode path is a type-driven virtual machine with a
+// history of hostile-input panics upstream, so this is not vacuous), and
+// every envelope that does decode must re-encode and decode again with
+// the same sender and payload type. Importing the protocol packages
+// registers their payload types (aad.Msg, broadcast messages,
+// core.StateMsg) exactly as a live process would.
+func FuzzGobV1(f *testing.F) {
+	for _, env := range seedEnvelopes() {
+		enc, err := wire.Encode(env)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+		var framed bytes.Buffer
+		if err := wire.WriteFrame(&framed, enc); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(framed.Bytes())
+	}
+	f.Add([]byte{0, 0, 0, 2, 0xff, 0x81})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Stream path: length-prefixed frames from a hostile reader.
+		r := bytes.NewReader(data)
+		for {
+			body, err := wire.ReadFrame(r)
+			if err != nil {
+				break
+			}
+			checkGobBody(t, body)
+		}
+		// Direct path: the bytes as one gob envelope.
+		checkGobBody(t, data)
+	})
+}
+
+// seedEnvelopes builds one v1 envelope per registered payload family.
+func seedEnvelopes() []*wire.Envelope {
+	return []*wire.Envelope{
+		{From: 1, Payload: aad.Msg{
+			Kind: aad.KindRBC,
+			RBC:  broadcast.RBCMsg{Phase: 1, Origin: 2, Tag: 7, Value: geometry.Vector{0.25, 0.75}},
+		}},
+		{From: 2, Payload: aad.Msg{
+			Kind:   aad.KindReport,
+			Report: aad.ReportMsg{Round: 3, Origin: sim.ProcID(4)},
+		}},
+		{From: 3, Payload: broadcast.RBCMsg{Phase: 2, Origin: 0, Tag: 1, Value: geometry.Vector{-1e9, 0, 1e-9}}},
+		{From: 0, Payload: core.StateMsg{Round: 5, Value: geometry.Vector{0.5}}},
+		{From: 4, Payload: nil},
+	}
+}
+
+// checkGobBody decodes one candidate envelope body and, when it decodes,
+// requires a clean re-encode / re-decode with sender and payload type
+// preserved. Payload values are not compared bit-for-bit: hostile bytes
+// can materialize NaNs, which defeat DeepEqual without indicating a wire
+// bug.
+func checkGobBody(t *testing.T, body []byte) {
+	env, err := wire.Decode(body)
+	if err != nil {
+		return
+	}
+	enc, err := wire.Encode(env)
+	if err != nil {
+		t.Fatalf("decoded envelope does not re-encode: %v", err)
+	}
+	env2, err := wire.Decode(enc)
+	if err != nil {
+		t.Fatalf("re-encoded envelope does not decode: %v", err)
+	}
+	if env2.From != env.From {
+		t.Fatalf("sender diverged: %d vs %d", env2.From, env.From)
+	}
+	if ta, tb := reflect.TypeOf(env.Payload), reflect.TypeOf(env2.Payload); ta != tb {
+		t.Fatalf("payload type diverged: %v vs %v", ta, tb)
 	}
 }
 

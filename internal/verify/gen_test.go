@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"bytes"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -122,6 +123,31 @@ func TestRegenSeedCorpus(t *testing.T) {
 				EncodeGammaInstance(d, pts))
 		}
 	}
+	// Fragility-class triggers: inputs on which the dense core demonstrably
+	// loses to the revised core, found by a seeded random search over the
+	// fuzz encoding (seed 1, draw pattern below) and pinned here by trial
+	// index rather than by pasted bytes so the corpus regenerates
+	// byte-identically. TestFragileCorpusBudget counts these by class.
+	harvested := map[int]string{
+		3537:  "refuted_infeasible_0",
+		7807:  "iteration_cap_0",
+		11334: "shared_verdict_0",
+		11515: "refuted_infeasible_1",
+		12090: "shared_verdict_1",
+		13291: "iteration_cap_1",
+		14272: "shared_verdict_2",
+		21490: "refuted_infeasible_2",
+		39811: "iteration_cap_2",
+	}
+	hrng := rand.New(rand.NewSource(1))
+	for trial := 0; trial <= 39811; trial++ {
+		data := make([]byte, 8+hrng.Intn(90))
+		hrng.Read(data)
+		data[0] = byte(hrng.Intn(3))
+		if name, ok := harvested[trial]; ok {
+			writeEntry("FuzzLPDifferential", "fragile_"+name, data)
+		}
+	}
 	// Raw palette programs with duplicate rows and twin columns.
 	rng := rand.New(rand.NewSource(99))
 	for i := 0; i < 4; i++ {
@@ -150,4 +176,24 @@ func TestRegenSeedCorpus(t *testing.T) {
 		Kind: wire.ConsensusReport, Origin: 4, Round: 2,
 	}))
 	writeEntry("FuzzWireFrame", "oversize_claim", []byte{0xff, 0xff, 0xff, 0xff, 2, 2, 0})
+
+	// Legacy v1 gob envelopes: one per registered payload family, both
+	// bare and framed, plus a truncation and a hostile type descriptor.
+	for i, env := range seedEnvelopes() {
+		enc, err := wire.Encode(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := "env_" + strconv.Itoa(i)
+		writeEntry("FuzzGobV1", name, enc)
+		var framed bytes.Buffer
+		if err := wire.WriteFrame(&framed, enc); err != nil {
+			t.Fatal(err)
+		}
+		writeEntry("FuzzGobV1", name+"_framed", framed.Bytes())
+		if len(enc) > 3 {
+			writeEntry("FuzzGobV1", name+"_truncated", enc[:len(enc)-3])
+		}
+	}
+	writeEntry("FuzzGobV1", "hostile_typedesc", []byte{0x2c, 0xff, 0x81, 0x03, 0x01, 0x01, 0x08})
 }

@@ -1,0 +1,75 @@
+package verify
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestServiceSystemRun drives the live-service model through a seeded
+// command mix — proposals interleaved with conn kills, a partition/heal
+// pair, and lifecycle transitions — and expects no property violation.
+func TestServiceSystemRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live mesh per Reset; skipped in -short")
+	}
+	sys := NewServiceSystem(5, 2)
+	t.Cleanup(sys.Close)
+	if fail := Run(sys, sys.ServiceGenerator(), 3, 14); fail != nil {
+		t.Fatalf("live service violated the lifecycle model:\n%s", fail.Report())
+	}
+}
+
+// TestServiceSystemShrinksInjectedDivergence is the mutation check: arm
+// the seeded fault (the first KillConn secretly closes the whole target
+// process), confirm the harness catches the resulting SUT/model
+// divergence, and confirm shrinking reduces the witness to essentially
+// kill-then-propose.
+func TestServiceSystemShrinksInjectedDivergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live mesh per Reset; skipped in -short")
+	}
+	sys := NewServiceSystem(5, 2)
+	t.Cleanup(sys.Close)
+	sys.ArmFault(1)
+
+	// Kill-and-propose-heavy mix so the divergence surfaces quickly.
+	gen := func(rng *rand.Rand, step int) Command {
+		if step%2 == 0 {
+			return SvcKillConn{I: rng.Intn(5), J: rng.Intn(5)}
+		}
+		inputs := make([][]float64, 5)
+		for i := range inputs {
+			inputs[i] = randVec(rng, 2)
+		}
+		return SvcPropose{Inputs: inputs}
+	}
+	fail := Run(sys, gen, 7, 8)
+	if fail == nil {
+		t.Fatal("armed fault not detected in 8 steps")
+	}
+	if len(fail.Cmds) > 4 {
+		t.Fatalf("shrunk to %d commands, want ≤ 4 (kill + propose):\n%s", len(fail.Cmds), fail.Report())
+	}
+	var kills, proposes int
+	for _, c := range fail.Cmds {
+		switch c.(type) {
+		case SvcKillConn:
+			kills++
+		case SvcPropose:
+			proposes++
+		default:
+			t.Fatalf("non-essential command survived shrinking: %s", c)
+		}
+	}
+	if kills == 0 || proposes == 0 {
+		t.Fatalf("shrunk witness lost the kill or the probe:\n%s", fail.Report())
+	}
+	// The shrunk sequence must replay to the same class of violation.
+	if err := Replay(sys, fail.Seed, fail.Cmds); err == nil {
+		t.Fatal("shrunk sequence does not replay to a failure")
+	}
+	if !strings.Contains(fail.Report(), "replay:") {
+		t.Fatalf("report not replayable:\n%s", fail.Report())
+	}
+}

@@ -44,7 +44,18 @@ const (
 	// body, instance id 0. Receivers stop redialing a peer that said
 	// goodbye.
 	FrameGoodbye FrameKind = 3
+	// FrameChallenge is the acceptor's half of the keyed handshake: in
+	// reply to a nonce-carrying Hello it proves knowledge of the shared
+	// key and challenges the dialer (body: uint64 server nonce + MACSize
+	// HMAC over the dialer's nonce). Instance id is 0.
+	FrameChallenge FrameKind = 4
+	// FrameAuth is the dialer's proof closing the keyed handshake (body:
+	// MACSize HMAC over the server nonce). Instance id is 0.
+	FrameAuth FrameKind = 5
 )
+
+// MACSize is the byte length of the handshake HMAC (HMAC-SHA256).
+const MACSize = 32
 
 // FrameHeaderLen is the fixed header length following the length prefix.
 const FrameHeaderLen = 10
@@ -115,6 +126,34 @@ func AppendHello(dst []byte, peer uint32) []byte {
 	return backfillLen(dst, at)
 }
 
+// AppendHelloNonce appends the keyed-handshake variant of FrameHello:
+// the process id followed by the dialer's challenge nonce. Acceptors
+// distinguish the two Hello forms by body length (4 vs 12 bytes).
+func AppendHelloNonce(dst []byte, peer uint32, nonce uint64) []byte {
+	dst, at := appendFramePrefix(dst, FrameHello, 0)
+	dst = binary.BigEndian.AppendUint32(dst, peer)
+	dst = binary.BigEndian.AppendUint64(dst, nonce)
+	return backfillLen(dst, at)
+}
+
+// AppendChallenge appends a FrameChallenge carrying the acceptor's nonce
+// and its HMAC answering the dialer's Hello nonce. mac must be MACSize
+// bytes.
+func AppendChallenge(dst []byte, nonce uint64, mac []byte) []byte {
+	dst, at := appendFramePrefix(dst, FrameChallenge, 0)
+	dst = binary.BigEndian.AppendUint64(dst, nonce)
+	dst = append(dst, mac...)
+	return backfillLen(dst, at)
+}
+
+// AppendAuth appends a FrameAuth carrying the dialer's HMAC answering the
+// acceptor's challenge nonce. mac must be MACSize bytes.
+func AppendAuth(dst []byte, mac []byte) []byte {
+	dst, at := appendFramePrefix(dst, FrameAuth, 0)
+	dst = append(dst, mac...)
+	return backfillLen(dst, at)
+}
+
 // AppendGoodbye appends a FrameGoodbye.
 func AppendGoodbye(dst []byte) []byte {
 	dst, at := appendFramePrefix(dst, FrameGoodbye, 0)
@@ -159,12 +198,37 @@ func ParseFrame(frame []byte) (FrameHeader, []byte, error) {
 	return h, frame[FrameHeaderLen:], nil
 }
 
-// ParseHello decodes a FrameHello body.
+// ParseHello decodes a keyless FrameHello body.
 func ParseHello(body []byte) (peer uint32, err error) {
 	if len(body) != 4 {
 		return 0, fmt.Errorf("wire: hello body %d bytes, want 4", len(body))
 	}
 	return binary.BigEndian.Uint32(body), nil
+}
+
+// ParseHelloNonce decodes the keyed FrameHello body (id + dialer nonce).
+func ParseHelloNonce(body []byte) (peer uint32, nonce uint64, err error) {
+	if len(body) != 12 {
+		return 0, 0, fmt.Errorf("wire: keyed hello body %d bytes, want 12", len(body))
+	}
+	return binary.BigEndian.Uint32(body[0:4]), binary.BigEndian.Uint64(body[4:12]), nil
+}
+
+// ParseChallenge decodes a FrameChallenge body. The returned mac aliases
+// body.
+func ParseChallenge(body []byte) (nonce uint64, mac []byte, err error) {
+	if len(body) != 8+MACSize {
+		return 0, nil, fmt.Errorf("wire: challenge body %d bytes, want %d", len(body), 8+MACSize)
+	}
+	return binary.BigEndian.Uint64(body[0:8]), body[8:], nil
+}
+
+// ParseAuth decodes a FrameAuth body. The returned mac aliases body.
+func ParseAuth(body []byte) (mac []byte, err error) {
+	if len(body) != MACSize {
+		return nil, fmt.Errorf("wire: auth body %d bytes, want %d", len(body), MACSize)
+	}
+	return body, nil
 }
 
 // DecodeConsensus decodes a FrameConsensus body into m, reusing m.Value's

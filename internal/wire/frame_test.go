@@ -28,6 +28,26 @@ func TestFrameGoldenBytes(t *testing.T) {
 			want: "0000000a" + "0203" + "0000000000000000",
 		},
 		{
+			name: "hello-nonce",
+			got:  AppendHelloNonce(nil, 3, 0x1122334455667788),
+			// len=22 | v2 kind=1 instance=0 | peer=3 nonce
+			want: "00000016" + "0201" + "0000000000000000" + "00000003" + "1122334455667788",
+		},
+		{
+			name: "challenge",
+			got:  AppendChallenge(nil, 0x0102030405060708, mustHex("a1a2a3a4a5a6a7a8b1b2b3b4b5b6b7b8c1c2c3c4c5c6c7c8d1d2d3d4d5d6d7d8")),
+			// len=50 | v2 kind=4 instance=0 | nonce | 32-byte mac
+			want: "00000032" + "0204" + "0000000000000000" + "0102030405060708" +
+				"a1a2a3a4a5a6a7a8b1b2b3b4b5b6b7b8c1c2c3c4c5c6c7c8d1d2d3d4d5d6d7d8",
+		},
+		{
+			name: "auth",
+			got:  AppendAuth(nil, mustHex("a1a2a3a4a5a6a7a8b1b2b3b4b5b6b7b8c1c2c3c4c5c6c7c8d1d2d3d4d5d6d7d8")),
+			// len=42 | v2 kind=5 instance=0 | 32-byte mac
+			want: "0000002a" + "0205" + "0000000000000000" +
+				"a1a2a3a4a5a6a7a8b1b2b3b4b5b6b7b8c1c2c3c4c5c6c7c8d1d2d3d4d5d6d7d8",
+		},
+		{
 			name: "report",
 			got: AppendConsensus(nil, 0x0102030405060708, &ConsensusMsg{
 				Kind: ConsensusReport, Origin: 4, Round: 7,
@@ -56,6 +76,56 @@ func TestFrameGoldenBytes(t *testing.T) {
 		if !bytes.Equal(tc.got, want) {
 			t.Errorf("%s frame:\n got %x\nwant %x", tc.name, tc.got, want)
 		}
+	}
+}
+
+// mustHex decodes a test literal, panicking on malformed input.
+func mustHex(s string) []byte {
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// TestHandshakeFrameRoundTrip covers the keyed-handshake frame bodies.
+func TestHandshakeFrameRoundTrip(t *testing.T) {
+	mac := bytes.Repeat([]byte{0x5a}, MACSize)
+
+	enc := AppendHelloNonce(nil, 7, 99)
+	h, body, err := ParseFrame(enc[4:])
+	if err != nil || h.Kind != FrameHello {
+		t.Fatalf("hello-nonce: header %+v err %v", h, err)
+	}
+	if peer, nonce, err := ParseHelloNonce(body); err != nil || peer != 7 || nonce != 99 {
+		t.Fatalf("hello-nonce: peer=%d nonce=%d err=%v", peer, nonce, err)
+	}
+	if _, _, err := ParseHelloNonce(body[:4]); err == nil {
+		t.Error("short keyed hello: no error")
+	}
+
+	enc = AppendChallenge(nil, 42, mac)
+	h, body, err = ParseFrame(enc[4:])
+	if err != nil || h.Kind != FrameChallenge {
+		t.Fatalf("challenge: header %+v err %v", h, err)
+	}
+	if nonce, gotMac, err := ParseChallenge(body); err != nil || nonce != 42 || !bytes.Equal(gotMac, mac) {
+		t.Fatalf("challenge: nonce=%d mac=%x err=%v", nonce, gotMac, err)
+	}
+	if _, _, err := ParseChallenge(body[:8]); err == nil {
+		t.Error("short challenge: no error")
+	}
+
+	enc = AppendAuth(nil, mac)
+	h, body, err = ParseFrame(enc[4:])
+	if err != nil || h.Kind != FrameAuth {
+		t.Fatalf("auth: header %+v err %v", h, err)
+	}
+	if gotMac, err := ParseAuth(body); err != nil || !bytes.Equal(gotMac, mac) {
+		t.Fatalf("auth: mac=%x err=%v", gotMac, err)
+	}
+	if _, err := ParseAuth(body[:MACSize-1]); err == nil {
+		t.Error("short auth: no error")
 	}
 }
 

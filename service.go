@@ -2,6 +2,7 @@ package bvc
 
 import (
 	"context"
+	"net"
 	"time"
 
 	"repro/internal/service"
@@ -45,6 +46,20 @@ const (
 	ShedSlowPeer
 )
 
+// ServiceTransport abstracts the service's network surface — listener
+// creation, outbound dials, and inbound connection adoption — so tests
+// and chaos tooling (internal/chaos) can inject faults between
+// processes. The zero value of ServiceConfig uses the real network.
+type ServiceTransport interface {
+	// Listen binds the process's listener.
+	Listen(addr string) (net.Listener, error)
+	// Dial opens an outbound connection to the given peer id at addr.
+	Dial(ctx context.Context, peer int, addr string) (net.Conn, error)
+	// Accepted adopts an inbound connection after the handshake
+	// identified the peer; the returned conn replaces the original.
+	Accepted(peer int, conn net.Conn) net.Conn
+}
+
 // ServiceConfig configures one process of a consensus service mesh.
 type ServiceConfig struct {
 	// Config is the consensus configuration every instance runs (the
@@ -80,6 +95,17 @@ type ServiceConfig struct {
 	MaxDialBackoff   time.Duration
 	// Seed feeds the per-instance PRNG streams.
 	Seed int64
+	// Transport overrides the service's network surface (nil: the real
+	// network). Used by tests and the chaos harness to inject faults.
+	Transport ServiceTransport
+	// AuthKey, when non-empty, enables the mutual HMAC-SHA256 handshake:
+	// every connection must prove knowledge of this shared key before it
+	// joins the mesh. All processes must agree on the key (or all leave
+	// it empty for the plain handshake).
+	AuthKey []byte
+	// SuspectAfter is the number of consecutive dial failures before a
+	// peer is counted in ServiceStats.SuspectedPeers (default 3).
+	SuspectAfter int
 }
 
 // ServiceResult is one finished instance as seen by this process.
@@ -108,12 +134,24 @@ type ServiceStats struct {
 	Proposed, Decided, TimedOut, Failed int64
 	// FramesIn/FramesOut/BytesIn/BytesOut count wire traffic.
 	FramesIn, FramesOut, BytesIn, BytesOut int64
-	// SlowPeerSheds/WriteDrops count frames lost to the shed policy and to
-	// connection failures; PendingFrames/PendingDropped track pre-Propose
+	// SlowPeerSheds/WriteDrops count frames lost to the shed policy and
+	// to outbox overflow against a disconnected peer; WriteRetries
+	// counts frames resent after a failed write (at-least-once delivery
+	// on live links); PendingFrames/PendingDropped track pre-Propose
 	// buffering; Reconnects/ReadErrors track link health.
 	SlowPeerSheds, WriteDrops     int64
+	WriteRetries                  int64
 	PendingFrames, PendingDropped int64
 	Reconnects, ReadErrors        int64
+	// DialFailures/OutboxStalls feed the per-peer suspicion ladder;
+	// LingerExtensions counts partition-aware linger window extensions;
+	// AuthFailures counts inbound connections the keyed handshake
+	// rejected.
+	DialFailures, OutboxStalls int64
+	LingerExtensions           int64
+	AuthFailures               int64
+	// SuspectedPeers is the number of peers currently suspected (gauge).
+	SuspectedPeers int
 	// QueueDepth is the total frames currently queued toward peers.
 	QueueDepth int
 }
@@ -149,6 +187,9 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		DialBackoff:      cfg.DialBackoff,
 		MaxDialBackoff:   cfg.MaxDialBackoff,
 		Seed:             cfg.Seed,
+		Transport:        cfg.Transport,
+		AuthKey:          cfg.AuthKey,
+		SuspectAfter:     cfg.SuspectAfter,
 	})
 	if err != nil {
 		return nil, err
@@ -204,22 +245,33 @@ func (s *Service) Err() error { return s.inner.Err() }
 func (s *Service) Stats() ServiceStats {
 	st := s.inner.Stats()
 	return ServiceStats{
-		ActiveInstances: st.ActiveInstances,
-		Lingering:       st.Lingering,
-		Proposed:        st.Proposed,
-		Decided:         st.Decided,
-		TimedOut:        st.TimedOut,
-		Failed:          st.Failed,
-		FramesIn:        st.FramesIn,
-		FramesOut:       st.FramesOut,
-		BytesIn:         st.BytesIn,
-		BytesOut:        st.BytesOut,
-		SlowPeerSheds:   st.SlowPeerSheds,
-		WriteDrops:      st.WriteDrops,
-		PendingFrames:   st.PendingFrames,
-		PendingDropped:  st.PendingDropped,
-		Reconnects:      st.Reconnects,
-		ReadErrors:      st.ReadErrors,
-		QueueDepth:      st.QueueDepth,
+		ActiveInstances:  st.ActiveInstances,
+		Lingering:        st.Lingering,
+		Proposed:         st.Proposed,
+		Decided:          st.Decided,
+		TimedOut:         st.TimedOut,
+		Failed:           st.Failed,
+		FramesIn:         st.FramesIn,
+		FramesOut:        st.FramesOut,
+		BytesIn:          st.BytesIn,
+		BytesOut:         st.BytesOut,
+		SlowPeerSheds:    st.SlowPeerSheds,
+		WriteDrops:       st.WriteDrops,
+		WriteRetries:     st.WriteRetries,
+		PendingFrames:    st.PendingFrames,
+		PendingDropped:   st.PendingDropped,
+		Reconnects:       st.Reconnects,
+		ReadErrors:       st.ReadErrors,
+		DialFailures:     st.DialFailures,
+		OutboxStalls:     st.OutboxStalls,
+		LingerExtensions: st.LingerExtensions,
+		AuthFailures:     st.AuthFailures,
+		SuspectedPeers:   st.SuspectedPeers,
+		QueueDepth:       st.QueueDepth,
 	}
 }
+
+// KillConn severs the current connection to the given peer, if any; the
+// pool redials and the mesh self-heals. A fault-injection hook for tests
+// and the chaos harness.
+func (s *Service) KillConn(peer int) { s.inner.KillConn(peer) }
