@@ -12,6 +12,7 @@
 //	bvcload -minrate 200             # fail unless ≥200 inst/s achieved
 //	bvcload -json                    # BENCH records instead of the summary
 //	bvcload -chaos scenario.json     # replay a fault timeline under load
+//	bvcload -churn 3                 # replace 3 random processes mid-load
 //
 // Every instance's decision is checked for hull-containment validity (the
 // paper's validity condition) on every process; any error, validity
@@ -19,13 +20,21 @@
 // live-smoke gate.
 //
 // -chaos loads an internal/chaos scenario and replays its deterministic
-// fault timeline (latency, loss, corruption, partitions, crash/restart)
-// against the mesh while the load runs: the gate then proves the service
-// decides every surviving instance with zero validity violations under
-// that fault schedule. Crashed processes sit instances out (the survivors
-// stay ≥ n−f for ≤ f concurrent crashes) and results lost to a scheduled
-// crash are counted separately, not as errors. cmd/bvcload/testdata/
-// holds the committed scenarios CI replays.
+// fault timeline (latency, loss, corruption, partitions, crash/restart,
+// membership replacement) against the mesh while the load runs: the gate
+// then proves the service decides every surviving instance with zero
+// validity violations under that fault schedule. Crashed processes sit
+// instances out (the survivors stay ≥ n−f for ≤ f concurrent crashes)
+// and results lost to a scheduled crash are counted separately, not as
+// errors. A "replace" event retires a process permanently and admits a
+// successor under the next membership epoch: the survivors are
+// Reconfigured, the successor dials in under the new epoch, and load
+// keeps flowing across the flip. cmd/bvcload/testdata/ holds the
+// committed scenarios CI replays.
+//
+// -churn N is the scenario-free soak form of the same thing: N seeded
+// replacements spread evenly across the run, each retiring a random
+// process and admitting its successor at epoch+1.
 //
 // With -json the output is a bvcbench-schema trajectory fragment: the
 // standard leading "calibrate" record followed by live/* records whose
@@ -81,6 +90,7 @@ type loadConfig struct {
 	outbox    int
 	jsonOut   bool
 	chaosPath string
+	churn     int
 }
 
 func run(args []string, w io.Writer) error {
@@ -103,6 +113,7 @@ func run(args []string, w io.Writer) error {
 	fs.IntVar(&cfg.outbox, "outbox", 0, "per-peer outbox depth in frames (0 = service default); partitions queue traffic here, so size it as rate x frames-per-instance x longest partition")
 	fs.BoolVar(&cfg.jsonOut, "json", false, "emit bvcbench-schema JSON records instead of the summary")
 	fs.StringVar(&cfg.chaosPath, "chaos", "", "chaos scenario JSON (internal/chaos): replay its fault timeline under load")
+	fs.IntVar(&cfg.churn, "churn", 0, "membership churn: replace this many seeded-random processes mid-load, each at epoch+1")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -244,10 +255,11 @@ func drive(cfg loadConfig) (*loadResult, error) {
 	crashed := make([]bool, cfg.n)
 	var crashMu sync.Mutex // guards svcs and crashed once the crash driver runs
 	addrs := make([]string, cfg.n)
-	newProc := func(i int, tmpl []string) (*bvc.Service, error) {
+	newProc := func(i int, epoch uint64, tmpl []string) (*bvc.Service, error) {
 		scfg := bvc.ServiceConfig{
 			Config:          ccfg,
 			ID:              i,
+			Epoch:           epoch,
 			Addrs:           tmpl,
 			Shards:          cfg.shards,
 			SlowPeer:        policy,
@@ -274,7 +286,7 @@ func drive(cfg loadConfig) (*loadResult, error) {
 		for j := range tmpl {
 			tmpl[j] = "127.0.0.1:0"
 		}
-		s, err := newProc(i, tmpl)
+		s, err := newProc(i, 0, tmpl)
 		if err != nil {
 			return nil, fmt.Errorf("process %d: %w", i, err)
 		}
@@ -298,6 +310,27 @@ func drive(cfg loadConfig) (*loadResult, error) {
 		}
 	}
 
+	// Proc events: the scenario's crash/restart/replace schedule merged
+	// with the -churn synthesis — seeded replacements spread evenly
+	// across the run, each admitting an ephemeral-address successor under
+	// the next membership epoch.
+	var procEvents []chaos.Event
+	if scn != nil {
+		procEvents = scn.ProcEvents()
+	}
+	if cfg.churn > 0 {
+		churnRng := rand.New(rand.NewSource(cfg.seed + 0x5eed))
+		for i := 0; i < cfg.churn; i++ {
+			at := time.Duration(float64(cfg.duration) * float64(i+1) / float64(cfg.churn+1))
+			procEvents = append(procEvents, chaos.Event{
+				At: chaos.Dur(at), Action: chaos.ActionReplace,
+				Proc: churnRng.Intn(cfg.n), Addr: "127.0.0.1:0",
+			})
+		}
+		sort.SliceStable(procEvents, func(i, j int) bool { return procEvents[i].At < procEvents[j].At })
+	}
+	chaosMode := scn != nil || cfg.churn > 0
+
 	// The fault clock starts only after a clean establish, so the scenario
 	// timeline is measured from a whole mesh.
 	t0 := time.Now()
@@ -307,12 +340,16 @@ func drive(cfg loadConfig) (*loadResult, error) {
 		for _, inj := range injs {
 			inj.Start(t0)
 		}
+	}
+	if len(procEvents) > 0 {
 		go func() {
 			defer close(eventsDone)
-			// Crash/restart events are the driver's half of the scenario:
-			// a crash closes the process abruptly, a restart rebuilds it on
-			// the same address and re-establishes against the live mesh.
-			for _, ev := range scn.ProcEvents() {
+			// Crash/restart/replace events are the driver's half of the
+			// scenario: a crash closes the process abruptly, a restart
+			// rebuilds it on the same address and re-establishes against
+			// the live mesh, and a replace retires it for good and admits
+			// a successor at the next epoch.
+			for _, ev := range procEvents {
 				time.Sleep(time.Until(t0.Add(ev.At.D())))
 				switch ev.Action {
 				case chaos.ActionCrash:
@@ -325,7 +362,7 @@ func drive(cfg loadConfig) (*loadResult, error) {
 					var s *bvc.Service
 					var err error
 					for attempt := 0; attempt < 40; attempt++ {
-						if s, err = newProc(ev.Proc, addrs); err == nil {
+						if s, err = newProc(ev.Proc, 0, addrs); err == nil {
 							break
 						}
 						time.Sleep(50 * time.Millisecond) // address may linger briefly
@@ -345,6 +382,68 @@ func drive(cfg loadConfig) (*loadResult, error) {
 						eventsErr = fmt.Errorf("re-establish process %d: %w", ev.Proc, err)
 						return
 					}
+				case chaos.ActionReplace:
+					// Retire the process permanently, then admit the
+					// successor: it listens first (so survivors can dial
+					// it), every survivor is Reconfigured to epoch+1 — one
+					// call would do, the EpochAnnounce gossip floods the
+					// rest, but direct calls make the replay deterministic
+					// — and the successor establishes against the new
+					// membership.
+					crashMu.Lock()
+					old := svcs[ev.Proc]
+					wasUp := !crashed[ev.Proc]
+					crashed[ev.Proc] = true
+					crashMu.Unlock()
+					if wasUp {
+						_ = old.Close()
+					}
+					var epoch uint64
+					crashMu.Lock()
+					for i, s := range svcs {
+						if i != ev.Proc && !crashed[i] && s.Epoch() > epoch {
+							epoch = s.Epoch()
+						}
+					}
+					crashMu.Unlock()
+					epoch++
+					tmpl := append([]string(nil), addrs...)
+					tmpl[ev.Proc] = ev.Addr
+					var repl *bvc.Service
+					var err error
+					for attempt := 0; attempt < 40; attempt++ {
+						if repl, err = newProc(ev.Proc, epoch, tmpl); err == nil {
+							break
+						}
+						time.Sleep(50 * time.Millisecond) // fixed addr may linger briefly
+					}
+					if err != nil {
+						eventsErr = fmt.Errorf("replace process %d: %w", ev.Proc, err)
+						return
+					}
+					addrs[ev.Proc] = repl.Addr()
+					next := bvc.Membership{Epoch: epoch, Addrs: append([]string(nil), addrs...)}
+					crashMu.Lock()
+					live := append([]*bvc.Service(nil), svcs...)
+					dead := append([]bool(nil), crashed...)
+					crashMu.Unlock()
+					for i, s := range live {
+						if i == ev.Proc || dead[i] {
+							continue
+						}
+						if err := s.Reconfigure(next); err != nil && !errors.Is(err, bvc.ErrStaleEpoch) {
+							eventsErr = fmt.Errorf("reconfigure process %d to epoch %d: %w", i, epoch, err)
+							return
+						}
+					}
+					crashMu.Lock()
+					svcs[ev.Proc] = repl
+					crashed[ev.Proc] = false
+					crashMu.Unlock()
+					if err := repl.Establish(context.Background(), next.Addrs); err != nil {
+						eventsErr = fmt.Errorf("establish replacement %d at epoch %d: %w", ev.Proc, epoch, err)
+						return
+					}
 				}
 			}
 		}()
@@ -359,7 +458,7 @@ func drive(cfg loadConfig) (*loadResult, error) {
 			warm = 10
 		}
 	}
-	res := &loadResult{instances: total, warmup: warm, chaosMode: scn != nil}
+	res := &loadResult{instances: total, warmup: warm, chaosMode: chaosMode}
 	var (
 		mu        sync.Mutex
 		collected sync.WaitGroup
@@ -407,7 +506,7 @@ func drive(cfg loadConfig) (*loadResult, error) {
 			}
 			ch, err := s.Propose(id, bvc.Vector(v))
 			if err != nil {
-				if scn != nil && errors.Is(err, bvc.ErrServiceClosed) {
+				if chaosMode && errors.Is(err, bvc.ErrServiceClosed) {
 					// Lost the race with a scheduled crash.
 					mu.Lock()
 					res.crashAborted++
@@ -428,7 +527,7 @@ func drive(cfg loadConfig) (*loadResult, error) {
 			for _, ch := range chans {
 				r := <-ch
 				if r.Err != nil {
-					if scn != nil && errors.Is(r.Err, bvc.ErrServiceClosed) {
+					if chaosMode && errors.Is(r.Err, bvc.ErrServiceClosed) {
 						// In flight on a process when its crash fired.
 						mu.Lock()
 						res.crashAborted++
@@ -517,9 +616,19 @@ func (r *loadResult) summarize(w io.Writer, cfg loadConfig) {
 		st.ReadErrors += s.ReadErrors
 		st.DialFailures += s.DialFailures
 		st.LingerExtensions += s.LingerExtensions
+		st.Reconfigures += s.Reconfigures
+		st.StaleEpochRejects += s.StaleEpochRejects
+		st.RetiredEpochs += s.RetiredEpochs
+		if s.Epoch > st.Epoch {
+			st.Epoch = s.Epoch
+		}
 	}
 	fmt.Fprintf(w, "transport  %d frames out, %d in, %d bytes out, %d sheds, %d write drops, %d write retries, %d pending drops, %d reconnects\n",
 		st.FramesOut, st.FramesIn, st.BytesOut, st.SlowPeerSheds, st.WriteDrops, st.WriteRetries, st.PendingDropped, st.Reconnects)
+	if st.Reconfigures > 0 {
+		fmt.Fprintf(w, "epochs     at epoch %d, %d reconfigures, %d stale-epoch rejects, %d retired link sets\n",
+			st.Epoch, st.Reconfigures, st.StaleEpochRejects, st.RetiredEpochs)
+	}
 	if r.chaosMode {
 		fmt.Fprintf(w, "degraded   %d read errors, %d dial failures, %d linger extensions, %d crash-aborted results\n",
 			st.ReadErrors, st.DialFailures, st.LingerExtensions, r.crashAborted)
@@ -561,6 +670,11 @@ type loadRecord struct {
 	ChaosDropped   int64 `json:"chaos_dropped,omitempty"`
 	ChaosCorrupted int64 `json:"chaos_corrupted,omitempty"`
 	CrashAborted   int64 `json:"crash_aborted,omitempty"`
+
+	Epoch             uint64 `json:"epoch,omitempty"`
+	Reconfigures      int64  `json:"reconfigures,omitempty"`
+	StaleEpochRejects int64  `json:"stale_epoch_rejects,omitempty"`
+	RetiredEpochs     int64  `json:"retired_epochs,omitempty"`
 }
 
 // emitJSON writes the trajectory fragment: calibrate first (the hardware
@@ -597,6 +711,12 @@ func emitJSON(w io.Writer, cfg loadConfig, res *loadResult) error {
 		st.PendingDropped += s.PendingDropped
 		st.Reconnects += s.Reconnects
 		st.ReadErrors += s.ReadErrors
+		st.Reconfigures += s.Reconfigures
+		st.StaleEpochRejects += s.StaleEpochRejects
+		st.RetiredEpochs += s.RetiredEpochs
+		if s.Epoch > st.Epoch {
+			st.Epoch = s.Epoch
+		}
 	}
 	perInstance := int64(0)
 	if res.instances > 0 {
@@ -615,6 +735,8 @@ func emitJSON(w io.Writer, cfg loadConfig, res *loadResult) error {
 			ReadErrors:  st.ReadErrors,
 			ChaosFrames: res.chaos.Frames, ChaosDropped: res.chaos.Dropped,
 			ChaosCorrupted: res.chaos.Corrupted, CrashAborted: int64(res.crashAborted),
+			Epoch: st.Epoch, Reconfigures: st.Reconfigures,
+			StaleEpochRejects: st.StaleEpochRejects, RetiredEpochs: st.RetiredEpochs,
 		},
 		{Benchmark: "live/latency_p50", Iterations: res.instances, NsPerOp: res.percentile(0.50).Nanoseconds()},
 		{Benchmark: "live/latency_p99", Iterations: res.instances, NsPerOp: res.percentile(0.99).Nanoseconds()},

@@ -59,6 +59,60 @@ func TestLoadSummary(t *testing.T) {
 	}
 }
 
+// TestLoadChurn drives load across a live membership replacement: one
+// process is retired mid-run and its successor admitted at epoch+1, with
+// the validity gate still required to hold on every decision.
+func TestLoadChurn(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-rate", "100", "-duration", "800ms", "-churn", "1", "-json"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	sc := bufio.NewScanner(&out)
+	var live *loadRecord
+	for sc.Scan() {
+		var rec loadRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad record %q: %v", sc.Text(), err)
+		}
+		if !rec.Pass {
+			t.Errorf("record %s has pass=false", rec.Benchmark)
+		}
+		if rec.Benchmark == "live/instance" {
+			r := rec
+			live = &r
+		}
+	}
+	if live == nil {
+		t.Fatal("no live/instance record")
+	}
+	if live.Epoch < 1 {
+		t.Errorf("epoch = %d after one replacement, want ≥ 1", live.Epoch)
+	}
+	if live.Reconfigures < 4 {
+		t.Errorf("reconfigures = %d, want ≥ 4 (every survivor adopts)", live.Reconfigures)
+	}
+}
+
+// TestLoadChurnScenario replays the committed membership-churn scenario
+// (the CI chaos-smoke case) at a reduced rate: crash, replacement at
+// epoch+1 under asymmetric faults, heal — zero violations required.
+func TestLoadChurnScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays a 2.6s fault timeline")
+	}
+	var out bytes.Buffer
+	err := run([]string{"-chaos", "testdata/membership-churn.json", "-rate", "30", "-duration", "2600ms"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"errors     0 instance", "at epoch 1"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 // TestLoadBadFlags covers flag validation.
 func TestLoadBadFlags(t *testing.T) {
 	var out bytes.Buffer

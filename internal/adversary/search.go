@@ -14,8 +14,9 @@ import (
 
 // This file is the adaptive adversary: instead of sampling Byzantine
 // behaviours and message schedules, Search *optimizes* them. A candidate
-// execution is a Genome — per-directed-link delay boosts plus the values
-// the Byzantine processes advertise — evaluated by running the restricted
+// execution is a Genome — per-directed-link delay boosts, per-process
+// crash/restart windows, plus the values the Byzantine processes
+// advertise — evaluated by running the restricted
 // asynchronous algorithm (the variant whose Bi sets are decided by message
 // arrival order, so schedule perturbations genuinely change the protocol's
 // trajectory) under a deterministic discrete-event engine. The score
@@ -90,13 +91,27 @@ type Genome struct {
 	// Targets[2k+1]). Values may lie outside the input box — receivers
 	// only check dimension and finiteness, exactly like a real attacker.
 	Targets [][]float64
+	// CrashRounds holds an optional crash window per process:
+	// CrashRounds[2i] is process i's crash round, CrashRounds[2i+1] its
+	// restart round (both zero = never crashes; nil = no windows at all).
+	// During [crash, restart) the process's outgoing round messages are
+	// withheld and re-sent in order at restart (or when it decides) — a
+	// crash-and-recover fault expressed purely as scheduling, so every
+	// message is still eventually delivered and the execution stays inside
+	// the asynchronous model the theorems quantify over. At most F correct
+	// processes may carry windows (the fault budget: more simultaneous
+	// silences than f can starve the first-(n−f) collection rule outright,
+	// which would be an adversary stronger than the model admits). Windows
+	// on Byzantine ids are ignored — those processes are already arbitrary.
+	CrashRounds []int
 }
 
 func (g Genome) clone() Genome {
 	out := Genome{
-		LinkExtra: append([]int(nil), g.LinkExtra...),
-		ByzIDs:    append([]int(nil), g.ByzIDs...),
-		Targets:   make([][]float64, len(g.Targets)),
+		LinkExtra:   append([]int(nil), g.LinkExtra...),
+		ByzIDs:      append([]int(nil), g.ByzIDs...),
+		Targets:     make([][]float64, len(g.Targets)),
+		CrashRounds: append([]int(nil), g.CrashRounds...),
 	}
 	for i, t := range g.Targets {
 		out.Targets[i] = append([]float64(nil), t...)
@@ -162,6 +177,26 @@ func Evaluate(spec SearchSpec, g Genome) (*Result, error) {
 	if len(g.LinkExtra) != spec.N*spec.N {
 		return nil, fmt.Errorf("adversary: LinkExtra length %d, want %d", len(g.LinkExtra), spec.N*spec.N)
 	}
+	if len(g.CrashRounds) != 0 && len(g.CrashRounds) != 2*spec.N {
+		return nil, fmt.Errorf("adversary: CrashRounds length %d, want 0 or %d", len(g.CrashRounds), 2*spec.N)
+	}
+	windows := 0
+	for i := 0; len(g.CrashRounds) > 0 && i < spec.N; i++ {
+		c, r := g.CrashRounds[2*i], g.CrashRounds[2*i+1]
+		if c == 0 && r == 0 {
+			continue
+		}
+		if c < 1 || r <= c || r > spec.MaxRounds+1 {
+			return nil, fmt.Errorf("adversary: process %d crash window [%d, %d) invalid (want 1 ≤ crash < restart ≤ MaxRounds+1 = %d)",
+				i, c, r, spec.MaxRounds+1)
+		}
+		if _, ok := byz[i]; !ok {
+			windows++
+		}
+	}
+	if windows > spec.F {
+		return nil, fmt.Errorf("adversary: %d correct crash windows exceed the fault budget f=%d", windows, spec.F)
+	}
 
 	// Correct inputs are a pure function of the spec seed, so every
 	// genome fights the same honest population.
@@ -184,6 +219,13 @@ func Evaluate(spec SearchSpec, g Genome) (*Result, error) {
 		}
 		correct[i] = node
 		nodes[i] = node
+		if len(g.CrashRounds) > 0 && g.CrashRounds[2*i] > 0 {
+			nodes[i] = &crashWindowNode{
+				inner:   node,
+				crash:   g.CrashRounds[2*i],
+				restart: g.CrashRounds[2*i+1],
+			}
+		}
 	}
 
 	eng, err := sim.NewEngine(sim.Config{
@@ -254,6 +296,82 @@ func byzScheduleNode(spec SearchSpec, g Genome, slot int) sim.Node {
 			}
 		},
 	}
+}
+
+// crashWindowNode wraps a correct node and realizes a genome crash window
+// as pure scheduling: outgoing round-t states with crash ≤ t < restart are
+// withheld (the process looks dead to everyone else), then re-sent in
+// their original order the moment the process emits a round ≥ restart
+// message or decides. Messages to self pass through — a crash stops a
+// process's network, not its local state, and withholding self-delivery
+// would deadlock the node against its own silence. Because the window is
+// bounded by MaxRounds+1 and any residue flushes before Halt, every
+// message is eventually delivered, keeping the execution inside the
+// asynchronous fault model.
+type crashWindowNode struct {
+	inner          sim.Node
+	crash, restart int
+	held           []heldSend
+}
+
+type heldSend struct {
+	to  sim.ProcID
+	msg sim.Message
+}
+
+var _ sim.Node = (*crashWindowNode)(nil)
+
+// Init implements sim.Node.
+func (c *crashWindowNode) Init(api sim.API) {
+	c.inner.Init(&crashGateAPI{API: api, w: c})
+}
+
+// OnMessage implements sim.Node.
+func (c *crashWindowNode) OnMessage(api sim.API, from sim.ProcID, msg sim.Message) {
+	c.inner.OnMessage(&crashGateAPI{API: api, w: c}, from, msg)
+}
+
+// crashGateAPI intercepts the wrapped node's sends to apply the window.
+type crashGateAPI struct {
+	sim.API
+	w *crashWindowNode
+}
+
+// Send withholds in-window round states (except to self) and flushes the
+// backlog on the first post-window send.
+func (g *crashGateAPI) Send(to sim.ProcID, msg sim.Message) {
+	if sm, ok := msg.(core.StateMsg); ok && to != g.ID() {
+		switch {
+		case sm.Round >= g.w.crash && sm.Round < g.w.restart:
+			g.w.held = append(g.w.held, heldSend{to: to, msg: msg})
+			return
+		case sm.Round >= g.w.restart:
+			g.flush()
+		}
+	}
+	g.API.Send(to, msg)
+}
+
+// Broadcast routes through the gated Send so window filtering applies
+// per recipient.
+func (g *crashGateAPI) Broadcast(msg sim.Message) {
+	for to := 0; to < g.N(); to++ {
+		g.Send(sim.ProcID(to), msg)
+	}
+}
+
+// Halt releases any still-held messages before the node terminates, so a
+// window that outlives the decision cannot withhold anything forever.
+func (g *crashGateAPI) Halt() {
+	g.flush()
+	g.API.Halt()
+}
+
+func (g *crashGateAPI) flush() {
+	for _, h := range g.w.held {
+		g.API.Send(h.to, h.msg)
+	}
+	g.w.held = nil
 }
 
 // validityMargin returns the worst radial margin of the decisions against
@@ -367,7 +485,26 @@ func randomGenome(spec SearchSpec, rng *rand.Rand) Genome {
 	for k := 0; k < 2*spec.F; k++ {
 		g.Targets = append(g.Targets, cornerTarget(spec, rng))
 	}
+	if rng.Float64() < 0.4 {
+		g.CrashRounds = randomCrashWindow(spec, rng, make([]int, 2*spec.N))
+	}
 	return g
+}
+
+// randomCrashWindow clears every window and places one fresh crash/restart
+// pair on a random process. Generation and mutation both go through here,
+// so a searched genome never carries more than one window — comfortably
+// inside the ≤ f budget Evaluate enforces (windows landing on a Byzantine
+// id are simply inert).
+func randomCrashWindow(spec SearchSpec, rng *rand.Rand, cw []int) []int {
+	for i := range cw {
+		cw[i] = 0
+	}
+	p := rng.Intn(spec.N)
+	c := 1 + rng.Intn(spec.MaxRounds)
+	cw[2*p] = c
+	cw[2*p+1] = c + 1 + rng.Intn(spec.MaxRounds+1-c)
+	return cw
 }
 
 // cornerTarget picks a vertex of the inflated box [−1, 2]^d (occasionally
@@ -392,7 +529,7 @@ func cornerTarget(spec SearchSpec, rng *rand.Rand) []float64 {
 // mutate perturbs one genome component.
 func mutate(spec SearchSpec, g Genome, rng *rand.Rand) Genome {
 	out := g.clone()
-	switch rng.Intn(6) {
+	switch rng.Intn(8) {
 	case 0, 1: // bump a link boost
 		i := rng.Intn(len(out.LinkExtra))
 		out.LinkExtra[i] = rng.Intn(spec.MaxExtra + 1)
@@ -403,6 +540,15 @@ func mutate(spec SearchSpec, g Genome, rng *rand.Rand) Genome {
 		sortInts(out.ByzIDs)
 	case 4: // resample a whole target
 		out.Targets[rng.Intn(len(out.Targets))] = cornerTarget(spec, rng)
+	case 5: // place (or move) the crash window
+		if out.CrashRounds == nil {
+			out.CrashRounds = make([]int, 2*spec.N)
+		}
+		out.CrashRounds = randomCrashWindow(spec, rng, out.CrashRounds)
+	case 6: // clear the crash window
+		for i := range out.CrashRounds {
+			out.CrashRounds[i] = 0
+		}
 	default: // nudge one target coordinate
 		t := out.Targets[rng.Intn(len(out.Targets))]
 		t[rng.Intn(len(t))] += rng.NormFloat64() * 0.3
@@ -411,8 +557,9 @@ func mutate(spec SearchSpec, g Genome, rng *rand.Rand) Genome {
 }
 
 // Minimize strips a found result to its essential genome: link boosts are
-// zeroed and targets snapped to the box center greedily, keeping every
-// change whose re-evaluated score stays within tol of the found score
+// zeroed, crash windows dropped, and targets snapped to the box center
+// greedily, keeping every change whose re-evaluated score stays within tol
+// of the found score
 // (and whose Violation/Stalled flags match). The result is the smallest
 // schedule the regression corpus needs to reproduce the behaviour.
 func Minimize(res *Result, tol float64) (*Result, error) {
@@ -435,6 +582,16 @@ func Minimize(res *Result, tol float64) (*Result, error) {
 		}
 		g := best.Genome.clone()
 		g.LinkExtra[i] = 0
+		if _, err := tryKeep(g); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; 2*i < len(best.Genome.CrashRounds); i++ {
+		if best.Genome.CrashRounds[2*i] == 0 {
+			continue
+		}
+		g := best.Genome.clone()
+		g.CrashRounds[2*i], g.CrashRounds[2*i+1] = 0, 0
 		if _, err := tryKeep(g); err != nil {
 			return nil, err
 		}
@@ -462,9 +619,10 @@ type Instance struct {
 	BaseDelayNS int64
 	MaxExtra    int
 
-	LinkExtra []int
-	ByzIDs    []int
-	Targets   [][]float64
+	LinkExtra   []int
+	ByzIDs      []int
+	Targets     [][]float64
+	CrashRounds []int `json:",omitempty"`
 
 	Score     float64
 	MinMargin float64
@@ -487,6 +645,7 @@ func (r *Result) Instance(note string) Instance {
 		LinkExtra:   r.Genome.LinkExtra,
 		ByzIDs:      r.Genome.ByzIDs,
 		Targets:     r.Genome.Targets,
+		CrashRounds: r.Genome.CrashRounds,
 		Score:       r.Score,
 		MinMargin:   r.MinMargin,
 		Slack:       r.Slack,
@@ -507,7 +666,12 @@ func ReplayInstance(inst Instance) (*Result, error) {
 		BaseDelay: time.Duration(inst.BaseDelayNS),
 		MaxExtra:  inst.MaxExtra,
 	}
-	g := Genome{LinkExtra: inst.LinkExtra, ByzIDs: inst.ByzIDs, Targets: inst.Targets}
+	g := Genome{
+		LinkExtra:   inst.LinkExtra,
+		ByzIDs:      inst.ByzIDs,
+		Targets:     inst.Targets,
+		CrashRounds: inst.CrashRounds,
+	}
 	return Evaluate(spec, g)
 }
 

@@ -42,6 +42,60 @@ func TestEvaluateBaseline(t *testing.T) {
 	}
 }
 
+// TestEvaluateCrashWindow: a crash-and-recover window on one correct
+// process is schedule noise the theorem must absorb — no violation, no
+// stall even when the process stays dark for the whole run — while still
+// genuinely changing the execution; and the fault budget is enforced (a
+// second correct window with f=1 is an adversary stronger than the model).
+func TestEvaluateCrashWindow(t *testing.T) {
+	spec := testSpec(3).WithDefaults()
+	base := Genome{
+		LinkExtra: make([]int, spec.N*spec.N),
+		ByzIDs:    []int{spec.N - 1},
+		Targets:   [][]float64{{0.5, 0.5}, {0.5, 0.5}},
+	}
+	resBase, err := Evaluate(spec, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed := base.clone()
+	crashed.CrashRounds = make([]int, 2*spec.N)
+	crashed.CrashRounds[0], crashed.CrashRounds[1] = 1, spec.MaxRounds+1
+	resCrash, err := Evaluate(spec, crashed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resCrash.Violation || resCrash.Stalled {
+		t.Fatalf("crash window broke the protocol at the resilience bound: %+v", resCrash)
+	}
+	if resCrash.Score == resBase.Score && resCrash.MinMargin == resBase.MinMargin {
+		t.Fatal("whole-run crash window left the execution bit-identical — window not wired in")
+	}
+	again, err := Evaluate(spec, crashed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Score != resCrash.Score || again.MinMargin != resCrash.MinMargin {
+		t.Fatalf("crashed evaluation not deterministic: %+v vs %+v", again, resCrash)
+	}
+
+	over := crashed.clone()
+	over.CrashRounds[2], over.CrashRounds[3] = 2, 3
+	if _, err := Evaluate(spec, over); err == nil {
+		t.Fatal("two correct crash windows accepted beyond the f=1 budget")
+	}
+	empty := crashed.clone()
+	empty.CrashRounds[0], empty.CrashRounds[1] = 2, 2
+	if _, err := Evaluate(spec, empty); err == nil {
+		t.Fatal("empty crash window [2, 2) accepted")
+	}
+	late := crashed.clone()
+	late.CrashRounds[0], late.CrashRounds[1] = 1, spec.MaxRounds+2
+	if _, err := Evaluate(spec, late); err == nil {
+		t.Fatal("restart past MaxRounds+1 accepted")
+	}
+}
+
 // TestSearchDeterministic: the whole annealed search is a pure function
 // of the spec — bit-identical scores and genomes across runs.
 func TestSearchDeterministic(t *testing.T) {

@@ -141,7 +141,13 @@ func (lk *linkState) process(frame []byte, out *[]byte) (time.Time, error) {
 	pCorrupt := lk.rng.Float64()
 	pDup := lk.rng.Float64()
 	pReorder := lk.rng.Float64()
-	if pDrop < p.Drop {
+	drop := p.Drop
+	if lk.loss >= 0 {
+		// A scheduled one-directional loss override replaces the static
+		// rate; the draw above happened regardless, keeping alignment.
+		drop = lk.loss
+	}
+	if pDrop < drop {
 		ctr.dropped.Add(1)
 		return time.Time{}, nil
 	}
@@ -186,25 +192,38 @@ func (lk *linkState) process(frame []byte, out *[]byte) (time.Time, error) {
 // Delay and jitter model propagation: they push each frame's release out
 // but do not serialize — frames in one batch ride the link concurrently,
 // like a real wire. Only the bandwidth cap serializes, charging each
-// frame's transmission time against the link's bandwidth horizon. FIFO
+// frame's transmission time against the link's bandwidth horizon. All
+// pacing durations stretch by the link's clock skew; a slow-then-burst
+// profile then quantizes the release up to the next burst boundary, so
+// the link sits silent between boundaries and flushes at each one. FIFO
 // order is preserved by flooring every release at its predecessor's.
 // Caller holds lk.mu.
 func (lk *linkState) release(size int) time.Time {
 	p := lk.prof
 	now := time.Now()
-	rel := now.Add(p.Delay.D())
+	rel := now.Add(skewed(p.Delay.D(), lk.skew))
 	if p.Jitter > 0 {
-		rel = rel.Add(time.Duration(lk.rng.Int63n(int64(p.Jitter) + 1)))
+		rel = rel.Add(skewed(time.Duration(lk.rng.Int63n(int64(p.Jitter)+1)), lk.skew))
 	}
 	if p.BandwidthBps > 0 {
 		start := now
 		if lk.bwFree.After(start) {
 			start = lk.bwFree
 		}
-		tx := time.Duration(float64(size) / float64(p.BandwidthBps) * float64(time.Second))
+		tx := skewed(time.Duration(float64(size)/float64(p.BandwidthBps)*float64(time.Second)), lk.skew)
 		lk.bwFree = start.Add(tx)
 		if lk.bwFree.After(rel) {
 			rel = lk.bwFree
+		}
+	}
+	if every := skewed(p.BurstEvery.D(), lk.skew); every > 0 {
+		if lk.anchor.IsZero() {
+			lk.anchor = now
+		}
+		// Round the release up to the next burst boundary after it.
+		if since := rel.Sub(lk.anchor); since > 0 {
+			bursts := (since + every - 1) / every
+			rel = lk.anchor.Add(bursts * every)
 		}
 	}
 	if rel.Before(lk.horizon) {
@@ -212,4 +231,12 @@ func (lk *linkState) release(size int) time.Time {
 	}
 	lk.horizon = rel
 	return rel
+}
+
+// skewed stretches a pacing duration by the link's clock-skew factor.
+func skewed(d time.Duration, factor float64) time.Duration {
+	if factor == 1 || d == 0 {
+		return d
+	}
+	return time.Duration(float64(d) * factor)
 }

@@ -95,9 +95,12 @@ type linkState struct {
 	rng     *rand.Rand
 	cut     bool      // frames swallowed silently, dials refused
 	refuse  bool      // writes refused with ErrLinkIsolated, dials refused
+	loss    float64   // dynamic one-directional loss rate; -1 = use profile Drop
+	skew    float64   // pacing clock multiplier (1 = nominal)
 	held    []byte    // frame held back by a reorder decision
 	horizon time.Time // FIFO floor: next frame releases no earlier
 	bwFree  time.Time // bandwidth horizon: when the capped link is idle
+	anchor  time.Time // slow-then-burst boundary anchor (first paced frame)
 	conns   map[*faultConn]struct{}
 }
 
@@ -120,12 +123,18 @@ func NewInjector(scn *Scenario, n, local int) (*Injector, error) {
 			continue
 		}
 		prof := scn.Profile(local, peer)
+		skew := prof.Skew
+		if skew == 0 {
+			skew = 1
+		}
 		in.links[peer] = &linkState{
 			inj:   in,
 			peer:  peer,
 			prof:  prof,
-			paced: prof.Delay > 0 || prof.Jitter > 0 || prof.BandwidthBps > 0,
+			paced: prof.Delay > 0 || prof.Jitter > 0 || prof.BandwidthBps > 0 || prof.BurstEvery > 0,
 			rng:   rand.New(rand.NewSource(linkSeed(scn.Seed, local, peer))),
+			loss:  -1,
+			skew:  skew,
 			conns: make(map[*faultConn]struct{}),
 		}
 	}
@@ -191,10 +200,47 @@ func (in *Injector) apply(op LinkOp) {
 		in.Cut(op.Peer)
 	case ActionHeal:
 		in.Heal(op.Peer)
+	case ActionLose:
+		in.SetLoss(op.Peer, op.Val)
+	case ActionSkew:
+		in.SetSkew(op.Peer, op.Val)
 	case "isolate":
 		in.Isolate(op.Peer)
 	case "sever":
 		in.Sever(op.Peer)
+	}
+}
+
+// SetLoss overrides the one-directional loss rate of local→peer: each
+// frame is dropped with probability rate until the override is cleared
+// (rate 0 restores the static profile's Drop). The drop draw keeps its
+// fixed position in the per-frame draw order, so changing the rate
+// mid-run never desynchronizes later fault decisions.
+func (in *Injector) SetLoss(peer int, rate float64) {
+	if lk := in.link(peer); lk != nil {
+		lk.mu.Lock()
+		if rate <= 0 {
+			lk.loss = -1
+		} else {
+			lk.loss = rate
+		}
+		lk.mu.Unlock()
+	}
+}
+
+// SetSkew sets the pacing clock multiplier of local→peer: delay, jitter,
+// and bandwidth transmission times stretch by factor — the clock-skewed
+// writer whose traffic paces out slow (or fast, factor < 1). Factor 0 or
+// 1 restores nominal pace. Skew scales an existing pacing profile; it
+// never changes PRNG draw order, and an unpaced link stays unpaced.
+func (in *Injector) SetSkew(peer int, factor float64) {
+	if lk := in.link(peer); lk != nil {
+		lk.mu.Lock()
+		if factor <= 0 {
+			factor = 1
+		}
+		lk.skew = factor
+		lk.mu.Unlock()
 	}
 }
 
@@ -222,12 +268,14 @@ func (in *Injector) Cut(peer int) {
 	}
 }
 
-// Heal clears a cut or isolation on local→peer.
+// Heal clears a cut, isolation, or loss override on local→peer — the
+// link returns to its static profile.
 func (in *Injector) Heal(peer int) {
 	if lk := in.link(peer); lk != nil {
 		lk.mu.Lock()
 		lk.cut = false
 		lk.refuse = false
+		lk.loss = -1
 		lk.mu.Unlock()
 	}
 }

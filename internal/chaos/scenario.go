@@ -4,7 +4,13 @@
 // seeded fault program — added latency and jitter, bandwidth caps, silent
 // frame drops, duplication and reordering at frame granularity, byte
 // corruption (exercising the internal/wire parse paths), directed link
-// cuts, and full partitions with timed heals.
+// cuts, full partitions with timed heals, and the asymmetric faults:
+// one-directional loss overrides (lose), clock-skewed pacing (skew, a
+// writer whose pacing clock runs at a multiple of real time), and
+// slow-then-burst profiles (burst_every, a link that sits silent and
+// flushes at boundaries). Every fault is directional — each direction of
+// a link is owned by its writer's endpoint — so loss, skew, and bursts
+// on A→B leave B→A untouched.
 //
 // Faults are driven by a JSON Scenario, replayable the way
 // adversary.Instance replays a schedule search: the same scenario and
@@ -87,6 +93,18 @@ type LinkFault struct {
 	Duplicate float64 `json:"duplicate,omitempty"`
 	Reorder   float64 `json:"reorder,omitempty"`
 	Corrupt   float64 `json:"corrupt,omitempty"`
+	// Skew multiplies the link's pacing clock (delay, jitter draw, and
+	// bandwidth transmission time): a writer whose clock runs slow paces
+	// frames out at Skew× the nominal durations. 0 means 1 (no skew).
+	// Skew is asymmetric by construction — it applies to this direction
+	// only — and changes no PRNG draw order.
+	Skew float64 `json:"skew,omitempty"`
+	// BurstEvery turns the link into a slow-then-burst profile: paced
+	// releases are quantized up to the next multiple of BurstEvery on
+	// the writer's clock, so the link sits silent and then flushes the
+	// accumulated frames at each boundary. 0 disables. Order within the
+	// link is preserved (the quantized releases stay monotone).
+	BurstEvery Dur `json:"burst_every,omitempty"`
 }
 
 // Event actions.
@@ -112,6 +130,21 @@ const (
 	// ActionRestart rebuilds process Proc on its old address and
 	// re-establishes its links; executed by the driver.
 	ActionRestart = "restart"
+	// ActionReplace retires process Proc permanently and admits a
+	// replacement at address Addr under the next membership epoch:
+	// the driver Reconfigures the survivors to epoch+1 with Proc's
+	// slot re-addressed and starts a fresh process there. Executed by
+	// the driver (membership is a Service lifecycle operation).
+	ActionReplace = "replace"
+	// ActionLose sets the one-directional loss rate of From→To to Rate
+	// from At on, overriding the static profile's Drop. Rate 0 restores
+	// the profile. The loss draw stays in the fixed per-frame draw
+	// order, so flipping the rate mid-run changes outcomes but not the
+	// alignment of later decisions.
+	ActionLose = "lose"
+	// ActionSkew sets the pacing clock skew of From→To to Factor from
+	// At on (see LinkFault.Skew). Factor 0 or 1 restores nominal pace.
+	ActionSkew = "skew"
 )
 
 // Event is one scheduled fault transition at offset At from scenario
@@ -119,10 +152,13 @@ const (
 type Event struct {
 	At     Dur     `json:"at"`
 	Action string  `json:"action"`
-	From   int     `json:"from,omitempty"`   // cut/heal
-	To     int     `json:"to,omitempty"`     // cut/heal
+	From   int     `json:"from,omitempty"`   // cut/heal/lose/skew
+	To     int     `json:"to,omitempty"`     // cut/heal/lose/skew
 	Groups [][]int `json:"groups,omitempty"` // partition
-	Proc   int     `json:"proc,omitempty"`   // crash/restart
+	Proc   int     `json:"proc,omitempty"`   // crash/restart/replace
+	Addr   string  `json:"addr,omitempty"`   // replace: the successor's address
+	Rate   float64 `json:"rate,omitempty"`   // lose: loss probability in [0, 1]
+	Factor float64 `json:"factor,omitempty"` // skew: pacing clock multiplier
 }
 
 // Scenario is a complete, replayable fault program for one mesh run.
@@ -187,18 +223,27 @@ func (s *Scenario) Validate(n int) error {
 		if lf.Delay < 0 || lf.Jitter < 0 || lf.BandwidthBps < 0 {
 			return fmt.Errorf("chaos: links[%d] negative delay/jitter/bandwidth", i)
 		}
+		if lf.Skew < 0 || lf.BurstEvery < 0 {
+			return fmt.Errorf("chaos: links[%d] negative skew/burst_every", i)
+		}
 	}
 	for i, ev := range s.Events {
 		if ev.At < 0 {
 			return fmt.Errorf("chaos: events[%d] negative time", i)
 		}
 		switch ev.Action {
-		case ActionCut, ActionHeal:
+		case ActionCut, ActionHeal, ActionLose, ActionSkew:
 			if err := checkID(fmt.Sprintf("events[%d].from", i), ev.From, true); err != nil {
 				return err
 			}
 			if err := checkID(fmt.Sprintf("events[%d].to", i), ev.To, true); err != nil {
 				return err
+			}
+			if ev.Action == ActionLose && (ev.Rate < 0 || ev.Rate > 1) {
+				return fmt.Errorf("chaos: events[%d] lose rate %g outside [0, 1]", i, ev.Rate)
+			}
+			if ev.Action == ActionSkew && ev.Factor < 0 {
+				return fmt.Errorf("chaos: events[%d] negative skew factor %g", i, ev.Factor)
 			}
 		case ActionPartition:
 			if len(ev.Groups) == 0 {
@@ -220,6 +265,13 @@ func (s *Scenario) Validate(n int) error {
 		case ActionCrash, ActionRestart:
 			if err := checkID(fmt.Sprintf("events[%d].proc", i), ev.Proc, false); err != nil {
 				return err
+			}
+		case ActionReplace:
+			if err := checkID(fmt.Sprintf("events[%d].proc", i), ev.Proc, false); err != nil {
+				return err
+			}
+			if ev.Addr == "" {
+				return fmt.Errorf("chaos: events[%d] replace without addr", i)
 			}
 		default:
 			return fmt.Errorf("chaos: events[%d] unknown action %q", i, ev.Action)
@@ -255,45 +307,50 @@ func (s *Scenario) Profile(from, to int) LinkFault {
 }
 
 // LinkOp is one expanded timeline operation on a directed link owned by a
-// local process: cut or heal the link local→Peer, or additionally sever
-// its established conns.
+// local process: cut or heal the link local→Peer, additionally sever its
+// established conns, or retune it (lose/skew, value in Val).
 type LinkOp struct {
 	At   time.Duration
 	Peer int
-	Op   string // ActionCut, ActionHeal, "isolate", or "sever"
+	Op   string  // ActionCut, ActionHeal, ActionLose, ActionSkew, "isolate", or "sever"
+	Val  float64 // lose rate or skew factor
 }
 
 // Timeline expands the scenario's transport events into the ordered
 // operation list for one process's outbound links. It is a pure function
 // of the scenario — the determinism anchor the injector schedules from
-// and the replay tests compare against. Crash/restart events are omitted
-// (driver-level; see ProcEvents).
+// and the replay tests compare against. Crash/restart/replace events are
+// omitted (driver-level; see ProcEvents).
 func (s *Scenario) Timeline(n, local int) []LinkOp {
 	var ops []LinkOp
-	emit := func(at Dur, peer int, op string) {
+	emit := func(at Dur, peer int, op string, val float64) {
 		if peer != local {
-			ops = append(ops, LinkOp{At: at.D(), Peer: peer, Op: op})
+			ops = append(ops, LinkOp{At: at.D(), Peer: peer, Op: op, Val: val})
 		}
 	}
-	forMatches := func(at Dur, from, to int, op string) {
+	forMatches := func(at Dur, from, to int, op string, val float64) {
 		if from != Wildcard && from != local {
 			return
 		}
 		for peer := 0; peer < n; peer++ {
 			if to == Wildcard || to == peer {
-				emit(at, peer, op)
+				emit(at, peer, op, val)
 			}
 		}
 	}
 	for _, ev := range s.Events {
 		switch ev.Action {
 		case ActionCut:
-			forMatches(ev.At, ev.From, ev.To, ActionCut)
+			forMatches(ev.At, ev.From, ev.To, ActionCut, 0)
 		case ActionHeal:
-			forMatches(ev.At, ev.From, ev.To, ActionHeal)
+			forMatches(ev.At, ev.From, ev.To, ActionHeal, 0)
+		case ActionLose:
+			forMatches(ev.At, ev.From, ev.To, ActionLose, ev.Rate)
+		case ActionSkew:
+			forMatches(ev.At, ev.From, ev.To, ActionSkew, ev.Factor)
 		case ActionHealAll:
 			for peer := 0; peer < n; peer++ {
-				emit(ev.At, peer, ActionHeal)
+				emit(ev.At, peer, ActionHeal, 0)
 			}
 		case ActionPartition:
 			group := groupIndex(ev.Groups, n)
@@ -302,12 +359,12 @@ func (s *Scenario) Timeline(n, local int) []LinkOp {
 					continue
 				}
 				if group[local] == group[peer] {
-					emit(ev.At, peer, ActionHeal)
+					emit(ev.At, peer, ActionHeal, 0)
 				} else {
 					// Isolate before sever: a writer racing the sever
 					// gets a refusal and retains its frames.
-					emit(ev.At, peer, "isolate")
-					emit(ev.At, peer, "sever")
+					emit(ev.At, peer, "isolate", 0)
+					emit(ev.At, peer, "sever", 0)
 				}
 			}
 		}
@@ -316,12 +373,12 @@ func (s *Scenario) Timeline(n, local int) []LinkOp {
 	return ops
 }
 
-// ProcEvents returns the crash/restart events in At order — the driver's
-// half of the schedule.
+// ProcEvents returns the crash/restart/replace events in At order — the
+// driver's half of the schedule.
 func (s *Scenario) ProcEvents() []Event {
 	var evs []Event
 	for _, ev := range s.Events {
-		if ev.Action == ActionCrash || ev.Action == ActionRestart {
+		if ev.Action == ActionCrash || ev.Action == ActionRestart || ev.Action == ActionReplace {
 			evs = append(evs, ev)
 		}
 	}

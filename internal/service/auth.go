@@ -20,9 +20,10 @@ import (
 // (proving key knowledge first — the dialer learns a bad key before
 // revealing anything); the dialer closes with a MAC over the mirrored
 // tuple. Nonces are fresh per connection, so transcripts cannot be
-// replayed. Keyless mode (nil AuthKey) keeps the plain 4-byte Hello for
-// examples and tests; the two modes refuse each other by construction
-// (body length and missing frames).
+// replayed, and every proof binds the membership epoch the connection
+// is being established under. Keyless mode (nil AuthKey) keeps the
+// plain id+epoch Hello for examples and tests; the two modes refuse
+// each other by construction (body length and missing frames).
 
 // ErrAuthFailed is the handshake failure cause recorded when a peer
 // cannot prove knowledge of the shared key.
@@ -31,8 +32,12 @@ var ErrAuthFailed = errors.New("service: handshake authentication failed")
 // authMAC computes the handshake MAC for one direction: label separates
 // the server and client proofs, n1 is the nonce being answered, n2 the
 // answerer's own nonce (0 in the closing client proof), id the prover's
-// process id.
-func authMAC(key []byte, label string, n1, n2 uint64, id uint32) []byte {
+// process id, epoch the membership epoch the connection is being
+// established under. Binding the epoch into both proofs means the two
+// sides commit to the same membership: a Hello whose epoch was tampered
+// with in flight — or a peer silently running a different epoch than it
+// claims — fails verification.
+func authMAC(key []byte, label string, n1, n2 uint64, id uint32, epoch uint64) []byte {
 	m := hmac.New(sha256.New, key)
 	m.Write([]byte(label))
 	var b [8]byte
@@ -42,6 +47,8 @@ func authMAC(key []byte, label string, n1, n2 uint64, id uint32) []byte {
 	m.Write(b[:])
 	binary.BigEndian.PutUint32(b[:4], id)
 	m.Write(b[:4])
+	binary.BigEndian.PutUint64(b[:], epoch)
+	m.Write(b[:])
 	return m.Sum(nil)
 }
 
@@ -81,19 +88,21 @@ func readHandshakeFrame(conn net.Conn, kind wire.FrameKind) ([]byte, error) {
 }
 
 // clientHandshake runs the dialer's half against peer on an established
-// conn: plain Hello when keyless, the full challenge/response when
-// keyed.
-func (s *Service) clientHandshake(conn net.Conn, peer int) error {
+// conn under the given membership epoch: plain Hello when keyless, the
+// full challenge/response when keyed. Both sides MAC over the epoch, so
+// a mismatch surfaces as ErrAuthFailed rather than a silent cross-epoch
+// connection.
+func (s *Service) clientHandshake(conn net.Conn, peer int, epoch uint64) error {
 	key := s.cfg.AuthKey
 	if len(key) == 0 {
-		return writeHello(conn, uint32(s.cfg.ID))
+		return writeHello(conn, uint32(s.cfg.ID), epoch)
 	}
 	cn, err := newNonce()
 	if err != nil {
 		return err
 	}
 	if err := writeFrameBuf(conn, func(dst []byte) []byte {
-		return wire.AppendHelloNonce(dst, uint32(s.cfg.ID), cn)
+		return wire.AppendHelloNonce(dst, uint32(s.cfg.ID), epoch, cn)
 	}); err != nil {
 		return err
 	}
@@ -105,53 +114,60 @@ func (s *Service) clientHandshake(conn net.Conn, peer int) error {
 	if err != nil {
 		return err
 	}
-	if !hmac.Equal(mac, authMAC(key, "bvc2-srv", cn, sn, uint32(peer))) {
+	if !hmac.Equal(mac, authMAC(key, "bvc2-srv", cn, sn, uint32(peer), epoch)) {
 		return ErrAuthFailed
 	}
 	return writeFrameBuf(conn, func(dst []byte) []byte {
-		return wire.AppendAuth(dst, authMAC(key, "bvc2-cli", sn, 0, uint32(s.cfg.ID)))
+		return wire.AppendAuth(dst, authMAC(key, "bvc2-cli", sn, 0, uint32(s.cfg.ID), epoch))
 	})
 }
 
 // serverHandshake runs the acceptor's half on a fresh inbound conn: read
-// the Hello, authenticate when keyed, and return the identified peer id.
-// The caller has set the read deadline.
-func (s *Service) serverHandshake(conn net.Conn) (int, error) {
+// the Hello, refuse epochs this process does not hold (ErrStaleEpoch),
+// authenticate when keyed, and return the identified peer id and the
+// epoch the connection serves. The caller has set the read deadline.
+func (s *Service) serverHandshake(conn net.Conn) (int, uint64, error) {
 	body, err := readHandshakeFrame(conn, wire.FrameHello)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	key := s.cfg.AuthKey
 	if len(key) == 0 {
-		peer, err := wire.ParseHello(body)
+		peer, epoch, err := wire.ParseHello(body)
 		if err != nil {
-			return 0, err // a keyed hello against a keyless mesh lands here
+			return 0, 0, err // a keyed hello against a keyless mesh lands here
 		}
-		return int(peer), nil
+		if s.meshForEpoch(epoch) == nil {
+			return 0, 0, fmt.Errorf("%w: hello epoch %d (current %d)", ErrStaleEpoch, epoch, s.Epoch())
+		}
+		return int(peer), epoch, nil
 	}
-	peer, cn, err := wire.ParseHelloNonce(body)
+	peer, epoch, cn, err := wire.ParseHelloNonce(body)
 	if err != nil {
-		return 0, fmt.Errorf("%w: %v", ErrAuthFailed, err)
+		return 0, 0, fmt.Errorf("%w: %v", ErrAuthFailed, err)
+	}
+	if s.meshForEpoch(epoch) == nil {
+		return 0, 0, fmt.Errorf("%w: hello epoch %d (current %d)", ErrStaleEpoch, epoch, s.Epoch())
 	}
 	sn, err := newNonce()
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if err := writeFrameBuf(conn, func(dst []byte) []byte {
-		return wire.AppendChallenge(dst, sn, authMAC(key, "bvc2-srv", cn, sn, uint32(s.cfg.ID)))
+		return wire.AppendChallenge(dst, sn, authMAC(key, "bvc2-srv", cn, sn, uint32(s.cfg.ID), epoch))
 	}); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	body, err = readHandshakeFrame(conn, wire.FrameAuth)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	mac, err := wire.ParseAuth(body)
 	if err != nil {
-		return 0, fmt.Errorf("%w: %v", ErrAuthFailed, err)
+		return 0, 0, fmt.Errorf("%w: %v", ErrAuthFailed, err)
 	}
-	if !hmac.Equal(mac, authMAC(key, "bvc2-cli", sn, 0, uint32(peer))) {
-		return 0, ErrAuthFailed
+	if !hmac.Equal(mac, authMAC(key, "bvc2-cli", sn, 0, uint32(peer), epoch)) {
+		return 0, 0, ErrAuthFailed
 	}
-	return int(peer), nil
+	return int(peer), epoch, nil
 }

@@ -1,0 +1,235 @@
+package service
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, within time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("condition not reached within %v: %s", within, what)
+}
+
+// TestServiceProposeRacesReconfigure pins the epoch-pinning contract under
+// a live flip: proposals issued concurrently with a Reconfigure land on
+// exactly one epoch — whichever the membership clock showed when the pin
+// was taken — and decide there; afterwards the whole mesh has gossiped to
+// the new epoch and fresh proposals all pin it.
+func TestServiceProposeRacesReconfigure(t *testing.T) {
+	const n = 5
+	svcs := startMesh(t, n, nil)
+	rng := rand.New(rand.NewSource(21))
+	addrs := make([]string, n)
+	for i, s := range svcs {
+		addrs[i] = s.Addr()
+	}
+
+	inputs := randomInputs(rng, n, 2)
+	chans := make([]<-chan Result, n)
+	start := make(chan struct{})
+	errs := make(chan error, n)
+	for i, s := range svcs {
+		i, s := i, s
+		go func() {
+			<-start
+			ch, err := s.Propose(1, inputs[i])
+			chans[i] = ch
+			errs <- err
+		}()
+	}
+	close(start)
+	// Flip the membership mid-race. Addresses are unchanged — every link
+	// is shared between the two meshes — so this is a pure epoch bump.
+	if err := svcs[0].Reconfigure(Membership{Epoch: 1, Addrs: addrs}); err != nil {
+		t.Fatalf("Reconfigure: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("racing Propose: %v", err)
+		}
+	}
+	for i := range svcs {
+		r := collect(t, chans[i], 10*time.Second)
+		if r.Err != nil {
+			t.Fatalf("process %d: instance failed across the flip: %v", i, r.Err)
+		}
+		if r.Epoch != 0 && r.Epoch != 1 {
+			t.Fatalf("process %d: result pinned epoch %d, want 0 or 1", i, r.Epoch)
+		}
+	}
+
+	// Gossip converges the whole mesh onto epoch 1.
+	waitUntil(t, 5*time.Second, func() bool {
+		for _, s := range svcs {
+			if s.Epoch() != 1 {
+				return false
+			}
+		}
+		return true
+	}, "every process adopts epoch 1")
+	chans2 := proposeAll(t, svcs, 2, randomInputs(rng, n, 2))
+	for i := range svcs {
+		r := collect(t, chans2[i], 10*time.Second)
+		if r.Err != nil {
+			t.Fatalf("process %d: post-flip instance failed: %v", i, r.Err)
+		}
+		if r.Epoch != 1 {
+			t.Fatalf("process %d: post-flip instance pinned epoch %d, want 1", i, r.Epoch)
+		}
+	}
+}
+
+// TestServiceDuplicateInstanceAcrossEpochs: instance ids are global across
+// the membership clock — reusing a live id after a Reconfigure is refused
+// even though the new proposal would pin a different epoch, because peers
+// route frames by id alone.
+func TestServiceDuplicateInstanceAcrossEpochs(t *testing.T) {
+	const n = 5
+	svcs := startMesh(t, n, nil)
+	rng := rand.New(rand.NewSource(23))
+	addrs := make([]string, n)
+	for i, s := range svcs {
+		addrs[i] = s.Addr()
+	}
+
+	chans := proposeAll(t, svcs, 7, randomInputs(rng, n, 2))
+	for i := range svcs {
+		if r := collect(t, chans[i], 10*time.Second); r.Err != nil {
+			t.Fatalf("process %d: %v", i, r.Err)
+		}
+	}
+	if err := svcs[0].Reconfigure(Membership{Epoch: 1, Addrs: addrs}); err != nil {
+		t.Fatalf("Reconfigure: %v", err)
+	}
+	ch, err := svcs[0].Propose(7, randomInputs(rng, n, 2)[0])
+	if err != nil {
+		t.Fatalf("Propose: %v", err)
+	}
+	r := collect(t, ch, 5*time.Second)
+	if !errors.Is(r.Err, ErrDuplicateInstance) {
+		t.Fatalf("reused id across epochs: err = %v, want ErrDuplicateInstance", r.Err)
+	}
+	if r.Epoch != 1 {
+		t.Fatalf("refused proposal reports epoch %d, want the new pin 1", r.Epoch)
+	}
+}
+
+// TestServiceStaleEpochHandshakeRejected: inbound handshakes claiming an
+// epoch this process does not hold are refused and counted — both a
+// never-seen future epoch and the retired pre-reconfigure epoch.
+func TestServiceStaleEpochHandshakeRejected(t *testing.T) {
+	const n = 5
+	svcs := startMesh(t, n, nil)
+	addrs := make([]string, n)
+	for i, s := range svcs {
+		addrs[i] = s.Addr()
+	}
+
+	dialHello := func(epoch uint64) {
+		t.Helper()
+		conn, err := net.Dial("tcp", svcs[0].Addr())
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		defer conn.Close()
+		if _, err := conn.Write(wire.AppendHello(nil, 4, epoch)); err != nil {
+			t.Fatalf("write hello: %v", err)
+		}
+		// The acceptor must drop the connection without installing it.
+		_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		buf := make([]byte, 1)
+		if _, err := conn.Read(buf); err == nil {
+			t.Fatal("stale-epoch connection answered instead of closing")
+		}
+	}
+
+	dialHello(99) // never adopted
+	waitUntil(t, 5*time.Second, func() bool {
+		return svcs[0].Stats().StaleEpochRejects >= 1
+	}, "future-epoch hello counted")
+
+	// Retire epoch 0 (no pinned instances, unchanged addresses): a peer
+	// still handshaking under it is now stale.
+	if err := svcs[0].Reconfigure(Membership{Epoch: 1, Addrs: addrs}); err != nil {
+		t.Fatalf("Reconfigure: %v", err)
+	}
+	if m := svcs[0].meshForEpoch(0); m != nil {
+		t.Fatal("epoch 0 still held after an unpinned reconfigure")
+	}
+	dialHello(0)
+	waitUntil(t, 5*time.Second, func() bool {
+		return svcs[0].Stats().StaleEpochRejects >= 2
+	}, "retired-epoch hello counted")
+}
+
+// TestServiceOldEpochRetiresAfterLastPin: a superseded epoch's link set
+// survives exactly as long as an instance pinned to it — here a decided
+// instance lingering for lagging peers — and its unique links are stopped
+// only when that last pin tombstones. Links whose address did not change
+// are shared with the new mesh, not duplicated.
+func TestServiceOldEpochRetiresAfterLastPin(t *testing.T) {
+	const n = 5
+	const linger = 300 * time.Millisecond
+	svcs := startMesh(t, n, func(_ int, cfg *Config) {
+		cfg.LingerTimeout = linger
+	})
+	rng := rand.New(rand.NewSource(29))
+	addrs := make([]string, n)
+	for i, s := range svcs {
+		addrs[i] = s.Addr()
+	}
+
+	chans := proposeAll(t, svcs, 1, randomInputs(rng, n, 2))
+	for i := range svcs {
+		if r := collect(t, chans[i], 10*time.Second); r.Err != nil {
+			t.Fatalf("process %d: %v", i, r.Err)
+		}
+	}
+
+	oldShared := svcs[0].peerAt(1)
+	oldUnique := svcs[0].peerAt(4)
+	// Replace member 4's address: its slot gets a fresh link at epoch 1,
+	// making the epoch-0 link to 4 unique to the retiring mesh. Port 1 is
+	// never listening — the replacement process "has not started yet".
+	next := append([]string(nil), addrs...)
+	next[4] = "127.0.0.1:1"
+	if err := svcs[0].Reconfigure(Membership{Epoch: 1, Addrs: next}); err != nil {
+		t.Fatalf("Reconfigure: %v", err)
+	}
+	if got := svcs[0].Epoch(); got != 1 {
+		t.Fatalf("epoch %d after Reconfigure, want 1", got)
+	}
+	// The decided instance is still lingering, pinning epoch 0: the old
+	// mesh must be held and nothing retired yet.
+	if svcs[0].meshForEpoch(0) == nil {
+		t.Fatal("epoch 0 dropped while a lingering instance still pins it")
+	}
+	if got := svcs[0].Stats().RetiredEpochs; got != 0 {
+		t.Fatalf("RetiredEpochs = %d with a live pin, want 0", got)
+	}
+	if svcs[0].peerAt(1) != oldShared {
+		t.Fatal("unchanged-address link was not shared between epochs")
+	}
+	if svcs[0].peerAt(4) == oldUnique {
+		t.Fatal("re-addressed slot kept the old link instead of a fresh one")
+	}
+
+	// Once the linger window closes the instance tombstones, the pin is
+	// released, and the old epoch retires (stopping its unique links).
+	waitUntil(t, 10*linger+2*time.Second, func() bool {
+		return svcs[0].meshForEpoch(0) == nil && svcs[0].Stats().RetiredEpochs == 1
+	}, "epoch 0 retires after the last pinned instance tombstones")
+}

@@ -62,7 +62,7 @@ func TestServiceReconnect(t *testing.T) {
 
 	// svcs[1] dialed svcs[0] (higher id dials lower), so it owns the
 	// redial. Yank the socket out from under the link.
-	p := svcs[1].peers[0]
+	p := svcs[1].peerAt(0)
 	p.mu.Lock()
 	conn := p.conn
 	p.mu.Unlock()
@@ -292,7 +292,7 @@ func TestServiceDrainInFlight(t *testing.T) {
 	// not redial once the drained process goes away.
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		p := svcs[1].peers[0]
+		p := svcs[1].peerAt(0)
 		p.mu.Lock()
 		bye := p.goodbye
 		p.mu.Unlock()
@@ -308,7 +308,7 @@ func TestServiceDrainInFlight(t *testing.T) {
 		t.Fatalf("Close after Drain: %v", err)
 	}
 	time.Sleep(100 * time.Millisecond)
-	p := svcs[1].peers[0]
+	p := svcs[1].peerAt(0)
 	p.mu.Lock()
 	redialing := p.redialing
 	p.mu.Unlock()

@@ -79,7 +79,7 @@ func TestServiceDuplicateIDAcrossReconnect(t *testing.T) {
 
 	// Yank the established 1→0 socket (higher id dials lower, so svcs[1]
 	// owns the redial) and wait for the link to come back.
-	p := svcs[1].peers[0]
+	p := svcs[1].peerAt(0)
 	p.mu.Lock()
 	conn := p.conn
 	p.mu.Unlock()
@@ -145,7 +145,7 @@ func TestServiceLateReportAfterLingerExpiry(t *testing.T) {
 	*buf = wire.AppendConsensus((*buf)[:0], 3, &wire.ConsensusMsg{
 		Kind: wire.ConsensusReport, Origin: 1, Round: 2,
 	})
-	svcs[1].peers[0].enqueue(buf)
+	svcs[1].peerAt(0).enqueue(buf)
 
 	time.Sleep(200 * time.Millisecond)
 	if err := svcs[0].Err(); err != nil {

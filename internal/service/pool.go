@@ -53,6 +53,11 @@ type peerLink struct {
 	goodbye   bool // peer announced drain; no redial
 	redialing bool
 
+	// epoch is the newest membership epoch this link belongs to; dials
+	// announce it in the Hello and the keyed handshake MAC binds it. A
+	// link shared across epochs (address unchanged) carries the newest.
+	epoch uint64
+
 	// Health ladder (guarded by mu). dialFails counts consecutive failed
 	// dial/handshake attempts; pressure counts consecutive full-outbox
 	// stalls; downSince timestamps the last disconnect; rng jitters the
@@ -68,12 +73,58 @@ func newPeerLink(svc *Service, id int, addr string) *peerLink {
 		svc:    svc,
 		id:     id,
 		addr:   addr,
+		epoch:  svc.cfg.Epoch,
 		outbox: make(chan *[]byte, svc.cfg.OutboxDepth),
 		ready:  make(chan struct{}),
 		rng:    rand.New(rand.NewSource(svc.cfg.Seed ^ int64(uint64(id+1)*0x9e3779b97f4a7c15))),
 	}
 	p.cond = sync.NewCond(&p.mu)
 	return p
+}
+
+// setEpoch raises the link's epoch tag (it never goes backwards: a link
+// shared across epochs handshakes under the newest one it serves).
+func (p *peerLink) setEpoch(e uint64) {
+	p.mu.Lock()
+	if e > p.epoch {
+		p.epoch = e
+	}
+	p.mu.Unlock()
+}
+
+// curEpoch reads the epoch the link's dials announce.
+func (p *peerLink) curEpoch() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.epoch
+}
+
+// startLink starts the link's writer goroutine; called once per link,
+// at service construction or when a reconfiguration creates the link.
+func (s *Service) startLink(p *peerLink) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		p.writeLoop()
+	}()
+}
+
+// startRedial kicks off the dial loop toward a peer this process is the
+// dialing side for (used by adoptEpoch for freshly created links; link
+// failures reuse the same loop via failed).
+func (s *Service) startRedial(p *peerLink) {
+	p.mu.Lock()
+	if p.redialing || p.stopped || p.conn != nil {
+		p.mu.Unlock()
+		return
+	}
+	p.redialing = true
+	p.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		p.redial()
+	}()
 }
 
 // suspectedNow reports the link's current suspicion verdict: repeated
@@ -366,6 +417,29 @@ func (p *peerLink) readLoop(conn net.Conn, gen int) {
 			}
 		case wire.FrameGoodbye:
 			p.sawGoodbye()
+		case wire.FrameEpochAnnounce:
+			epoch, addrs, err := wire.ParseEpochAnnounce(body)
+			if err != nil {
+				p.svc.ctr.readErrors.Add(1)
+				continue
+			}
+			adopted, err := p.svc.adoptEpoch(epoch, addrs)
+			if err != nil {
+				p.svc.ctr.readErrors.Add(1)
+				continue
+			}
+			if adopted {
+				// Gossip onward so one operator Reconfigure floods the
+				// mesh even when some links are down.
+				p.svc.announceEpoch(epoch, addrs)
+			}
+			ack := leaseFrame()
+			*ack = wire.AppendEpochAck((*ack)[:0], epoch)
+			p.enqueue(ack)
+		case wire.FrameEpochAck:
+			if _, err := wire.ParseEpochAck(body); err == nil {
+				p.svc.ctr.epochAcks.Add(1)
+			}
 		case wire.FrameHello:
 			// Redundant hello after handshake; ignore.
 		default:
@@ -394,7 +468,7 @@ func (p *peerLink) redial() {
 		if done {
 			return
 		}
-		if conn, err := p.svc.dialPeer(p.id, addr); err == nil {
+		if conn, err := p.svc.dialPeer(p.id, addr, p.curEpoch()); err == nil {
 			p.svc.ctr.reconnects.Add(1)
 			p.install(conn)
 			return
@@ -412,9 +486,9 @@ func (p *peerLink) redial() {
 }
 
 // dialPeer runs one complete outbound connection attempt: transport dial
-// plus the client half of the handshake. The returned conn is installed
-// by the caller.
-func (s *Service) dialPeer(peer int, addr string) (net.Conn, error) {
+// plus the client half of the handshake under the given membership
+// epoch. The returned conn is installed by the caller.
+func (s *Service) dialPeer(peer int, addr string, epoch uint64) (net.Conn, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.EstablishTimeout)
 	defer cancel()
 	conn, err := s.tr.Dial(ctx, peer, addr)
@@ -422,7 +496,7 @@ func (s *Service) dialPeer(peer int, addr string) (net.Conn, error) {
 		return nil, err
 	}
 	_ = conn.SetDeadline(s.handshakeDeadline())
-	if err := s.clientHandshake(conn, peer); err != nil {
+	if err := s.clientHandshake(conn, peer, epoch); err != nil {
 		_ = conn.Close()
 		return nil, err
 	}
@@ -443,11 +517,12 @@ func (s *Service) handshakeDeadline() time.Time {
 	return time.Now().Add(d)
 }
 
-// writeHello sends the handshake frame announcing our process id.
-func writeHello(conn net.Conn, id uint32) error {
+// writeHello sends the handshake frame announcing our process id and
+// membership epoch.
+func writeHello(conn net.Conn, id uint32, epoch uint64) error {
 	buf := leaseFrame()
 	defer releaseFrame(buf)
-	*buf = wire.AppendHello((*buf)[:0], id)
+	*buf = wire.AppendHello((*buf)[:0], id, epoch)
 	_, err := conn.Write(*buf)
 	return err
 }
@@ -485,19 +560,33 @@ func (s *Service) acceptLoop() {
 
 // handshake validates an inbound connection's Hello — running the keyed
 // challenge/response when Config.AuthKey is set — wraps the conn through
-// the transport, and installs it on the peer's link.
+// the transport, and installs it on the link of the mesh named by the
+// dialer's epoch. A Hello claiming an epoch this process does not hold
+// (never adopted, or already retired) is rejected and counted — the
+// stale-config guard that keeps an out-of-date replacement process off
+// the mesh until it is restarted with the current membership.
 func (s *Service) handshake(conn net.Conn) {
 	_ = conn.SetDeadline(s.handshakeDeadline())
-	peer, err := s.serverHandshake(conn)
+	peer, epoch, err := s.serverHandshake(conn)
 	if err != nil || peer <= s.cfg.ID || peer >= s.n {
 		if errors.Is(err, ErrAuthFailed) {
 			s.ctr.authFailures.Add(1)
 		}
+		if errors.Is(err, ErrStaleEpoch) {
+			s.ctr.staleEpochRejects.Add(1)
+		}
+		_ = conn.Close()
+		return
+	}
+	m := s.meshForEpoch(epoch)
+	if m == nil {
+		// Retired between the handshake check and here.
+		s.ctr.staleEpochRejects.Add(1)
 		_ = conn.Close()
 		return
 	}
 	_ = conn.SetDeadline(time.Time{})
-	s.peers[peer].install(s.tr.Accepted(peer, conn))
+	m.peers[peer].install(s.tr.Accepted(peer, conn))
 }
 
 // Establish builds the full mesh: dial every lower-id peer (retrying
@@ -507,11 +596,15 @@ func (s *Service) handshake(conn net.Conn) {
 // every process listens on an ephemeral port, the bound addresses are
 // exchanged out of band, and Establish gets the final list.
 func (s *Service) Establish(ctx context.Context, addrs []string) error {
+	m := s.currentMesh()
 	if addrs != nil {
 		if len(addrs) != s.n {
 			return fmt.Errorf("service: establish: %d addresses for n=%d", len(addrs), s.n)
 		}
-		for id, p := range s.peers {
+		s.meshMu.Lock()
+		m.addrs = append([]string(nil), addrs...)
+		s.meshMu.Unlock()
+		for id, p := range m.peers {
 			if p != nil {
 				p.mu.Lock()
 				p.addr = addrs[id]
@@ -522,7 +615,7 @@ func (s *Service) Establish(ctx context.Context, addrs []string) error {
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.EstablishTimeout)
 	defer cancel()
 	for id := 0; id < s.cfg.ID; id++ {
-		p := s.peers[id]
+		p := m.peers[id]
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -536,7 +629,7 @@ func (s *Service) Establish(ctx context.Context, addrs []string) error {
 			p.install(conn)
 		}()
 	}
-	for id, p := range s.peers {
+	for id, p := range m.peers {
 		if p == nil {
 			continue
 		}
@@ -561,7 +654,7 @@ func (p *peerLink) dialRetry(ctx context.Context, addr string) (net.Conn, error)
 		conn, err := s.tr.Dial(ctx, p.id, addr)
 		if err == nil {
 			_ = conn.SetDeadline(s.handshakeDeadline())
-			if err = s.clientHandshake(conn, p.id); err == nil {
+			if err = s.clientHandshake(conn, p.id, p.curEpoch()); err == nil {
 				_ = conn.SetDeadline(time.Time{})
 				return conn, nil
 			}

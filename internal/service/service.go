@@ -119,6 +119,11 @@ type Config struct {
 	// processes of a mesh must agree on the key; keyless and keyed
 	// processes refuse each other.
 	AuthKey []byte
+	// Epoch is the membership epoch this process is born at (0 for a
+	// static mesh). A replacement process joining a reconfigured mesh is
+	// started with the new epoch and its address list; see Reconfigure
+	// and the Membership type in epoch.go.
+	Epoch uint64
 	// SuspectAfter is the consecutive-dial-failure count past which a
 	// disconnected peer is suspected (default 3). Suspicion feeds
 	// Stats.SuspectedPeers and the partition-aware linger extension; it
@@ -170,6 +175,9 @@ func (c Config) withDefaults() Config {
 type Result struct {
 	// Instance is the instance id.
 	Instance uint64
+	// Epoch is the membership epoch the instance was pinned to at
+	// Propose time; it decided (or failed) on that epoch's link set.
+	Epoch uint64
 	// Decision is the decided vector (nil when Err is set).
 	Decision geometry.Vector
 	// Rounds is the instance's termination round count.
@@ -189,9 +197,15 @@ type Service struct {
 	n      int
 	tr     Transport
 	ln     net.Listener
-	peers  []*peerLink // by peer id; nil at cfg.ID
 	shards []*shard
 	start  time.Time
+
+	// meshMu guards the membership clock: cur is the mesh new proposals
+	// pin, meshes holds every epoch still referenced by a pinned
+	// instance (plus the current one). See epoch.go.
+	meshMu sync.Mutex
+	cur    *mesh
+	meshes map[uint64]*mesh
 
 	ctr      counters
 	draining sync.Once
@@ -240,19 +254,26 @@ func New(cfg Config) (*Service, error) {
 		n:       n,
 		tr:      cfg.Transport,
 		ln:      ln,
-		peers:   make([]*peerLink, n),
 		shards:  make([]*shard, cfg.Shards),
 		start:   time.Now(),
 		isDrain: make(chan struct{}),
 		drained: make(chan struct{}),
 		stop:    make(chan struct{}),
 	}
+	s.ctr.epoch.Store(cfg.Epoch)
+	birth := &mesh{
+		epoch: cfg.Epoch,
+		addrs: append([]string(nil), cfg.Addrs...),
+		peers: make([]*peerLink, n),
+	}
 	for id, addr := range cfg.Addrs {
 		if id == cfg.ID {
 			continue
 		}
-		s.peers[id] = newPeerLink(s, id, addr)
+		birth.peers[id] = newPeerLink(s, id, addr)
 	}
+	s.cur = birth
+	s.meshes = map[uint64]*mesh{cfg.Epoch: birth}
 	for i := range s.shards {
 		s.shards[i] = newShard(s, i)
 	}
@@ -261,16 +282,10 @@ func New(cfg Config) (*Service, error) {
 		defer s.wg.Done()
 		s.acceptLoop()
 	}()
-	for _, p := range s.peers {
-		if p == nil {
-			continue
+	for _, p := range birth.peers {
+		if p != nil {
+			s.startLink(p)
 		}
-		p := p
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			p.writeLoop()
-		}()
 	}
 	for _, sh := range s.shards {
 		sh := sh
@@ -308,7 +323,7 @@ func (s *Service) KillConn(peer int) {
 	if peer < 0 || peer >= s.n || peer == s.cfg.ID {
 		return
 	}
-	p := s.peers[peer]
+	p := s.currentMesh().peers[peer]
 	p.mu.Lock()
 	conn := p.conn
 	p.mu.Unlock()
@@ -317,12 +332,12 @@ func (s *Service) KillConn(peer int) {
 	}
 }
 
-// reachable counts the processes this one can currently count on for
-// quorum: itself plus every peer with an installed, unsuspected
-// connection.
-func (s *Service) reachable() int {
+// reachable counts the processes of mesh m this one can currently count
+// on for quorum: itself plus every peer with an installed, unsuspected
+// connection on that epoch's link set.
+func (s *Service) reachable(m *mesh) int {
 	count := 1
-	for _, p := range s.peers {
+	for _, p := range m.peers {
 		if p == nil {
 			continue
 		}
@@ -372,6 +387,12 @@ func (s *Service) drainingNow() bool {
 // process of the mesh must eventually propose the same instance id (their
 // traffic is buffered briefly otherwise). The result — decision or error
 // — is delivered exactly once on the returned channel.
+//
+// The instance is pinned to the membership epoch current at this call:
+// it runs to decision on that epoch's link set even if the mesh is
+// reconfigured while it is in flight. A Propose racing a Reconfigure
+// therefore lands on exactly one epoch — whichever the membership clock
+// showed when the pin was taken.
 func (s *Service) Propose(id uint64, input geometry.Vector) (<-chan Result, error) {
 	if stopping(s) {
 		return nil, ErrServiceClosed
@@ -384,33 +405,31 @@ func (s *Service) Propose(id uint64, input geometry.Vector) (<-chan Result, erro
 		return nil, fmt.Errorf("service: instance %d: %w", id, err)
 	}
 	res := make(chan Result, 1)
-	req := proposeReq{id: id, node: node, res: res}
 	s.proposeMu.RLock()
 	defer s.proposeMu.RUnlock()
 	if stopping(s) {
 		return nil, ErrServiceClosed
 	}
+	req := proposeReq{id: id, node: node, res: res, mesh: s.acquireCurrent()}
 	select {
 	case s.shardFor(id).propose <- req:
 	case <-s.stop:
+		s.releaseMesh(req.mesh)
 		return nil, ErrServiceClosed
 	}
 	return res, nil
 }
 
 // Drain gracefully winds the service down: new proposals are refused, a
-// goodbye frame tells every peer to stop redialing this process, and
-// Drain returns once every in-flight instance has finished (decided,
-// failed, or timed out) or ctx expires. Reconfiguration is drain-and-
-// replace: drain, Close, then start a new Service with the new address
-// set (see docs/SERVICE.md).
+// goodbye frame tells every peer (on every held epoch's links) to stop
+// redialing this process, and Drain returns once every in-flight
+// instance has finished (decided, failed, or timed out) or ctx expires.
+// For replacing or re-addressing members without stopping the service,
+// use Reconfigure instead (see docs/SERVICE.md).
 func (s *Service) Drain(ctx context.Context) error {
 	s.draining.Do(func() {
 		close(s.isDrain)
-		for _, p := range s.peers {
-			if p == nil {
-				continue
-			}
+		for _, p := range s.allLinks() {
 			buf := leaseFrame()
 			*buf = wire.AppendGoodbye((*buf)[:0])
 			p.enqueue(buf)
@@ -444,10 +463,8 @@ func (s *Service) Close() error {
 		s.proposeMu.Lock() // barrier: no Propose is mid-enqueue past here
 		s.proposeMu.Unlock()
 		err := s.ln.Close()
-		for _, p := range s.peers {
-			if p != nil {
-				p.stop()
-			}
+		for _, p := range s.allLinks() {
+			p.stop()
 		}
 		s.wg.Wait()
 		// The shards are gone; answer any requests still in their inboxes.
@@ -456,7 +473,8 @@ func (s *Service) Close() error {
 			for {
 				select {
 				case req := <-sh.propose:
-					req.res <- Result{Instance: req.id, Err: ErrServiceClosed}
+					req.res <- Result{Instance: req.id, Epoch: req.mesh.epoch, Err: ErrServiceClosed}
+					s.releaseMesh(req.mesh)
 				default:
 					break drain
 				}
@@ -476,11 +494,13 @@ type inMsg struct {
 	msg      aad.Msg
 }
 
-// proposeReq opens an instance on its shard.
+// proposeReq opens an instance on its shard, carrying the mesh pin
+// taken at Propose time.
 type proposeReq struct {
 	id   uint64
 	node *core.AsyncNode
 	res  chan Result
+	mesh *mesh
 }
 
 // localMsg is a self-send awaiting delivery on the shard's local FIFO.
@@ -491,11 +511,14 @@ type localMsg struct {
 
 // instance is one open consensus instance owned by a shard. After done it
 // lingers: the result has been delivered, but the node keeps serving the
-// exchange for lagging peers until lingerUntil.
+// exchange for lagging peers until lingerUntil. mesh is the epoch pin:
+// every send goes out on the birth epoch's link set, and the pin is
+// released (possibly retiring that epoch) when the instance tombstones.
 type instance struct {
 	id            uint64
 	node          *core.AsyncNode
 	res           chan Result
+	mesh          *mesh
 	started       time.Time
 	deadline      time.Time
 	done          bool
@@ -560,7 +583,7 @@ func (sh *shard) run() {
 				if inst.done {
 					continue // result already delivered; it was only lingering
 				}
-				inst.res <- Result{Instance: inst.id, Err: ErrServiceClosed}
+				inst.res <- Result{Instance: inst.id, Epoch: inst.mesh.epoch, Err: ErrServiceClosed}
 				sh.svc.ctr.active.Add(-1)
 			}
 			return
@@ -616,12 +639,17 @@ func (sh *shard) deliver(m inMsg) {
 // open starts an instance: register, init (round 1 broadcasts), then
 // replay any frames that arrived ahead of the proposal.
 func (sh *shard) open(req proposeReq) {
+	// Instance ids are global across epochs: a live or tombstoned id is
+	// refused even when the new proposal would pin a different epoch —
+	// peers route frames by id alone, so reuse would conflate instances.
 	if _, live := sh.instances[req.id]; live {
-		req.res <- Result{Instance: req.id, Err: ErrDuplicateInstance}
+		req.res <- Result{Instance: req.id, Epoch: req.mesh.epoch, Err: ErrDuplicateInstance}
+		sh.svc.releaseMesh(req.mesh)
 		return
 	}
 	if _, dead := sh.tombs[req.id]; dead {
-		req.res <- Result{Instance: req.id, Err: ErrDuplicateInstance}
+		req.res <- Result{Instance: req.id, Epoch: req.mesh.epoch, Err: ErrDuplicateInstance}
+		sh.svc.releaseMesh(req.mesh)
 		return
 	}
 	now := time.Now()
@@ -629,6 +657,7 @@ func (sh *shard) open(req proposeReq) {
 		id:       req.id,
 		node:     req.node,
 		res:      req.res,
+		mesh:     req.mesh,
 		started:  now,
 		deadline: now.Add(sh.svc.cfg.InstanceTimeout),
 	}
@@ -667,6 +696,7 @@ func (sh *shard) afterStep(inst *instance) {
 		sh.svc.ctr.failed.Add(1)
 		sh.retire(inst, Result{
 			Instance: inst.id,
+			Epoch:    inst.mesh.epoch,
 			Rounds:   inst.node.Rounds(),
 			Elapsed:  time.Since(inst.started),
 			Err:      err,
@@ -679,7 +709,7 @@ func (sh *shard) afterStep(inst *instance) {
 	dec, err := inst.node.Decision()
 	if err != nil {
 		sh.svc.ctr.failed.Add(1)
-		sh.retire(inst, Result{Instance: inst.id, Rounds: inst.node.Rounds(), Elapsed: time.Since(inst.started), Err: err})
+		sh.retire(inst, Result{Instance: inst.id, Epoch: inst.mesh.epoch, Rounds: inst.node.Rounds(), Elapsed: time.Since(inst.started), Err: err})
 		return
 	}
 	inst.done = true
@@ -688,6 +718,7 @@ func (sh *shard) afterStep(inst *instance) {
 	sh.svc.ctr.lingering.Add(1)
 	inst.res <- Result{
 		Instance: inst.id,
+		Epoch:    inst.mesh.epoch,
 		Decision: dec,
 		Rounds:   inst.node.Rounds(),
 		Elapsed:  time.Since(inst.started),
@@ -696,12 +727,14 @@ func (sh *shard) afterStep(inst *instance) {
 	sh.svc.checkDrained()
 }
 
-// retire delivers the result, tombstones the id, and updates gauges.
+// retire delivers the result, tombstones the id, releases the epoch
+// pin, and updates gauges.
 func (sh *shard) retire(inst *instance, res Result) {
 	delete(sh.instances, inst.id)
 	sh.tombs[inst.id] = time.Now()
 	inst.res <- res
 	sh.svc.ctr.active.Add(-1)
+	sh.svc.releaseMesh(inst.mesh)
 	sh.svc.checkDrained()
 }
 
@@ -722,7 +755,7 @@ func (sh *shard) expire(now time.Time) {
 		if inst.done {
 			if now.After(inst.lingerUntil) {
 				if inst.lingerExtends < maxLingerExtends &&
-					sh.svc.reachable() < sh.svc.n-sh.svc.cfg.Node.F {
+					sh.svc.reachable(inst.mesh) < sh.svc.n-sh.svc.cfg.Node.F {
 					inst.lingerExtends++
 					inst.lingerUntil = now.Add(sh.svc.cfg.LingerTimeout)
 					sh.svc.ctr.lingerExtensions.Add(1)
@@ -731,12 +764,13 @@ func (sh *shard) expire(now time.Time) {
 				delete(sh.instances, inst.id)
 				sh.tombs[inst.id] = now
 				sh.svc.ctr.lingering.Add(-1)
+				sh.svc.releaseMesh(inst.mesh)
 			}
 			continue
 		}
 		if now.After(inst.deadline) {
 			sh.svc.ctr.timedOut.Add(1)
-			sh.retire(inst, Result{Instance: inst.id, Elapsed: now.Sub(inst.started), Err: ErrInstanceTimeout})
+			sh.retire(inst, Result{Instance: inst.id, Epoch: inst.mesh.epoch, Elapsed: now.Sub(inst.started), Err: ErrInstanceTimeout})
 		}
 	}
 	pendingTTL := sh.svc.cfg.InstanceTimeout
@@ -788,7 +822,7 @@ func (a *instAPI) Send(to sim.ProcID, msg sim.Message) {
 	}
 	buf := leaseFrame()
 	*buf = wire.AppendConsensus((*buf)[:0], a.inst.id, &sh.enc)
-	sh.svc.peers[to].enqueue(buf)
+	a.inst.mesh.peers[to].enqueue(buf)
 }
 
 func (a *instAPI) Broadcast(msg sim.Message) {

@@ -33,6 +33,13 @@ type counters struct {
 	outboxStalls     atomic.Int64
 	lingerExtensions atomic.Int64
 	authFailures     atomic.Int64
+
+	epoch             atomic.Uint64
+	reconfigures      atomic.Int64
+	epochAnnounces    atomic.Int64
+	epochAcks         atomic.Int64
+	staleEpochRejects atomic.Int64
+	retiredEpochs     atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of one service process's counters.
@@ -85,8 +92,23 @@ type Stats struct {
 	// pressure. Suspicion clears the moment the condition does.
 	SuspectedPeers int
 	// QueueDepth is the current total number of frames sitting in peer
-	// outboxes (gauge) — the live measure of backpressure.
+	// outboxes (gauge) — the live measure of backpressure, summed over
+	// every held epoch's links.
 	QueueDepth int
+	// Epoch is the current membership epoch (gauge); Reconfigures counts
+	// adopted membership changes (operator Reconfigure or a received
+	// EpochAnnounce that advanced the clock). EpochAnnounces counts
+	// announce frames sent, EpochAcks acknowledgements received.
+	Epoch                     uint64
+	Reconfigures              int64
+	EpochAnnounces, EpochAcks int64
+	// StaleEpochRejects counts inbound handshakes refused because they
+	// claimed an epoch this process does not hold — the guard that keeps
+	// a replacement started with an out-of-date membership off the mesh.
+	StaleEpochRejects int64
+	// RetiredEpochs counts superseded link sets torn down after their
+	// last pinned instance tombstoned.
+	RetiredEpochs int64
 }
 
 // Stats returns a snapshot of the service counters.
@@ -113,14 +135,19 @@ func (s *Service) Stats() Stats {
 		OutboxStalls:     s.ctr.outboxStalls.Load(),
 		LingerExtensions: s.ctr.lingerExtensions.Load(),
 		AuthFailures:     s.ctr.authFailures.Load(),
+
+		Epoch:             s.ctr.epoch.Load(),
+		Reconfigures:      s.ctr.reconfigures.Load(),
+		EpochAnnounces:    s.ctr.epochAnnounces.Load(),
+		EpochAcks:         s.ctr.epochAcks.Load(),
+		StaleEpochRejects: s.ctr.staleEpochRejects.Load(),
+		RetiredEpochs:     s.ctr.retiredEpochs.Load(),
 	}
 	now := time.Now()
-	for _, p := range s.peers {
-		if p != nil {
-			st.QueueDepth += len(p.outbox)
-			if p.suspectedNow(now) {
-				st.SuspectedPeers++
-			}
+	for _, p := range s.allLinks() {
+		st.QueueDepth += len(p.outbox)
+		if p.suspectedNow(now) {
+			st.SuspectedPeers++
 		}
 	}
 	return st

@@ -26,6 +26,7 @@ func TestAdversaryRegression(t *testing.T) {
 	if len(files) == 0 {
 		t.Fatal("no committed adversary instances — regenerate with VERIFY_REGEN_ADVERSARY=1")
 	}
+	crashWindows := 0
 	for _, fp := range files {
 		t.Run(filepath.Base(fp), func(t *testing.T) {
 			blob, err := os.ReadFile(fp)
@@ -35,6 +36,11 @@ func TestAdversaryRegression(t *testing.T) {
 			var inst adversary.Instance
 			if err := json.Unmarshal(blob, &inst); err != nil {
 				t.Fatal(err)
+			}
+			for i := 0; 2*i < len(inst.CrashRounds); i++ {
+				if inst.CrashRounds[2*i] > 0 {
+					crashWindows++
+				}
 			}
 			res, err := adversary.ReplayInstance(inst)
 			if err != nil {
@@ -57,6 +63,12 @@ func TestAdversaryRegression(t *testing.T) {
 				t.Fatalf("committed instance violates the theorem: %+v", res)
 			}
 		})
+	}
+	// The corpus must keep at least one crash-timing schedule: a minimized
+	// worst genome whose crash/restart window survived minimization, so
+	// the crash-and-recover scheduling path stays pinned under replay.
+	if crashWindows == 0 {
+		t.Fatal("no committed instance carries a crash window — the crash-timing regression is missing")
 	}
 }
 
@@ -83,6 +95,10 @@ func TestRegenAdversaryCorpus(t *testing.T) {
 		{"n9f1_d3_seed41", adversary.SearchSpec{
 			N: 9, F: 1, D: 3, Epsilon: 0.05, MaxRounds: 3, Seed: 41,
 			Iterations: 150, Restarts: 1, BaseDelay: time.Millisecond, MaxExtra: 12,
+		}},
+		{"n7f1_crash_seed53", adversary.SearchSpec{
+			N: 7, F: 1, D: 2, Epsilon: 0.05, MaxRounds: 4, Seed: 53,
+			Iterations: 300, Restarts: 3, BaseDelay: time.Millisecond, MaxExtra: 12,
 		}},
 	}
 	dir := filepath.Join("testdata", "adversary")

@@ -9,7 +9,7 @@ import (
 
 // This file is the deterministic fuzz-input decoder: arbitrary bytes are
 // mapped to adversarially degenerate linear programs — the PR 5 fragile
-// corpus generalized into a generator. Three regimes, selected by the
+// corpus generalized into a generator. Four regimes, selected by the
 // first byte:
 //
 //	mode 0 — raw quantized programs: coefficients drawn from a small
@@ -24,7 +24,16 @@ import (
 //	mode 2 — Lemma-1-threshold hulls: the joint Γ-intersection program of
 //	  a 16-bit-quantized multiset at the critical size |Y| = (d+1)f+1,
 //	  the exact shape of the fragile corpus (EncodeGammaInstance converts
-//	  those instances into this encoding for the seed corpus).
+//	  those instances into this encoding for the seed corpus);
+//	mode 3 — contradicted joint hulls: the mode-2 joint Γ-intersection
+//	  shape over a twin-degenerate point set, with one constraint row
+//	  duplicated verbatim under a right-hand side offset by a small
+//	  controlled margin (≥ 1e-4), so the program is genuinely infeasible
+//	  by an amount far above every solver tolerance yet far below the
+//	  data scale. Modes 1 and 2 are feasible by construction, which is
+//	  why no input of theirs can pair a wrong dense-core Optimal with a
+//	  revised-core refutation; mode 3 closes that gap — on its programs
+//	  any dense Optimal is necessarily an uncertifiable verdict.
 //
 // Every byte stream decodes to *some* program (exhausted input reads
 // zeros); inputs shorter than 4 bytes are rejected so the empty input does
@@ -103,13 +112,15 @@ func DecodeProgram(data []byte) *ProgramSpec {
 		return nil
 	}
 	c := &cursor{data: data}
-	switch c.u8() % 3 {
+	switch c.u8() % 4 {
 	case 0:
 		return decodeRaw(c)
 	case 1:
 		return decodeTwinMembership(c)
-	default:
+	case 2:
 		return decodeThresholdGamma(c)
+	default:
+		return decodeNearMiss(c)
 	}
 }
 
@@ -180,7 +191,26 @@ func decodeRaw(c *cursor) *ProgramSpec {
 func decodeTwinMembership(c *cursor) *ProgramSpec {
 	d := 1 + int(c.u8()%3)
 	f := 1 + int(c.u8()%2)
-	n := (d+1)*f + 1
+	pts := twinPoints(c, d, (d+1)*f+1)
+	n := len(pts)
+	z := make([]float64, d)
+	if c.u8()%2 == 0 {
+		for _, p := range pts { // centroid: inside every hull
+			for l := range z {
+				z[l] += p[l] / float64(n)
+			}
+		}
+	} else {
+		for l := range z { // far corner: outside unless the hull is huge
+			z[l] = 2 + float64(c.u8()%3)
+		}
+	}
+	return stackMembershipBlocks(pts, z, d)
+}
+
+// twinPoints draws n points in [0,1]^d with exact and 1e-12-perturbed
+// duplicates, the mode-1/3 degeneracy source.
+func twinPoints(c *cursor, d, n int) [][]float64 {
 	pts := make([][]float64, n)
 	for i := range pts {
 		ctrl := c.u8()
@@ -201,25 +231,54 @@ func decodeTwinMembership(c *cursor) *ProgramSpec {
 		}
 		pts[i] = pt
 	}
-	z := make([]float64, d)
-	if c.u8()%2 == 0 {
-		for _, p := range pts { // centroid: inside every hull
-			for l := range z {
-				z[l] += p[l] / float64(n)
-			}
-		}
-	} else {
-		for l := range z { // far corner: outside unless the hull is huge
-			z[l] = 2 + float64(c.u8()%3)
-		}
-	}
-	// Stack identical blocks past the small-core cutoff so the revised
-	// LU path, not the small-program tableau kernel, faces the twins.
+	return pts
+}
+
+// stackMembershipBlocks replicates the membership block past the
+// small-core cutoff so the revised LU path, not the small-program tableau
+// kernel, faces the twins.
+func stackMembershipBlocks(pts [][]float64, z []float64, d int) *ProgramSpec {
 	blocks := 1 + (smallCutoffRows / (1 + 2*d))
 	s := &ProgramSpec{Sense: lp.Minimize}
 	for b := 0; b < blocks; b++ {
 		appendMembershipBlock(s, pts, z, 1e-7)
 	}
+	return s
+}
+
+// decodeNearMiss builds the mode-2 joint Γ-intersection program — the
+// shared-z, every-(n−f)-group shape where the dense core demonstrably
+// grinds (every committed iteration-cap / refuted-infeasible /
+// shared-verdict trigger is a mode-2-style program) — over a mode-1
+// twin-degenerate point set, then *contradicts* it: one constraint row is
+// duplicated verbatim with its right-hand side offset by a margin drawn
+// from {1e-4, 3e-4, 1e-3}. The twin pair is jointly unsatisfiable, so the
+// program is infeasible by at least margin/2 — far above every solver and
+// certificate tolerance (the feasibility certificate's scaled rtol tops
+// out near 5e-6 on these rows), yet far below the data scale, and
+// discovering the contradiction takes a full Phase-1 resolution of the
+// degenerate joint geometry, not a local bound check. Modes 1 and 2 are
+// feasible by construction, which is why none of their inputs can pair a
+// wrong dense-core Optimal with a revised-core refutation; on mode-3
+// programs any dense Optimal is necessarily an uncertifiable verdict.
+// d is fixed at 2 (64 rows): the d = 3 shape's 144+ rows sit past
+// denseRowCap, where the differential harness never runs the dense core.
+func decodeNearMiss(c *cursor) *ProgramSpec {
+	const d, f = 2, 2
+	pts := twinPoints(c, d, (d+1)*f+1)
+	margin := []float64{1e-4, 3e-4, 1e-3}[c.u8()%3]
+	rowPick := int(c.u8())
+	s := &ProgramSpec{Sense: lp.Minimize}
+	zbase := len(s.Lo)
+	for l := 0; l < d; l++ {
+		s.Lo = append(s.Lo, -4)
+		s.Hi = append(s.Hi, 4)
+	}
+	appendJointGammaGroups(s, pts, f, zbase)
+	k := rowPick % len(s.Rows)
+	s.Rows = append(s.Rows, append([]lp.Term(nil), s.Rows[k]...))
+	s.Rels = append(s.Rels, lp.EQ)
+	s.Rhs = append(s.Rhs, s.Rhs[k]+margin)
 	return s
 }
 
@@ -288,8 +347,17 @@ func decodeThresholdGamma(c *cursor) *ProgramSpec {
 		s.Lo = append(s.Lo, -10)
 		s.Hi = append(s.Hi, 10)
 	}
-	keep := n - f
-	for _, idx := range combinations(n, keep) {
+	appendJointGammaGroups(s, pts, f, zbase)
+	return s
+}
+
+// appendJointGammaGroups appends the joint Γ-intersection constraint
+// groups: for every (n−f)-subset of pts, fresh convex weights whose
+// combination reproduces the shared z variables at zbase.
+func appendJointGammaGroups(s *ProgramSpec, pts [][]float64, f, zbase int) {
+	d := len(pts[0])
+	keep := len(pts) - f
+	for _, idx := range combinations(len(pts), keep) {
 		base := len(s.Lo)
 		sum := make([]lp.Term, keep)
 		for i := 0; i < keep; i++ {
@@ -313,7 +381,6 @@ func decodeThresholdGamma(c *cursor) *ProgramSpec {
 			s.Rhs = append(s.Rhs, 0)
 		}
 	}
-	return s
 }
 
 // EncodeGammaInstance converts a fragile-corpus instance (the Lemma-1

@@ -2,6 +2,7 @@ package verify
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -18,14 +19,18 @@ import (
 // stateful property harness: the SUT is a real loopback mesh of n service
 // processes with a chaos.Injector wired into each transport, and the
 // commands are the operator surface plus fault actions — Propose,
-// KillConn, Partition, Heal, Drain, Close. The reference model is the
-// sequential lifecycle specification: a healthy (or ≤f-degraded) mesh
-// decides every proposed instance inside the hull of the proposed inputs,
-// a draining mesh refuses with ErrDraining, a closed mesh refuses with
-// ErrServiceClosed, and no command may ever surface a structural
-// background error. Faults the service is specified to absorb (killed
-// conns, a single partitioned process) must be invisible in those
-// outcomes.
+// KillConn, Partition, Heal, Reconfigure, Drain, Close. The reference
+// model is the sequential lifecycle specification: a healthy (or
+// ≤f-degraded) mesh decides every proposed instance inside the hull of
+// the proposed inputs, a draining mesh refuses with ErrDraining, a closed
+// mesh refuses with ErrServiceClosed, and no command may ever surface a
+// structural background error. The model is epoch-aware: it keeps its own
+// membership clock, a Reconfigure retires one process and admits a
+// replacement under the next epoch, and after the change every process of
+// the mesh must report exactly the model's epoch — with proposals
+// deciding across the flip as if nothing happened. Faults the service is
+// specified to absorb (killed conns, a single partitioned process, a
+// replaced member) must be invisible in those outcomes.
 
 // ServiceSystem is the live-service System. The zero value is not usable;
 // construct with NewServiceSystem and Close it when done.
@@ -40,12 +45,26 @@ type ServiceSystem struct {
 	faultAfter int
 	kills      int
 
+	// epochFaultAfter arms the epoch mutation check: the
+	// epochFaultAfter-th Reconfigure retires the old process and moves
+	// the survivors to the next epoch but silently never starts the
+	// replacement, while the model believes the mesh is whole at the new
+	// epoch — the divergence the epoch-aware checks must catch and
+	// shrink to a witness containing the Reconfigure.
+	epochFaultAfter int
+	reconfigures    int
+
 	svcs []*service.Service
 	injs []*chaos.Injector
 
+	seed  int64
+	node  core.AsyncConfig
+	addrs []string
+
 	closed  bool
 	drained bool
-	part    int // partitioned process id, -1 when whole
+	part    int    // partitioned process id, -1 when whole
+	epoch   uint64 // the model's membership clock
 	next    uint64
 }
 
@@ -58,6 +77,12 @@ func NewServiceSystem(n, d int) *ServiceSystem {
 // ArmFault makes the k-th KillConn diverge (mutation check); k ≤ 0
 // disarms.
 func (s *ServiceSystem) ArmFault(k int) { s.faultAfter = k }
+
+// ArmEpochFault makes the k-th Reconfigure diverge: the old process is
+// retired and the survivors move to the next epoch, but the replacement
+// is silently never started while the model believes the mesh is whole.
+// k ≤ 0 disarms.
+func (s *ServiceSystem) ArmEpochFault(k int) { s.epochFaultAfter = k }
 
 // Close tears down the current mesh; the system is unusable afterwards
 // except through Reset.
@@ -110,6 +135,23 @@ type SvcHeal struct{}
 
 func (SvcHeal) String() string { return "Heal()" }
 
+// SvcReconfigure retires process P and admits a replacement under the
+// next membership epoch: the survivors are Reconfigured, the successor
+// dials in at a fresh address, and the whole mesh must settle on exactly
+// the model's epoch.
+type SvcReconfigure struct{ P int }
+
+func (c SvcReconfigure) String() string { return fmt.Sprintf("Reconfigure(%d)", c.P) }
+
+// Simplify proposes lower process indices.
+func (c SvcReconfigure) Simplify() []Command {
+	var out []Command
+	for p := 0; p < c.P; p++ {
+		out = append(out, SvcReconfigure{P: p})
+	}
+	return out
+}
+
 // SvcDrain winds the whole mesh down gracefully.
 type SvcDrain struct{}
 
@@ -126,6 +168,8 @@ func (SvcClose) String() string { return "Close()" }
 func (s *ServiceSystem) Reset(seed int64) {
 	s.Close()
 	s.closed, s.drained, s.part, s.next, s.kills = false, false, -1, 1, 0
+	s.epoch, s.reconfigures = 0, 0
+	s.seed = seed
 
 	s.injs = make([]*chaos.Injector, s.n)
 	s.svcs = make([]*service.Service, s.n)
@@ -133,7 +177,7 @@ func (s *ServiceSystem) Reset(seed int64) {
 	for i := 0; i < s.n; i++ {
 		addrs[i] = "127.0.0.1:0"
 	}
-	node := core.AsyncConfig{
+	s.node = core.AsyncConfig{
 		Params: core.Params{
 			N: s.n, F: s.f, D: s.d,
 			Epsilon: 0.05,
@@ -148,7 +192,7 @@ func (s *ServiceSystem) Reset(seed int64) {
 		}
 		s.injs[i] = inj
 		svc, err := service.New(service.Config{
-			Node:           node,
+			Node:           s.node,
 			ID:             i,
 			Addrs:          addrs,
 			Seed:           seed + int64(i),
@@ -160,9 +204,9 @@ func (s *ServiceSystem) Reset(seed int64) {
 		}
 		s.svcs[i] = svc
 	}
-	final := make([]string, s.n)
+	s.addrs = make([]string, s.n)
 	for i, svc := range s.svcs {
-		final[i] = svc.Addr()
+		s.addrs[i] = svc.Addr()
 	}
 	var wg sync.WaitGroup
 	errs := make([]error, s.n)
@@ -171,7 +215,7 @@ func (s *ServiceSystem) Reset(seed int64) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			errs[i] = svc.Establish(context.Background(), final)
+			errs[i] = svc.Establish(context.Background(), s.addrs)
 		}()
 	}
 	wg.Wait()
@@ -231,6 +275,13 @@ func (s *ServiceSystem) Apply(cmd Command) error {
 			inj.HealAll()
 		}
 		s.part = -1
+	case SvcReconfigure:
+		if c.P < 0 || c.P >= s.n || s.closed || s.drained || s.part >= 0 {
+			return nil
+		}
+		if err := s.reconfigure(c); err != nil {
+			return err
+		}
 	case SvcDrain:
 		if s.closed || s.drained {
 			return nil
@@ -330,6 +381,70 @@ func (s *ServiceSystem) propose(c SvcPropose) error {
 	return nil
 }
 
+// reconfigure runs one SvcReconfigure against the epoch-aware model:
+// retire process P, advance the membership clock, Reconfigure every
+// survivor, admit the replacement at a fresh address, and require the
+// whole mesh to report exactly the model's epoch. Under an armed epoch
+// fault the replacement is silently never started — the model keeps
+// believing the mesh is whole, and the harness must catch the
+// divergence (at the epoch check, or at the next proposal).
+func (s *ServiceSystem) reconfigure(c SvcReconfigure) error {
+	s.reconfigures++
+	faulty := s.epochFaultAfter > 0 && s.reconfigures == s.epochFaultAfter
+
+	_ = s.svcs[c.P].Close()
+	s.epoch++
+
+	if !faulty {
+		tmpl := append([]string(nil), s.addrs...)
+		tmpl[c.P] = "127.0.0.1:0"
+		repl, err := service.New(service.Config{
+			Node:           s.node,
+			ID:             c.P,
+			Epoch:          s.epoch,
+			Addrs:          tmpl,
+			Seed:           s.seed + int64(s.n)*int64(s.epoch) + int64(c.P),
+			Transport:      s.injs[c.P],
+			MaxDialBackoff: 100 * time.Millisecond,
+		})
+		if err != nil {
+			return fmt.Errorf("%s: replacement for process %d: %w", c, c.P, err)
+		}
+		s.addrs[c.P] = repl.Addr()
+		next := service.Membership{Epoch: s.epoch, Addrs: append([]string(nil), s.addrs...)}
+		for i, svc := range s.svcs {
+			if i == c.P {
+				continue
+			}
+			if err := svc.Reconfigure(next); err != nil && !errors.Is(err, service.ErrStaleEpoch) {
+				_ = repl.Close()
+				return fmt.Errorf("%s: survivor %d refused epoch %d: %w", c, i, s.epoch, err)
+			}
+		}
+		s.svcs[c.P] = repl
+		if err := repl.Establish(context.Background(), next.Addrs); err != nil {
+			return fmt.Errorf("%s: replacement %d did not establish at epoch %d: %w", c, c.P, s.epoch, err)
+		}
+	} else {
+		// Seeded divergence: survivors move on, the successor never comes.
+		next := service.Membership{Epoch: s.epoch, Addrs: append([]string(nil), s.addrs...)}
+		for i, svc := range s.svcs {
+			if i != c.P {
+				_ = svc.Reconfigure(next)
+			}
+		}
+	}
+
+	// Epoch-aware lifecycle check: the mesh must settle on the model's
+	// clock — every process, including the replacement, at exactly epoch.
+	for i, svc := range s.svcs {
+		if got := svc.Epoch(); got != s.epoch {
+			return fmt.Errorf("%s: process %d reports epoch %d, model at %d", c, i, got, s.epoch)
+		}
+	}
+	return nil
+}
+
 // checkStructural enforces the standing invariant: no command may surface
 // a structural background error on any process.
 func (s *ServiceSystem) checkStructural(cmd Command) error {
@@ -345,8 +460,9 @@ func (s *ServiceSystem) checkStructural(cmd Command) error {
 }
 
 // ServiceGenerator is the default command mix: proposal-heavy with
-// interspersed conn kills and an occasional partition/heal pair; drain
-// and close appear rarely so most sequences exercise a live mesh.
+// interspersed conn kills, an occasional partition/heal pair, and a rare
+// membership replacement; drain and close appear rarely so most
+// sequences exercise a live mesh.
 func (s *ServiceSystem) ServiceGenerator() Generator {
 	return func(rng *rand.Rand, _ int) Command {
 		k := rng.Intn(24)
@@ -355,15 +471,17 @@ func (s *ServiceSystem) ServiceGenerator() Generator {
 			return SvcClose{}
 		case k == 22:
 			return SvcDrain{}
+		case k == 21:
+			return SvcReconfigure{P: rng.Intn(s.n)}
 		case k < 10:
 			inputs := make([][]float64, s.n)
 			for i := range inputs {
 				inputs[i] = randVec(rng, s.d)
 			}
 			return SvcPropose{Inputs: inputs}
-		case k < 16:
+		case k < 15:
 			return SvcKillConn{I: rng.Intn(s.n), J: rng.Intn(s.n)}
-		case k < 19:
+		case k < 18:
 			return SvcPartition{P: rng.Intn(s.n)}
 		default:
 			return SvcHeal{}

@@ -8,7 +8,8 @@ import (
 
 // TestServiceSystemRun drives the live-service model through a seeded
 // command mix — proposals interleaved with conn kills, a partition/heal
-// pair, and lifecycle transitions — and expects no property violation.
+// pair, membership replacements, and lifecycle transitions — and expects
+// no property violation.
 func TestServiceSystemRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("live mesh per Reset; skipped in -short")
@@ -17,6 +18,80 @@ func TestServiceSystemRun(t *testing.T) {
 	t.Cleanup(sys.Close)
 	if fail := Run(sys, sys.ServiceGenerator(), 3, 14); fail != nil {
 		t.Fatalf("live service violated the lifecycle model:\n%s", fail.Report())
+	}
+}
+
+// TestServiceSystemReconfigureDecidesAcrossEpochs pins the epoch-aware
+// happy path deterministically: propose, replace a member, propose again
+// — decisions on both sides of the flip, the whole mesh settling on the
+// model's epoch each time.
+func TestServiceSystemReconfigureDecidesAcrossEpochs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live mesh per Reset; skipped in -short")
+	}
+	sys := NewServiceSystem(5, 2)
+	t.Cleanup(sys.Close)
+	rng := rand.New(rand.NewSource(17))
+	mkInputs := func() [][]float64 {
+		inputs := make([][]float64, 5)
+		for i := range inputs {
+			inputs[i] = randVec(rng, 2)
+		}
+		return inputs
+	}
+	cmds := []Command{
+		SvcPropose{Inputs: mkInputs()},
+		SvcReconfigure{P: 2},
+		SvcPropose{Inputs: mkInputs()},
+		SvcReconfigure{P: 4},
+		SvcPropose{Inputs: mkInputs()},
+	}
+	if err := Replay(sys, 11, cmds); err != nil {
+		t.Fatalf("reconfigure lifecycle violated the model: %v", err)
+	}
+}
+
+// TestServiceSystemShrinksEpochFault is the epoch mutation check: arm
+// the seeded epoch fault (the first Reconfigure silently never starts
+// the replacement), confirm the epoch-aware checks catch the divergence,
+// and confirm shrinking reduces the witness to essentially the
+// Reconfigure itself.
+func TestServiceSystemShrinksEpochFault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live mesh per Reset; skipped in -short")
+	}
+	sys := NewServiceSystem(5, 2)
+	t.Cleanup(sys.Close)
+	sys.ArmEpochFault(1)
+
+	gen := func(rng *rand.Rand, step int) Command {
+		if step%2 == 1 {
+			return SvcReconfigure{P: rng.Intn(5)}
+		}
+		inputs := make([][]float64, 5)
+		for i := range inputs {
+			inputs[i] = randVec(rng, 2)
+		}
+		return SvcPropose{Inputs: inputs}
+	}
+	fail := Run(sys, gen, 5, 6)
+	if fail == nil {
+		t.Fatal("armed epoch fault not detected in 6 steps")
+	}
+	if len(fail.Cmds) > 2 {
+		t.Fatalf("shrunk to %d commands, want ≤ 2:\n%s", len(fail.Cmds), fail.Report())
+	}
+	var reconfigures int
+	for _, c := range fail.Cmds {
+		if _, ok := c.(SvcReconfigure); ok {
+			reconfigures++
+		}
+	}
+	if reconfigures == 0 {
+		t.Fatalf("shrunk witness lost the Reconfigure:\n%s", fail.Report())
+	}
+	if err := Replay(sys, fail.Seed, fail.Cmds); err == nil {
+		t.Fatal("shrunk sequence does not replay to a failure")
 	}
 }
 

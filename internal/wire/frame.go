@@ -34,7 +34,9 @@ type FrameKind uint8
 // newer peer add frame kinds without breaking an older one.
 const (
 	// FrameHello is the connection handshake: the dialer announces its
-	// process id (body: uint32). Instance id is 0.
+	// process id and the membership epoch it believes current (body:
+	// uint32 id + uint64 epoch; a static mesh runs at epoch 0). Instance
+	// id is 0.
 	FrameHello FrameKind = 1
 	// FrameConsensus carries one consensus-protocol message for the
 	// instance named in the header (body: see ConsensusMsg).
@@ -52,6 +54,15 @@ const (
 	// FrameAuth is the dialer's proof closing the keyed handshake (body:
 	// MACSize HMAC over the server nonce). Instance id is 0.
 	FrameAuth FrameKind = 5
+	// FrameEpochAnnounce propagates the next membership config through
+	// the mesh (body: epoch u64, n u16, n × (len u16 + addr bytes)). The
+	// shared auth key is never carried on the wire — key distribution is
+	// the operator's job; the announce only names the epoch and its
+	// address list. Instance id is 0.
+	FrameEpochAnnounce FrameKind = 6
+	// FrameEpochAck acknowledges an announced epoch (body: epoch u64).
+	// Instance id is 0.
+	FrameEpochAck FrameKind = 7
 )
 
 // MACSize is the byte length of the handshake HMAC (HMAC-SHA256).
@@ -119,19 +130,23 @@ func AppendFrame(dst []byte, kind FrameKind, instance uint64, body []byte) []byt
 	return backfillLen(dst, at)
 }
 
-// AppendHello appends a FrameHello announcing process id peer.
-func AppendHello(dst []byte, peer uint32) []byte {
+// AppendHello appends a keyless FrameHello announcing process id peer
+// under membership epoch epoch.
+func AppendHello(dst []byte, peer uint32, epoch uint64) []byte {
 	dst, at := appendFramePrefix(dst, FrameHello, 0)
 	dst = binary.BigEndian.AppendUint32(dst, peer)
+	dst = binary.BigEndian.AppendUint64(dst, epoch)
 	return backfillLen(dst, at)
 }
 
 // AppendHelloNonce appends the keyed-handshake variant of FrameHello:
-// the process id followed by the dialer's challenge nonce. Acceptors
-// distinguish the two Hello forms by body length (4 vs 12 bytes).
-func AppendHelloNonce(dst []byte, peer uint32, nonce uint64) []byte {
+// the process id, the dialer's epoch, then the dialer's challenge
+// nonce. Acceptors distinguish the two Hello forms by body length
+// (12 vs 20 bytes).
+func AppendHelloNonce(dst []byte, peer uint32, epoch, nonce uint64) []byte {
 	dst, at := appendFramePrefix(dst, FrameHello, 0)
 	dst = binary.BigEndian.AppendUint32(dst, peer)
+	dst = binary.BigEndian.AppendUint64(dst, epoch)
 	dst = binary.BigEndian.AppendUint64(dst, nonce)
 	return backfillLen(dst, at)
 }
@@ -152,6 +167,62 @@ func AppendAuth(dst []byte, mac []byte) []byte {
 	dst, at := appendFramePrefix(dst, FrameAuth, 0)
 	dst = append(dst, mac...)
 	return backfillLen(dst, at)
+}
+
+// AppendEpochAnnounce appends a FrameEpochAnnounce carrying the epoch
+// number and the full address list of the announced membership.
+func AppendEpochAnnounce(dst []byte, epoch uint64, addrs []string) []byte {
+	dst, at := appendFramePrefix(dst, FrameEpochAnnounce, 0)
+	dst = binary.BigEndian.AppendUint64(dst, epoch)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(addrs)))
+	for _, a := range addrs {
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(a)))
+		dst = append(dst, a...)
+	}
+	return backfillLen(dst, at)
+}
+
+// AppendEpochAck appends a FrameEpochAck for the given epoch.
+func AppendEpochAck(dst []byte, epoch uint64) []byte {
+	dst, at := appendFramePrefix(dst, FrameEpochAck, 0)
+	dst = binary.BigEndian.AppendUint64(dst, epoch)
+	return backfillLen(dst, at)
+}
+
+// ParseEpochAnnounce decodes a FrameEpochAnnounce body. The returned
+// address strings are copies; they do not alias body.
+func ParseEpochAnnounce(body []byte) (epoch uint64, addrs []string, err error) {
+	if len(body) < 10 {
+		return 0, nil, fmt.Errorf("wire: epoch announce body %d bytes, want >= 10", len(body))
+	}
+	epoch = binary.BigEndian.Uint64(body[0:8])
+	n := int(binary.BigEndian.Uint16(body[8:10]))
+	body = body[10:]
+	addrs = make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if len(body) < 2 {
+			return 0, nil, fmt.Errorf("wire: epoch announce truncated at addr %d", i)
+		}
+		l := int(binary.BigEndian.Uint16(body[0:2]))
+		body = body[2:]
+		if len(body) < l {
+			return 0, nil, fmt.Errorf("wire: epoch announce addr %d: %d bytes, want %d", i, len(body), l)
+		}
+		addrs = append(addrs, string(body[:l]))
+		body = body[l:]
+	}
+	if len(body) != 0 {
+		return 0, nil, fmt.Errorf("wire: epoch announce %d trailing bytes", len(body))
+	}
+	return epoch, addrs, nil
+}
+
+// ParseEpochAck decodes a FrameEpochAck body.
+func ParseEpochAck(body []byte) (epoch uint64, err error) {
+	if len(body) != 8 {
+		return 0, fmt.Errorf("wire: epoch ack body %d bytes, want 8", len(body))
+	}
+	return binary.BigEndian.Uint64(body), nil
 }
 
 // AppendGoodbye appends a FrameGoodbye.
@@ -198,20 +269,21 @@ func ParseFrame(frame []byte) (FrameHeader, []byte, error) {
 	return h, frame[FrameHeaderLen:], nil
 }
 
-// ParseHello decodes a keyless FrameHello body.
-func ParseHello(body []byte) (peer uint32, err error) {
-	if len(body) != 4 {
-		return 0, fmt.Errorf("wire: hello body %d bytes, want 4", len(body))
-	}
-	return binary.BigEndian.Uint32(body), nil
-}
-
-// ParseHelloNonce decodes the keyed FrameHello body (id + dialer nonce).
-func ParseHelloNonce(body []byte) (peer uint32, nonce uint64, err error) {
+// ParseHello decodes a keyless FrameHello body (id + epoch).
+func ParseHello(body []byte) (peer uint32, epoch uint64, err error) {
 	if len(body) != 12 {
-		return 0, 0, fmt.Errorf("wire: keyed hello body %d bytes, want 12", len(body))
+		return 0, 0, fmt.Errorf("wire: hello body %d bytes, want 12", len(body))
 	}
 	return binary.BigEndian.Uint32(body[0:4]), binary.BigEndian.Uint64(body[4:12]), nil
+}
+
+// ParseHelloNonce decodes the keyed FrameHello body (id + epoch +
+// dialer nonce).
+func ParseHelloNonce(body []byte) (peer uint32, epoch, nonce uint64, err error) {
+	if len(body) != 20 {
+		return 0, 0, 0, fmt.Errorf("wire: keyed hello body %d bytes, want 20", len(body))
+	}
+	return binary.BigEndian.Uint32(body[0:4]), binary.BigEndian.Uint64(body[4:12]), binary.BigEndian.Uint64(body[12:20]), nil
 }
 
 // ParseChallenge decodes a FrameChallenge body. The returned mac aliases

@@ -18,9 +18,9 @@ func TestFrameGoldenBytes(t *testing.T) {
 	}{
 		{
 			name: "hello",
-			got:  AppendHello(nil, 3),
-			// len=14 | v2 kind=1 instance=0 | peer=3
-			want: "0000000e" + "0201" + "0000000000000000" + "00000003",
+			got:  AppendHello(nil, 3, 9),
+			// len=22 | v2 kind=1 instance=0 | peer=3 epoch=9
+			want: "00000016" + "0201" + "0000000000000000" + "00000003" + "0000000000000009",
 		},
 		{
 			name: "goodbye",
@@ -29,9 +29,24 @@ func TestFrameGoldenBytes(t *testing.T) {
 		},
 		{
 			name: "hello-nonce",
-			got:  AppendHelloNonce(nil, 3, 0x1122334455667788),
-			// len=22 | v2 kind=1 instance=0 | peer=3 nonce
-			want: "00000016" + "0201" + "0000000000000000" + "00000003" + "1122334455667788",
+			got:  AppendHelloNonce(nil, 3, 9, 0x1122334455667788),
+			// len=30 | v2 kind=1 instance=0 | peer=3 epoch=9 nonce
+			want: "0000001e" + "0201" + "0000000000000000" + "00000003" + "0000000000000009" + "1122334455667788",
+		},
+		{
+			name: "epoch-announce",
+			got:  AppendEpochAnnounce(nil, 2, []string{"a:1", "b:22"}),
+			// len=31 | v2 kind=6 instance=0 | epoch=2 n=2 |
+			// len=3 "a:1" | len=4 "b:22"
+			want: "0000001f" + "0206" + "0000000000000000" +
+				"0000000000000002" + "0002" +
+				"0003" + "613a31" + "0004" + "623a3232",
+		},
+		{
+			name: "epoch-ack",
+			got:  AppendEpochAck(nil, 2),
+			// len=18 | v2 kind=7 instance=0 | epoch=2
+			want: "00000012" + "0207" + "0000000000000000" + "0000000000000002",
 		},
 		{
 			name: "challenge",
@@ -92,15 +107,15 @@ func mustHex(s string) []byte {
 func TestHandshakeFrameRoundTrip(t *testing.T) {
 	mac := bytes.Repeat([]byte{0x5a}, MACSize)
 
-	enc := AppendHelloNonce(nil, 7, 99)
+	enc := AppendHelloNonce(nil, 7, 3, 99)
 	h, body, err := ParseFrame(enc[4:])
 	if err != nil || h.Kind != FrameHello {
 		t.Fatalf("hello-nonce: header %+v err %v", h, err)
 	}
-	if peer, nonce, err := ParseHelloNonce(body); err != nil || peer != 7 || nonce != 99 {
-		t.Fatalf("hello-nonce: peer=%d nonce=%d err=%v", peer, nonce, err)
+	if peer, epoch, nonce, err := ParseHelloNonce(body); err != nil || peer != 7 || epoch != 3 || nonce != 99 {
+		t.Fatalf("hello-nonce: peer=%d epoch=%d nonce=%d err=%v", peer, epoch, nonce, err)
 	}
-	if _, _, err := ParseHelloNonce(body[:4]); err == nil {
+	if _, _, _, err := ParseHelloNonce(body[:4]); err == nil {
 		t.Error("short keyed hello: no error")
 	}
 
@@ -126,6 +141,46 @@ func TestHandshakeFrameRoundTrip(t *testing.T) {
 	}
 	if _, err := ParseAuth(body[:MACSize-1]); err == nil {
 		t.Error("short auth: no error")
+	}
+}
+
+// TestEpochFrameRoundTrip covers the membership-epoch frame bodies.
+func TestEpochFrameRoundTrip(t *testing.T) {
+	addrs := []string{"127.0.0.1:9001", "127.0.0.1:9002", "", "host:80"}
+	enc := AppendEpochAnnounce(nil, 7, addrs)
+	h, body, err := ParseFrame(enc[4:])
+	if err != nil || h.Kind != FrameEpochAnnounce {
+		t.Fatalf("announce: header %+v err %v", h, err)
+	}
+	epoch, got, err := ParseEpochAnnounce(body)
+	if err != nil || epoch != 7 || len(got) != len(addrs) {
+		t.Fatalf("announce: epoch=%d addrs=%v err=%v", epoch, got, err)
+	}
+	for i := range addrs {
+		if got[i] != addrs[i] {
+			t.Fatalf("announce: addr %d = %q, want %q", i, got[i], addrs[i])
+		}
+	}
+	if _, _, err := ParseEpochAnnounce(body[:len(body)-1]); err == nil {
+		t.Error("truncated announce: no error")
+	}
+	if _, _, err := ParseEpochAnnounce(body[:9]); err == nil {
+		t.Error("short announce: no error")
+	}
+	if _, _, err := ParseEpochAnnounce(append(append([]byte(nil), body...), 0)); err == nil {
+		t.Error("trailing bytes: no error")
+	}
+
+	enc = AppendEpochAck(nil, 7)
+	h, body, err = ParseFrame(enc[4:])
+	if err != nil || h.Kind != FrameEpochAck {
+		t.Fatalf("ack: header %+v err %v", h, err)
+	}
+	if epoch, err := ParseEpochAck(body); err != nil || epoch != 7 {
+		t.Fatalf("ack: epoch=%d err=%v", epoch, err)
+	}
+	if _, err := ParseEpochAck(body[:7]); err == nil {
+		t.Error("short ack: no error")
 	}
 }
 
@@ -189,7 +244,7 @@ func TestFrameErrors(t *testing.T) {
 	if _, _, err := ParseFrame([]byte{2, 1}); err == nil {
 		t.Error("short frame: no error")
 	}
-	bad := AppendHello(nil, 1)
+	bad := AppendHello(nil, 1, 0)
 	bad[4] = 99 // corrupt version byte
 	if _, _, err := ParseFrame(bad[4:]); err == nil {
 		t.Error("bad version: no error")

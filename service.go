@@ -28,7 +28,19 @@ var (
 	// ErrInstanceTimeout is reported for instances that exceeded
 	// ServiceConfig.InstanceTimeout before deciding.
 	ErrInstanceTimeout = service.ErrInstanceTimeout
+	// ErrStaleEpoch rejects a Reconfigure whose epoch does not advance
+	// the membership clock.
+	ErrStaleEpoch = service.ErrStaleEpoch
 )
+
+// Membership names one epoch of a service mesh's configuration: a
+// monotonically numbered address list (process ids are stable; the size
+// never changes) plus the shared handshake key. Pass it to Reconfigure
+// on a running survivor to replace or re-address members, and to
+// NewService (via ServiceConfig.Epoch and Addrs) to start a replacement
+// process under the new epoch. See docs/SERVICE.md, "Membership and
+// epochs".
+type Membership = service.Membership
 
 // SlowPeerPolicy selects the service's behavior when a peer cannot keep up
 // with its outbound frame queue.
@@ -106,12 +118,19 @@ type ServiceConfig struct {
 	// SuspectAfter is the number of consecutive dial failures before a
 	// peer is counted in ServiceStats.SuspectedPeers (default 3).
 	SuspectAfter int
+	// Epoch is the membership epoch this process is born at (0 for a
+	// static mesh). A replacement process joining a reconfigured mesh
+	// starts with the new Membership's epoch and address list.
+	Epoch uint64
 }
 
 // ServiceResult is one finished instance as seen by this process.
 type ServiceResult struct {
 	// Instance is the instance id.
 	Instance uint64
+	// Epoch is the membership epoch the instance was pinned to at
+	// Propose time.
+	Epoch uint64
 	// Decision is the decided vector (nil when Err is set).
 	Decision Vector
 	// Rounds is the instance's termination round count.
@@ -154,6 +173,17 @@ type ServiceStats struct {
 	SuspectedPeers int
 	// QueueDepth is the total frames currently queued toward peers.
 	QueueDepth int
+	// Epoch is the current membership epoch (gauge); Reconfigures counts
+	// adopted membership changes; EpochAnnounces/EpochAcks count the
+	// config-propagation frames sent/acknowledged; StaleEpochRejects
+	// counts handshakes refused for claiming an unheld epoch;
+	// RetiredEpochs counts superseded link sets torn down after their
+	// last pinned instance tombstoned.
+	Epoch                     uint64
+	Reconfigures              int64
+	EpochAnnounces, EpochAcks int64
+	StaleEpochRejects         int64
+	RetiredEpochs             int64
 }
 
 // Service is one process of a multi-tenant live consensus mesh: Propose
@@ -190,6 +220,7 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		Transport:        cfg.Transport,
 		AuthKey:          cfg.AuthKey,
 		SuspectAfter:     cfg.SuspectAfter,
+		Epoch:            cfg.Epoch,
 	})
 	if err != nil {
 		return nil, err
@@ -220,6 +251,7 @@ func (s *Service) Propose(id uint64, input Vector) (<-chan ServiceResult, error)
 		r := <-ch
 		out <- ServiceResult{
 			Instance: r.Instance,
+			Epoch:    r.Epoch,
 			Decision: fromGeometry(r.Decision),
 			Rounds:   r.Rounds,
 			Elapsed:  r.Elapsed,
@@ -268,6 +300,13 @@ func (s *Service) Stats() ServiceStats {
 		AuthFailures:     st.AuthFailures,
 		SuspectedPeers:   st.SuspectedPeers,
 		QueueDepth:       st.QueueDepth,
+
+		Epoch:             st.Epoch,
+		Reconfigures:      st.Reconfigures,
+		EpochAnnounces:    st.EpochAnnounces,
+		EpochAcks:         st.EpochAcks,
+		StaleEpochRejects: st.StaleEpochRejects,
+		RetiredEpochs:     st.RetiredEpochs,
 	}
 }
 
@@ -275,3 +314,17 @@ func (s *Service) Stats() ServiceStats {
 // pool redials and the mesh self-heals. A fault-injection hook for tests
 // and the chaos harness.
 func (s *Service) KillConn(peer int) { s.inner.KillConn(peer) }
+
+// Epoch returns the current membership epoch.
+func (s *Service) Epoch() uint64 { return s.inner.Epoch() }
+
+// Reconfigure moves the mesh to membership m without stopping the
+// service: m.Epoch must exceed the current epoch and m.Addrs must be the
+// same size as the mesh (replace or re-address members; n is fixed).
+// New proposals pin the new epoch immediately; in-flight and lingering
+// instances keep deciding on their birth epoch's links, whose set is
+// retired once its last pinned instance tombstones. The new config
+// propagates to every peer via EpochAnnounce, so reconfiguring one
+// survivor reconfigures the mesh; start the replacement process
+// separately with the new epoch and address list.
+func (s *Service) Reconfigure(m Membership) error { return s.inner.Reconfigure(m) }
